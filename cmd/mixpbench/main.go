@@ -1,0 +1,167 @@
+// Command mixpbench is the suite's harness entry point, the counterpart of
+// the paper's Python harness: it reads a YAML configuration file
+// describing benchmarks and the analyses to apply (Listing 4 of the
+// paper), deploys each analysis on the worker pool, and prints one report
+// per entry.
+//
+// Usage:
+//
+//	mixpbench -config path/to/config.yaml [-workers N] [-seed S]
+//	mixpbench -list
+//	mixpbench -tune bench -algorithm DD [-threshold 1e-8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	mixpbench "repro"
+	"repro/internal/interchange"
+)
+
+func main() {
+	var (
+		configPath  = flag.String("config", "", "YAML harness configuration file")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 0, "workload seed (0 = canonical study seed)")
+		list        = flag.Bool("list", false, "list the suite's benchmarks and exit")
+		tune        = flag.String("tune", "", "tune one benchmark by name (bypasses the config file)")
+		algorithm   = flag.String("algorithm", "DD", "search algorithm for -tune (CB, CM, DD, HR, HC, GA, GP)")
+		threshold   = flag.Float64("threshold", 0, "quality threshold for -tune (0 = 1e-8)")
+		exportSpace = flag.String("export-space", "", "write a benchmark's search space as interchange JSON and exit")
+		jsonOut     = flag.Bool("json", false, "emit harness reports as interchange JSON instead of text")
+		trace       = flag.Bool("trace", false, "with -tune: print the per-configuration evaluation log")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listBenchmarks(os.Stdout)
+	case *exportSpace != "":
+		if err := exportSpaceJSON(os.Stdout, *exportSpace); err != nil {
+			fatal(err)
+		}
+	case *tune != "":
+		if err := tuneOne(os.Stdout, *tune, *algorithm, *threshold, *seed, *trace); err != nil {
+			fatal(err)
+		}
+	case *configPath != "":
+		if err := runConfig(os.Stdout, *configPath, *workers, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// exportSpaceJSON writes the named benchmark's variable inventory and
+// type-change sets in the FloatSmith interchange format.
+func exportSpaceJSON(w io.Writer, name string) error {
+	b, err := mixpbench.Benchmark(name)
+	if err != nil {
+		return err
+	}
+	return interchange.WriteSpace(w, b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixpbench:", err)
+	os.Exit(1)
+}
+
+func listBenchmarks(w io.Writer) {
+	fmt.Fprintln(w, "Kernels:")
+	for _, b := range mixpbench.Kernels() {
+		g := b.Graph()
+		fmt.Fprintf(w, "  %-16s TV=%-3d TC=%-3d %s\n", b.Name(), g.NumVars(), g.NumClusters(), b.Description())
+	}
+	fmt.Fprintln(w, "Applications:")
+	for _, b := range mixpbench.Apps() {
+		g := b.Graph()
+		fmt.Fprintf(w, "  %-16s TV=%-3d TC=%-3d %s\n", b.Name(), g.NumVars(), g.NumClusters(), b.Description())
+	}
+}
+
+func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool) error {
+	b, err := mixpbench.Benchmark(name)
+	if err != nil {
+		return err
+	}
+	res, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+		Algorithm: algorithm,
+		Threshold: threshold,
+		Seed:      seed,
+		Trace:     trace,
+	})
+	if err != nil {
+		return err
+	}
+	if trace {
+		fmt.Fprintln(w, "evaluation log:")
+		for _, e := range res.Trace {
+			status := "fail"
+			switch {
+			case !e.Result.Valid:
+				status = "no-compile"
+			case e.Result.Passed:
+				status = "pass"
+			}
+			fmt.Fprintf(w, "  #%-4d singles=%-4d %-10s speedup=%.3f err=%.3g spent=%.0fs\n",
+				e.Seq, e.Singles, status, e.Result.Speedup, e.Result.Verdict.Error, e.SpentSeconds)
+		}
+	}
+	fmt.Fprintf(w, "benchmark : %s\n", b.Name())
+	fmt.Fprintf(w, "algorithm : %s\n", algorithm)
+	fmt.Fprintf(w, "evaluated : %d configurations\n", res.Evaluated)
+	if res.TimedOut {
+		fmt.Fprintln(w, "status    : analysis budget exhausted")
+	}
+	if !res.Found {
+		fmt.Fprintln(w, "result    : no passing configuration found")
+		return nil
+	}
+	fmt.Fprintf(w, "speedup   : %.3fx\n", res.Speedup)
+	fmt.Fprintf(w, "error     : %.3g (%s)\n", res.Error, b.Metric())
+	fmt.Fprintf(w, "demoted   : %d of %d variables to single precision\n",
+		res.Config.Singles(), b.Graph().NumVars())
+	return nil
+}
+
+func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	specs, err := mixpbench.ParseHarnessConfig(string(raw))
+	if err != nil {
+		return err
+	}
+	reports, err := mixpbench.RunHarness(specs, workers, seed)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return interchange.WriteReports(w, reports)
+	}
+	for _, r := range reports {
+		fmt.Fprintf(w, "%s [%s @ %.0e]: ", r.Benchmark, r.Algorithm, r.Threshold)
+		switch {
+		case r.TimedOut && !r.Found:
+			fmt.Fprintln(w, "no result within the analysis budget")
+		case !r.Found:
+			fmt.Fprintln(w, "no passing configuration")
+		default:
+			quality := fmt.Sprintf("%.3g", r.Quality)
+			if math.IsNaN(r.Quality) {
+				quality = "NaN"
+			}
+			fmt.Fprintf(w, "speedup %.3fx, quality %s, %d/%d vars single, %d configs evaluated\n",
+				r.Speedup, quality, r.Demoted, r.Variables, r.Evaluated)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListBenchmarks(t *testing.T) {
+	var buf bytes.Buffer
+	listBenchmarks(&buf)
+	out := buf.String()
+	for _, frag := range []string{"Kernels:", "Applications:", "hydro-1d", "LavaMD", "TV=195"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("listing missing %q", frag)
+		}
+	}
+}
+
+func TestExportSpaceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportSpaceJSON(&buf, "iccg"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"benchmark": "iccg"`) || !strings.Contains(out, `"clusters"`) {
+		t.Errorf("space JSON malformed:\n%s", out)
+	}
+	if err := exportSpaceJSON(&buf, "nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestTuneOneWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tuneOne(&buf, "hydro-1d", "DD", 1e-8, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"evaluation log:", "benchmark : hydro-1d", "speedup", "demoted"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("tune output missing %q:\n%s", frag, out)
+		}
+	}
+	if err := tuneOne(&buf, "hydro-1d", "annealing", 1e-8, 0, false); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestRunConfigTextAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.yaml")
+	cfg := `
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+        threshold: 1e-3
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans']
+  args: ''
+`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runConfig(&buf, path, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "K-means [DD @ 1e-03]") {
+		t.Errorf("text report malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := runConfig(&buf, path, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"algorithm": "DD"`) {
+		t.Errorf("JSON report malformed:\n%s", buf.String())
+	}
+	if err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), 1, 0, false); err == nil {
+		t.Error("expected error for missing config file")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestBuildArtifactsKernelsOnly(t *testing.T) {
+	study := report.Run(report.Options{Workers: 2, KernelsOnly: true})
+	arts := buildArtifacts(study, true)
+	if len(arts) != 3 {
+		t.Fatalf("kernels-only artifacts = %d, want 3", len(arts))
+	}
+	names := map[string]string{}
+	for _, a := range arts {
+		if a.content == "" {
+			t.Errorf("%s is empty", a.name)
+		}
+		names[a.name] = a.content
+	}
+	if !strings.Contains(names["table3.txt"], "banded-lin-eq") {
+		t.Error("table3 incomplete")
+	}
+	if !strings.Contains(names["table2.txt"], "2^TC") {
+		t.Error("table2 missing search-space columns")
+	}
+}

@@ -1,0 +1,117 @@
+// Command mptrace renders the anytime behaviour of the search strategies
+// on one benchmark: for each algorithm it runs the analysis with
+// per-configuration tracing and prints the best-passing-speedup-so-far
+// curve against evaluations and simulated analysis time. This is the
+// search-dynamics view behind the paper's Figure 3 (speedup vs. search
+// effort), per strategy instead of aggregated.
+//
+// Usage:
+//
+//	mptrace -bench lavamd [-threshold 1e-3] [-algorithms DD,GA,GP] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	mixpbench "repro"
+	"repro/internal/bench"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "lavamd", "benchmark to analyse")
+		threshold = flag.Float64("threshold", 1e-3, "quality threshold")
+		algos     = flag.String("algorithms", "CM,DD,HR,HC,GA,GP", "comma-separated strategies")
+		csvOut    = flag.Bool("csv", false, "emit raw curves as CSV instead of the summary")
+		budget    = flag.Float64("budget", 0, "analysis budget in simulated seconds (0 = 24h)")
+	)
+	flag.Parse()
+
+	b, err := mixpbench.Benchmark(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mptrace: %s at threshold %.0e\n", b.Name(), *threshold)
+	if *csvOut {
+		fmt.Println("algorithm,seq,spent_seconds,singles,passed,speedup,best_so_far")
+	}
+
+	for _, name := range strings.Split(*algos, ",") {
+		name = strings.TrimSpace(name)
+		canonical, err := harness.CanonicalAlgorithm(name)
+		if err != nil {
+			fatal(err)
+		}
+		algo, err := search.ByName(canonical, report.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		space := search.NewSpace(b.Graph(), algo.Mode())
+		eval := search.NewEvaluator(space, bench.NewRunner(report.Seed), b, *threshold)
+		if *budget > 0 {
+			eval.SetBudget(*budget)
+		}
+		eval.SetTrace(true)
+		out := algo.Search(eval)
+		trace := eval.Trace()
+
+		if *csvOut {
+			printCSV(os.Stdout, canonical, trace)
+			continue
+		}
+		printSummary(os.Stdout, canonical, out, trace)
+	}
+}
+
+// printCSV emits one strategy's raw anytime curve.
+func printCSV(w io.Writer, name string, trace []search.TraceEntry) {
+	best := 0.0
+	for _, e := range trace {
+		if e.Result.Passed && e.Result.Speedup > best {
+			best = e.Result.Speedup
+		}
+		fmt.Fprintf(w, "%s,%d,%.0f,%d,%v,%.4f,%.4f\n",
+			name, e.Seq, e.SpentSeconds, e.Singles,
+			e.Result.Passed, e.Result.Speedup, best)
+	}
+}
+
+// printSummary renders one strategy's anytime curve at coarse milestones.
+func printSummary(w io.Writer, name string, out search.Outcome, trace []search.TraceEntry) {
+	fmt.Fprintf(w, "\n%s: evaluated %d configurations", name, out.Evaluated)
+	switch {
+	case out.TimedOut:
+		fmt.Fprintf(w, " (analysis budget exhausted)")
+	case out.Found:
+		fmt.Fprintf(w, ", converged at %.3fx", out.BestResult.Speedup)
+	default:
+		fmt.Fprintf(w, ", found nothing")
+	}
+	fmt.Fprintln(w)
+	if len(trace) == 0 {
+		return
+	}
+	// Milestones: first pass, each improvement, final.
+	best := 0.0
+	fmt.Fprintf(w, "  %-6s %-10s %-9s %s\n", "eval", "sim-time", "singles", "best-so-far")
+	for _, e := range trace {
+		if e.Result.Passed && e.Result.Speedup > best*1.001 {
+			best = e.Result.Speedup
+			fmt.Fprintf(w, "  #%-5d %7.0fs   %-9d %.3fx\n", e.Seq, e.SpentSeconds, e.Singles, best)
+		}
+	}
+	last := trace[len(trace)-1]
+	fmt.Fprintf(w, "  #%-5d %7.0fs   (last evaluation)\n", last.Seq, last.SpentSeconds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	mixpbench "repro"
+	"repro/internal/bench"
+	"repro/internal/report"
+	"repro/internal/search"
+)
+
+// runTraced produces one strategy's outcome and trace for the tests.
+func runTraced(t *testing.T, benchName, algo string, threshold float64) (search.Outcome, []search.TraceEntry) {
+	t.Helper()
+	b, err := mixpbench.Benchmark(benchName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := search.ByName(algo, report.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := search.NewSpace(b.Graph(), a.Mode())
+	eval := search.NewEvaluator(space, bench.NewRunner(report.Seed), b, threshold)
+	eval.SetTrace(true)
+	out := a.Search(eval)
+	return out, eval.Trace()
+}
+
+func TestPrintSummaryMilestones(t *testing.T) {
+	out, trace := runTraced(t, "lavamd", "GP", 1e-3)
+	var buf bytes.Buffer
+	printSummary(&buf, "GP", out, trace)
+	s := buf.String()
+	for _, frag := range []string{"GP: evaluated", "best-so-far", "(last evaluation)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, s)
+		}
+	}
+	if !strings.Contains(s, "converged at") {
+		t.Errorf("summary missing convergence line:\n%s", s)
+	}
+}
+
+func TestPrintCSVOneRowPerEvaluation(t *testing.T) {
+	out, trace := runTraced(t, "hydro-1d", "CB", 1e-8)
+	var buf bytes.Buffer
+	printCSV(&buf, "CB", trace)
+	lines := strings.Count(buf.String(), "\n")
+	if lines != out.Evaluated {
+		t.Errorf("CSV has %d rows, EV = %d", lines, out.Evaluated)
+	}
+	if !strings.HasPrefix(buf.String(), "CB,1,") {
+		t.Errorf("CSV first row malformed: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestPrintSummaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	printSummary(&buf, "DD", search.Outcome{Algorithm: "DD"}, nil)
+	if !strings.Contains(buf.String(), "found nothing") {
+		t.Errorf("empty-trace summary wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,100 @@
+package mixpbench_test
+
+import (
+	"fmt"
+
+	mixpbench "repro"
+)
+
+// ExampleTune tunes one kernel with delta debugging at the kernel-study
+// threshold.
+func ExampleTune() {
+	b, err := mixpbench.Benchmark("iccg")
+	if err != nil {
+		panic(err)
+	}
+	res, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+		Algorithm: "DD",
+		Threshold: 1e-8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("found=%v demoted=%d/%d evaluated=%d\n",
+		res.Found, res.Config.Singles(), b.Graph().NumVars(), res.Evaluated)
+	// Output:
+	// found=true demoted=2/2 evaluated=1
+}
+
+// ExampleBenchmark shows name resolution and the Table II inventory
+// metrics.
+func ExampleBenchmark() {
+	b, err := mixpbench.Benchmark("kmeans") // resolves to "K-means"
+	if err != nil {
+		panic(err)
+	}
+	g := b.Graph()
+	fmt.Printf("%s: %d variables in %d clusters, verified with %s\n",
+		b.Name(), g.NumVars(), g.NumClusters(), b.Metric())
+	// Output:
+	// K-means: 26 variables in 15 clusters, verified with MCR
+}
+
+// ExampleParseHarnessConfig parses the paper's Listing 4 configuration.
+func ExampleParseHarnessConfig() {
+	specs, err := mixpbench.ParseHarnessConfig(`
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans', 'kdd_bin']
+  args: '-i kdd_bin -k 5 -n 5'
+`)
+	if err != nil {
+		panic(err)
+	}
+	s := specs[0]
+	fmt.Printf("%s: %s with %s at %.0e\n", s.Name, s.Analysis.Name, s.Analysis.Algorithm, s.Analysis.Threshold)
+	// Output:
+	// kmeans: floatSmith with DD at 1e-08
+}
+
+// ExampleComputeMetric evaluates the verification library directly.
+func ExampleComputeMetric() {
+	ref := []float64{1, 2, 3, 4}
+	got := []float64{1, 2, 3, 6}
+	mae, _ := mixpbench.ComputeMetric(mixpbench.MAE, ref, got)
+	mcr, _ := mixpbench.ComputeMetric(mixpbench.MCR, ref, got)
+	fmt.Printf("MAE=%.2f MCR=%.2f\n", mae, mcr)
+	// Output:
+	// MAE=0.50 MCR=0.25
+}
+
+// ExampleNewRunner runs one explicit configuration and verifies it
+// against the original program.
+func ExampleNewRunner() {
+	b, err := mixpbench.Benchmark("innerprod")
+	if err != nil {
+		panic(err)
+	}
+	r := mixpbench.NewRunner(42)
+	ref := r.Reference(b)
+
+	// Demote the operand cluster {z, x}, keep the accumulator double.
+	cfg := mixpbench.Config{mixpbench.F32, mixpbench.F32, mixpbench.F64}
+	res := r.Run(b, cfg)
+	v, err := mixpbench.CheckMetric(b.Metric(), ref.Output.Values, res.Output.Values, 1e-8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("passed=%v error=%g\n", v.Passed, v.Error)
+	// Output:
+	// passed=true error=0
+}

@@ -1,0 +1,108 @@
+// Custombench: plug a brand-new program into the suite and tune it.
+//
+// The benchmark contract is three declarations: a type-dependence graph
+// over the tunable variables (what a source-level tool could retype and
+// which variables must change together), a quality metric, and a Run
+// method that computes against a Tape - storing through tape-allocated
+// arrays and Assign calls so that demoted variables round exactly as a
+// recompiled mixed binary would and the machine model sees the work.
+//
+// The program here is a 2D Jacobi relaxation: two grids that must share a
+// type (the solver swaps them), a float32-exact source term, and an
+// independent damping factor.
+//
+//	go run ./examples/custombench
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	mixpbench "repro"
+)
+
+// jacobi is a five-point Jacobi relaxation on an n x n grid.
+type jacobi struct {
+	graph        *mixpbench.Graph
+	vGrid, vNext mixpbench.VarID
+	vSrc, vDamp  mixpbench.VarID
+}
+
+const (
+	jacobiN     = 64
+	jacobiIters = 30
+)
+
+func newJacobi() *jacobi {
+	g := mixpbench.NewGraph()
+	j := &jacobi{graph: g}
+	// grid and next are swapped every sweep, so they must share a type.
+	j.vGrid = g.Add("grid", "solve", mixpbench.ArrayVar)
+	j.vNext = g.Add("next", "solve", mixpbench.ArrayVar)
+	g.Connect(j.vGrid, j.vNext)
+	j.vSrc = g.Add("source", "setup", mixpbench.ArrayVar)
+	j.vDamp = g.Add("damping", "setup", mixpbench.Scalar)
+	return j
+}
+
+func (j *jacobi) Name() string                { return "jacobi2d" }
+func (j *jacobi) Kind() mixpbench.ProgramKind { return mixpbench.Kernel }
+func (j *jacobi) Description() string         { return "2D Jacobi relaxation" }
+func (j *jacobi) Metric() mixpbench.Metric    { return mixpbench.RMSE }
+func (j *jacobi) Graph() *mixpbench.Graph     { return j.graph }
+
+func (j *jacobi) Run(t *mixpbench.Tape, seed int64) mixpbench.Output {
+	rng := rand.New(rand.NewSource(seed))
+	n := jacobiN
+	grid := t.NewArray(j.vGrid, n*n)
+	next := t.NewArray(j.vNext, n*n)
+	src := t.NewArray(j.vSrc, n*n)
+	for i := 0; i < n*n; i++ {
+		src.Set(i, float64(rng.Float32())*0.0625) // float32-exact
+	}
+	damp := t.Value(j.vDamp, 0.8)
+
+	for iter := 0; iter < jacobiIters; iter++ {
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				i := r*n + c
+				avg := 0.25 * (grid.Get(i-1) + grid.Get(i+1) + grid.Get(i-n) + grid.Get(i+n))
+				next.Set(i, damp*avg+src.Get(i))
+			}
+		}
+		grid, next = next, grid
+	}
+	t.AddFlops(t.Prec(j.vGrid), uint64(7*(n-2)*(n-2)*jacobiIters))
+	return mixpbench.Output{Values: grid.Snapshot()}
+}
+
+func main() {
+	b := newJacobi()
+	fmt.Printf("custom benchmark %q: %d variables in %d clusters\n",
+		b.Name(), b.Graph().NumVars(), b.Graph().NumClusters())
+
+	// Sanity-check the port before searching: the original program must
+	// be deterministic and finite.
+	runner := mixpbench.NewRunner(7)
+	ref := runner.Reference(b)
+	fmt.Printf("reference run: %d values, modelled %.3g s\n",
+		len(ref.Output.Values), ref.ModelTime)
+
+	for _, threshold := range []float64{1e-6, 1e-10} {
+		res, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+			Algorithm: "CB", // the space is tiny: exhaustive search is exact
+			Threshold: threshold,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			fmt.Printf("threshold %.0e: nothing demotable\n", threshold)
+			continue
+		}
+		fmt.Printf("threshold %.0e: %d/%d variables single, speedup %.2fx, RMSE %.3g (evaluated %d)\n",
+			threshold, res.Config.Singles(), b.Graph().NumVars(),
+			res.Speedup, res.Error, res.Evaluated)
+	}
+}

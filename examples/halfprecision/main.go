@@ -1,0 +1,100 @@
+// Halfprecision: three-level tuning, the extension the paper motivates.
+//
+// The paper's study covers double and single precision (p=2, the levels a
+// source-level C++ refactoring can produce), but frames the search space
+// as p^loc and points at accelerators with half-precision support (p=3).
+// The Go runtime carries IEEE-754 binary16 as an extension level, so this
+// example runs the exhaustive three-level search over a kernel's clusters
+// - every cluster independently double, single, or half - and prints the
+// accuracy/speedup frontier across quality thresholds.
+//
+//	go run ./examples/halfprecision [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	mixpbench "repro"
+)
+
+func main() {
+	name := "hydro-1d"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := mixpbench.Benchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := b.Graph()
+	clusters := g.Clusters()
+	nc := len(clusters)
+	total := 1
+	for i := 0; i < nc; i++ {
+		total *= 3
+	}
+	fmt.Printf("%s: %d clusters -> 3^%d = %d three-level configurations\n\n",
+		b.Name(), nc, nc, total)
+	if total > 2187 { // 3^7: keep the demo exhaustive-friendly
+		log.Fatalf("%s has too many clusters for the exhaustive demo; try a kernel", b.Name())
+	}
+
+	runner := mixpbench.NewRunner(42)
+	ref := runner.Reference(b)
+	levels := []mixpbench.Prec{mixpbench.F64, mixpbench.F32, mixpbench.F16}
+
+	type row struct {
+		cfg     mixpbench.Config
+		desc    string
+		err     float64
+		speedup float64
+	}
+	var rows []row
+	for code := 0; code < total; code++ {
+		cfg := mixpbench.Config(make([]mixpbench.Prec, g.NumVars()))
+		desc := ""
+		c := code
+		for i, cl := range clusters {
+			p := levels[c%3]
+			c /= 3
+			for _, m := range cl.Members {
+				cfg[m] = p
+			}
+			if i > 0 {
+				desc += "/"
+			}
+			desc += p.String()
+		}
+		res := runner.Run(b, cfg)
+		e, err := mixpbench.ComputeMetric(b.Metric(), ref.Output.Values, res.Output.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{cfg, desc, e, ref.Measured.Mean / res.Measured.Mean})
+	}
+
+	// The best configuration per quality threshold: half precision only
+	// becomes competitive once the threshold loosens past its ~1e-3
+	// relative rounding error.
+	fmt.Printf("%-10s  %-28s  %-10s  %s\n", "threshold", "best configuration", "error", "speedup")
+	for _, th := range []float64{1e-8, 1e-6, 1e-3, 1e-1} {
+		best := -1
+		for i, r := range rows {
+			if math.IsNaN(r.err) || r.err > th {
+				continue
+			}
+			if best < 0 || r.speedup > rows[best].speedup {
+				best = i
+			}
+		}
+		if best < 0 {
+			fmt.Printf("%-10.0e  %-28s\n", th, "(none passes)")
+			continue
+		}
+		r := rows[best]
+		fmt.Printf("%-10.0e  %-28s  %-10.2g  %.2fx\n", th, r.desc, r.err, r.speedup)
+	}
+}

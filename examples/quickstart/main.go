@@ -1,0 +1,46 @@
+// Quickstart: tune one kernel with the delta-debugging strategy.
+//
+// This is the suite's smallest end-to-end flow: pick a benchmark, run the
+// search at a quality threshold, and inspect what the tool found - which
+// variables can live in single precision, how much faster the program
+// gets, and how much accuracy it costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mixpbench "repro"
+)
+
+func main() {
+	b, err := mixpbench.Benchmark("hydro-1d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := b.Graph()
+	fmt.Printf("%s: %s\n", b.Name(), b.Description())
+	fmt.Printf("tunable variables: %d in %d type-dependence clusters\n\n",
+		g.NumVars(), g.NumClusters())
+
+	res, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+		Algorithm: "DD",
+		Threshold: 1e-8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("no configuration passed the threshold")
+		return
+	}
+
+	fmt.Printf("delta debugging evaluated %d configurations\n", res.Evaluated)
+	fmt.Printf("speedup: %.2fx at %s error %.3g\n", res.Speedup, b.Metric(), res.Error)
+	fmt.Println("\nconverged configuration:")
+	for _, v := range g.Vars() {
+		fmt.Printf("  %-8s (%s in %s): %v\n", v.Name, v.Kind, v.Unit, res.Config[v.ID])
+	}
+}

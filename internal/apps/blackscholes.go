@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// blackscholes prices a portfolio of European options analytically with
+// the Black-Scholes-Merton closed form (PARSEC lineage). Each option needs
+// the cumulative normal distribution twice, built from exp/log/sqrt calls.
+//
+// Inventory (Table II: TV=59, TC=50): six data buffers (spot price,
+// strike, rate, volatility, time, price) with small parameter-alias
+// clusters, and 44 independent scalars from the CNDF and pricing
+// formulas. The paper notes Blackscholes shows the least clustering in the
+// suite because its assignments are overwhelmingly scalar-to-scalar, which
+// never forces a shared type.
+//
+// Performance character: the transcendental evaluations go through the
+// double-precision math library regardless of the declared variable types
+// (libm calls are not retyped by a source-level tool), so only the
+// surrounding arithmetic accelerates under demotion - the manual
+// single-precision conversion gains just a few percent (Table IV: 1.04x).
+type blackscholes struct {
+	app
+	vSpot, vStrike, vRate, vVol, vTime, vPrice mp.VarID
+	scalars                                    []mp.VarID
+}
+
+const (
+	bsOptions = 4096
+	bsReps    = 5
+	bsScale   = 8
+	// bsLibmFlops is the per-option cost of the CNDF transcendentals
+	// (two exp, one log, one sqrt, polynomial evaluation), charged at
+	// double precision unconditionally.
+	bsLibmFlops = 100
+	// bsArithFlops is the per-option cost of the surrounding arithmetic,
+	// charged at the configuration's precision.
+	bsArithFlops = 10
+)
+
+// bsScalarNames are the merged program's tunable scalars: the CNDF locals,
+// the pricing locals, and the driver's accumulators, as extracted from the
+// PARSEC source.
+var bsScalarNames = []string{
+	// CNDF
+	"InputX", "sign", "OutputX", "xInput", "xNPrimeofX", "expValues",
+	"xK2", "xK2_2", "xK2_3", "xK2_4", "xK2_5",
+	"xLocal", "xLocal_1", "xLocal_2", "xLocal_3",
+	// BlkSchlsEqEuroNoDiv
+	"xStockPrice", "xStrikePrice", "xRiskFreeRate", "xVolatility",
+	"xTime", "xSqrtTime", "logValues", "xLogTerm", "xD1", "xD2",
+	"xPowerTerm", "xDen", "d1", "d2", "FutureValueX",
+	"NofXd1", "NofXd2", "NegNofXd1", "NegNofXd2", "OptionPrice",
+	// driver
+	"inv_sqrt_2xPI", "zero", "half", "const1", "const2",
+	"priceDelta", "acc", "lowestPrice", "highestPrice",
+}
+
+// NewBlackscholes constructs the application.
+func NewBlackscholes() bench.Benchmark {
+	g := typedep.NewGraph()
+	b := &blackscholes{app: app{
+		name:   "Blackscholes",
+		desc:   "European option pricing by solving the Black-Scholes PDE analytically",
+		metric: verify.MAE,
+		graph:  g,
+	}}
+	// Six buffers; three are consumed by two routines (two aliases), three
+	// by one (one alias): 15 variables in 6 clusters.
+	b.vSpot = g.Add("sptprice", "main", typedep.ArrayVar)
+	addAliases(g, b.vSpot, "BlkSchlsEqEuroNoDiv", "sptprice", 2)
+	b.vStrike = g.Add("strike", "main", typedep.ArrayVar)
+	addAliases(g, b.vStrike, "BlkSchlsEqEuroNoDiv", "strike", 2)
+	b.vRate = g.Add("rate", "main", typedep.ArrayVar)
+	addAliases(g, b.vRate, "BlkSchlsEqEuroNoDiv", "rate", 2)
+	b.vVol = g.Add("volatility", "main", typedep.ArrayVar)
+	addAliases(g, b.vVol, "BlkSchlsEqEuroNoDiv", "volatility", 1)
+	b.vTime = g.Add("otime", "main", typedep.ArrayVar)
+	addAliases(g, b.vTime, "BlkSchlsEqEuroNoDiv", "otime", 1)
+	b.vPrice = g.Add("prices", "main", typedep.ArrayVar)
+	addAliases(g, b.vPrice, "bs_thread", "prices", 1)
+	// 44 independent scalars.
+	for _, n := range bsScalarNames {
+		b.scalars = append(b.scalars, g.Add(n, "bs", typedep.Scalar))
+	}
+	return b
+}
+
+// lookup resolves one of the declared scalars by name; a miss is a
+// programming error in the inventory and panics.
+func (b *blackscholes) lookup(name string) mp.VarID {
+	id, ok := b.graph.Lookup(name, "bs")
+	if !ok {
+		panic("blackscholes: unknown scalar " + name)
+	}
+	return id
+}
+
+// cndf is the cumulative normal distribution function as the PARSEC code
+// computes it (Abramowitz-Stegun polynomial), evaluated in double; the
+// demotion error enters through the rounded inputs and outputs.
+func cndf(x float64) float64 {
+	sign := false
+	if x < 0 {
+		x = -x
+		sign = true
+	}
+	xNPrime := 0.39894228040143270286 * math.Exp(-0.5*x*x)
+	k := 1.0 / (1.0 + 0.2316419*x)
+	k2 := k
+	poly := 0.319381530*k2 +
+		-0.356563782*(k2*k) +
+		1.781477937*(k2*k*k) +
+		-1.821255978*(k2*k*k*k) +
+		1.330274429*(k2*k*k*k*k)
+	out := 1.0 - xNPrime*poly
+	if sign {
+		out = 1.0 - out
+	}
+	return out
+}
+
+func (b *blackscholes) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(bsScale)
+	rng := rand.New(rand.NewSource(seed))
+	spot := t.NewArray(b.vSpot, bsOptions)
+	strike := t.NewArray(b.vStrike, bsOptions)
+	rate := t.NewArray(b.vRate, bsOptions)
+	vol := t.NewArray(b.vVol, bsOptions)
+	otime := t.NewArray(b.vTime, bsOptions)
+	prices := t.NewArray(b.vPrice, bsOptions)
+	// Market inputs are parsed from text and land float32-exact (the
+	// PARSEC input files carry 6 significant digits); demoting the input
+	// buffers is therefore lossless on its own.
+	fillRandExact(spot, rng, 512)   // spot in [0, 512)
+	fillRandExact(strike, rng, 512) // strike in [0, 512)
+	fillRandExact(rate, rng, 0.125)
+	fillRandExact(vol, rng, 0.5)
+	fillRandExact(otime, rng, 4)
+
+	vD1 := b.lookup("xD1")
+	vD2 := b.lookup("xD2")
+	vFV := b.lookup("FutureValueX")
+	vOP := b.lookup("OptionPrice")
+	for rep := 0; rep < bsReps; rep++ {
+		for i := 0; i < bsOptions; i++ {
+			s := spot.Get(i) + 1 // keep away from zero
+			k := strike.Get(i) + 1
+			r := rate.Get(i) + 0.01
+			v := vol.Get(i) + 0.05
+			tt := otime.Get(i) + 0.25
+
+			sqrtT := math.Sqrt(tt)
+			logTerm := math.Log(s / k)
+			powerTerm := 0.5 * v * v
+			den := v * sqrtT
+			d1 := t.Assign(vD1, (logTerm+(r+powerTerm)*tt)/den, 6, b.vSpot, b.vStrike)
+			d2 := t.Assign(vD2, d1-den, 1, vD1)
+			nd1 := cndf(d1)
+			nd2 := cndf(d2)
+			fv := t.Assign(vFV, k*math.Exp(-r*tt), 3, b.vStrike, b.vRate)
+			// Price the call option.
+			price := t.Assign(vOP, s*nd1-fv*nd2, 3, b.vSpot, vFV)
+			prices.Set(i, price)
+		}
+	}
+	// Transcendentals stay on the double-precision libm path; the
+	// remaining per-option arithmetic follows the dominant cluster.
+	t.AddFlops(mp.F64, uint64(bsLibmFlops*bsOptions*bsReps))
+	t.AddFlops(t.Prec(b.vPrice), uint64(bsArithFlops*bsOptions*bsReps))
+	return bench.Output{Values: prices.Snapshot()}
+}

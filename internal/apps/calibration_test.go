@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/verify"
+)
+
+// TestTableIIAppCounts locks the Total Variables / Total Clusters
+// inventory of every application to the paper's Table II.
+func TestTableIIAppCounts(t *testing.T) {
+	want := map[string]struct{ tv, tc int }{
+		"Blackscholes": {59, 50},
+		"CFD":          {195, 25},
+		"Hotspot":      {36, 22},
+		"HPCCG":        {54, 27},
+		"LavaMD":       {47, 11},
+		"K-means":      {26, 15},
+		"SRAD":         {29, 14},
+	}
+	as := All()
+	if len(as) != len(want) {
+		t.Fatalf("suite has %d applications, want %d", len(as), len(want))
+	}
+	for _, a := range as {
+		w, ok := want[a.Name()]
+		if !ok {
+			t.Errorf("unexpected application %q", a.Name())
+			continue
+		}
+		g := a.Graph()
+		if g.NumVars() != w.tv {
+			t.Errorf("%s: TV = %d, want %d", a.Name(), g.NumVars(), w.tv)
+		}
+		if g.NumClusters() != w.tc {
+			t.Errorf("%s: TC = %d, want %d", a.Name(), g.NumClusters(), w.tc)
+		}
+		if a.Kind() != bench.App {
+			t.Errorf("%s: kind = %v, want application", a.Name(), a.Kind())
+		}
+	}
+}
+
+// tableIVProfile is the qualitative content of the paper's Table IV: the
+// speedup band of the manual whole-program single conversion and the
+// magnitude band of its quality loss.
+type tableIVProfile struct {
+	minSU, maxSU   float64
+	minErr, maxErr float64 // 0,0 means exactly zero loss; NaN handled apart
+	nanErr         bool
+}
+
+var tableIVProfiles = map[string]tableIVProfile{
+	"Blackscholes": {minSU: 1.00, maxSU: 1.15, minErr: 1e-7, maxErr: 1e-4},
+	"CFD":          {minSU: 1.2, maxSU: 1.6, minErr: 1e-9, maxErr: 1e-5},
+	"Hotspot":      {minSU: 1.55, maxSU: 2.0, minErr: 1e-11, maxErr: 3e-9},
+	"HPCCG":        {minSU: 0.85, maxSU: 1.12, minErr: 1e-7, maxErr: 1e-3},
+	"K-means":      {minSU: 0.9, maxSU: 1.1, minErr: 0, maxErr: 0},
+	"LavaMD":       {minSU: 2.2, maxSU: 3.2, minErr: 1e-6, maxErr: 1e-3},
+	"SRAD":         {minSU: 1.2, maxSU: 1.8, nanErr: true},
+}
+
+// TestTableIVManualConversion checks every application's full manual
+// single-precision conversion against the paper's Table IV bands.
+func TestTableIVManualConversion(t *testing.T) {
+	runner := bench.NewRunner(42)
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			prof := tableIVProfiles[a.Name()]
+			ref := runner.Reference(a)
+			single := runner.RunManualSingle(a)
+			su := ref.Measured.Mean / single.Measured.Mean
+			e, err := verify.Compute(a.Metric(), ref.Output.Values, single.Output.Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("manual single: speedup=%.3f quality-loss=%.3g (model %.3g -> %.3g s)",
+				su, e, ref.ModelTime, single.ModelTime)
+			if su < prof.minSU || su > prof.maxSU {
+				t.Errorf("speedup %.3f outside [%.2f, %.2f]", su, prof.minSU, prof.maxSU)
+			}
+			switch {
+			case prof.nanErr:
+				if !math.IsNaN(e) {
+					t.Errorf("quality loss %.3g, want NaN", e)
+				}
+			case prof.minErr == 0 && prof.maxErr == 0:
+				if e != 0 {
+					t.Errorf("quality loss %.3g, want exactly 0", e)
+				}
+			default:
+				if e < prof.minErr || e > prof.maxErr {
+					t.Errorf("quality loss %.3g outside [%.1g, %.1g]", e, prof.minErr, prof.maxErr)
+				}
+			}
+		})
+	}
+}
+
+func TestAppDeterminism(t *testing.T) {
+	runner := bench.NewRunner(11)
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			x := runner.Reference(a)
+			y := runner.Reference(a)
+			if x.Cost != y.Cost {
+				t.Error("cost differs between identical runs")
+			}
+			if len(x.Output.Values) != len(y.Output.Values) {
+				t.Fatal("output length differs")
+			}
+			for i := range x.Output.Values {
+				if x.Output.Values[i] != y.Output.Values[i] {
+					t.Fatalf("output[%d] differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestAppMechanismsStableAcrossSeeds guards the application calibration
+// against workload luck: the qualitative mechanisms behind Table IV must
+// hold at seeds other than the canonical one.
+func TestAppMechanismsStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		runner := bench.NewRunner(seed)
+		for _, a := range All() {
+			ref := runner.Reference(a)
+			single := runner.RunManualSingle(a)
+			su := ref.Measured.Mean / single.Measured.Mean
+			e, err := verify.Compute(a.Metric(), ref.Output.Values, single.Output.Values)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, a.Name(), err)
+			}
+			switch a.Name() {
+			case "LavaMD":
+				if su < 2.2 {
+					t.Errorf("seed %d: LavaMD cache-step speedup = %.2f", seed, su)
+				}
+			case "SRAD":
+				if !math.IsNaN(e) {
+					t.Errorf("seed %d: SRAD quality = %g, want NaN", seed, e)
+				}
+			case "HPCCG":
+				// The f64 iteration count shifts a little with the
+				// assembled system, so the cancellation lands within
+				// +-20% of 1.0 rather than exactly on it.
+				if su < 0.8 || su > 1.2 {
+					t.Errorf("seed %d: HPCCG speedup = %.2f, want ~1.0", seed, su)
+				}
+			case "K-means":
+				if e != 0 {
+					t.Errorf("seed %d: K-means MCR = %g, want 0", seed, e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// These tests anchor the application ports to independent physical or
+// mathematical properties of what they claim to compute - properties a
+// wrong port would break even though the search layer would never notice.
+
+// TestCFDConservation checks the finite-volume scheme's defining
+// property: on a periodic domain with face fluxes, total mass, momentum,
+// and energy change only through the step-factor weighting - with a
+// uniform step they would be exactly conserved, and with per-cell CFL
+// steps they must stay within a tight band of the initial totals.
+func TestCFDConservation(t *testing.T) {
+	c := NewCFD()
+	out := bench.NewRunner(42).Reference(c).Output.Values
+	n := cfdCells
+	if len(out) != 3*n {
+		t.Fatalf("output length %d", len(out))
+	}
+	sum := func(vals []float64) float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	rho, mom, ene := out[:n], out[n:2*n], out[2*n:]
+	// Initial totals from the known initial condition.
+	rho0, mom0, ene0 := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		xpos := float64(i) / float64(n)
+		bump := 0.2 * math.Exp(-40*(xpos-0.5)*(xpos-0.5))
+		rho0 += 1.0 + bump
+		mom0 += 0.4 + 0.1*bump
+		ene0 += 2.5 + bump
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mass", sum(rho), rho0},
+		{"momentum", sum(mom), mom0},
+		{"energy", sum(ene), ene0},
+	} {
+		if rel := math.Abs(c.got-c.want) / math.Abs(c.want); rel > 0.02 {
+			t.Errorf("total %s drifted %.3f%% (%.6f -> %.6f)", c.name, rel*100, c.want, c.got)
+		}
+	}
+	// The solution must stay physical: positive density and pressure.
+	for i := 0; i < n; i++ {
+		if rho[i] <= 0 {
+			t.Fatalf("rho[%d] = %v", i, rho[i])
+		}
+		p := 0.4 * (ene[i] - 0.5*mom[i]*mom[i]/rho[i])
+		if p <= 0 {
+			t.Fatalf("pressure[%d] = %v", i, p)
+		}
+	}
+}
+
+// TestHPCCGSolvesTheSystem verifies the solver actually solves: the
+// returned x must satisfy A*x = b to the solver tolerance, checked with
+// an independent reconstruction of the banded system.
+func TestHPCCGSolvesTheSystem(t *testing.T) {
+	h := NewHPCCG().(*hpccg)
+	ref := bench.NewRunner(42).Reference(h)
+	x := ref.Output.Values
+	if len(x) != hpccgN {
+		t.Fatalf("solution length %d", len(x))
+	}
+	// Rebuild A and b exactly as Run does (same seed, same draw order).
+	n := hpccgN
+	width := 2*hpccgBands + 1
+	rng := newSeedRand(42)
+	bandVal := make([]float64, width)
+	for k := 1; k <= hpccgBands; k++ {
+		v := -1.0 / 6.0 * (0.98 + 0.04*rng.Float64())
+		bandVal[hpccgBands-k] = v
+		bandVal[hpccgBands+k] = v
+	}
+	vals := make([]float64, n*width)
+	for i := 0; i < n; i++ {
+		for k := 0; k < width; k++ {
+			if k == hpccgBands {
+				vals[i*width+k] = 2.08 + 0.04*rng.Float64()
+			} else {
+				vals[i*width+k] = bandVal[k]
+			}
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(rng.Float32()) * 2
+	}
+	// Residual of the returned solution.
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		ax := 0.0
+		for k := 0; k < width; k++ {
+			j := i + k - hpccgBands
+			if j < 0 || j >= n {
+				continue
+			}
+			ax += vals[i*width+k] * x[j]
+		}
+		d := b[i] - ax
+		norm += d * d
+	}
+	if got := math.Sqrt(norm); got > hpccgTol*1.01 {
+		t.Errorf("residual norm = %g, want <= %g", got, hpccgTol)
+	}
+}
+
+// TestKMeansMembershipIsNearest verifies the clustering invariant: every
+// point's final label is its nearest final centre, reconstructed
+// independently from the labels themselves.
+func TestKMeansMembershipIsNearest(t *testing.T) {
+	k := NewKMeans().(*kmeans)
+	ref := bench.NewRunner(42).Reference(k)
+	labels := ref.Output.Values
+
+	// Rebuild the feature matrix (same seed, same draw order as Run).
+	rng := newSeedRand(42)
+	features := make([]float64, kmPoints*kmDims)
+	for i := 0; i < kmPoints; i++ {
+		blob := rng.Intn(kmK)
+		for d := 0; d < kmDims; d++ {
+			center := float64((blob*7+d*3)%kmK) * 4.0
+			features[i*kmDims+d] = center + 0.3*(rng.Float64()-0.5)
+		}
+	}
+	// Final centres implied by the labels.
+	centers := make([]float64, kmK*kmDims)
+	counts := make([]int, kmK)
+	for i := 0; i < kmPoints; i++ {
+		c := int(labels[i])
+		counts[c]++
+		for d := 0; d < kmDims; d++ {
+			centers[c*kmDims+d] += features[i*kmDims+d]
+		}
+	}
+	for c := 0; c < kmK; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("cluster %d is empty", c)
+		}
+		for d := 0; d < kmDims; d++ {
+			centers[c*kmDims+d] /= float64(counts[c])
+		}
+	}
+	// Every point must be nearest to its own centre.
+	for i := 0; i < kmPoints; i++ {
+		own := int(labels[i])
+		best, bestDist := -1, math.Inf(1)
+		for c := 0; c < kmK; c++ {
+			dist := 0.0
+			for d := 0; d < kmDims; d++ {
+				diff := features[i*kmDims+d] - centers[c*kmDims+d]
+				dist += diff * diff
+			}
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		if best != own {
+			t.Fatalf("point %d labelled %d but nearest centre is %d", i, own, best)
+		}
+	}
+}
+
+// TestBlackscholesPriceBounds checks the no-arbitrage bounds of a
+// European call: max(0, S - K*exp(-rT)) <= price <= S.
+func TestBlackscholesPriceBounds(t *testing.T) {
+	bs := NewBlackscholes().(*blackscholes)
+	ref := bench.NewRunner(42).Reference(bs)
+	prices := ref.Output.Values
+
+	rng := newSeedRand(42)
+	spot := make([]float64, bsOptions)
+	strike := make([]float64, bsOptions)
+	rate := make([]float64, bsOptions)
+	vol := make([]float64, bsOptions)
+	otime := make([]float64, bsOptions)
+	fill := func(dst []float64, scale float64) {
+		for i := range dst {
+			dst[i] = float64(rng.Float32()) * scale
+		}
+	}
+	fill(spot, 512)
+	fill(strike, 512)
+	fill(rate, 0.125)
+	fill(vol, 0.5)
+	fill(otime, 4)
+
+	const eps = 1e-9
+	for i, p := range prices {
+		s := spot[i] + 1
+		k := strike[i] + 1
+		r := rate[i] + 0.01
+		tt := otime[i] + 0.25
+		lower := math.Max(0, s-k*math.Exp(-r*tt))
+		if p < lower-eps || p > s+eps {
+			t.Fatalf("option %d: price %v outside [%v, %v] (S=%v K=%v)", i, p, lower, s, s, k)
+		}
+	}
+}
+
+// TestHotspotApproachesEquilibrium checks the thermal model: with
+// constant power, the grid must march toward the ambient+power/leak
+// equilibrium, i.e. the final temperatures stay positive and bounded by
+// the maximum possible injection.
+func TestHotspotApproachesEquilibrium(t *testing.T) {
+	h := NewHotspot()
+	out := bench.NewRunner(42).Reference(h).Output.Values
+	// Equilibrium bound: T_eq = power*Rz with power < 0.0625, Rz = 0.0625.
+	maxEq := 0.0625 * 0.0625
+	for i, v := range out {
+		if v < 0 || v > maxEq+0.003 { // +initial transient allowance
+			t.Fatalf("temp[%d] = %v outside [0, %v]", i, v, maxEq)
+		}
+	}
+}
+
+// TestSRADCoefficientClamp checks the diffusion coefficient invariant the
+// update relies on: with c in [0,1] (clamped in the port), the reference
+// run must keep every finite pixel positive - diffusion cannot create
+// negative intensities.
+func TestSRADCoefficientClamp(t *testing.T) {
+	s := NewSRAD()
+	out := bench.NewRunner(42).Reference(s).Output.Values
+	for i, v := range out {
+		if math.IsNaN(v) {
+			t.Fatalf("reference pixel %d is NaN", i)
+		}
+		if v <= 0 {
+			t.Fatalf("pixel %d = %v, diffusion created non-positive intensity", i, v)
+		}
+	}
+}
+
+// TestLavaMDForceFiniteAndCharged checks the force accumulation: every
+// particle interacts with 27 boxes of particles, so its potential (the
+// first fv component) must be positive and bounded by the total charge it
+// can see.
+func TestLavaMDForceFiniteAndCharged(t *testing.T) {
+	l := NewLavaMD()
+	out := bench.NewRunner(42).Reference(l).Output.Values
+	n := lavaBoxes * lavaPerBox
+	if len(out) != 4*n {
+		t.Fatalf("output length %d", len(out))
+	}
+	// Potential bound: sum over (neighbors+1)*perBox charges, each <= 1,
+	// with vij <= 1.
+	maxPot := float64((lavaNeighbors + 1) * lavaPerBox)
+	for i := 0; i < n; i++ {
+		pot := out[4*i]
+		if pot <= 0 || pot > maxPot {
+			t.Fatalf("potential[%d] = %v outside (0, %v]", i, pot, maxPot)
+		}
+		for c := 1; c < 4; c++ {
+			if math.IsNaN(out[4*i+c]) || math.IsInf(out[4*i+c], 0) {
+				t.Fatalf("force[%d][%d] not finite", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// kmeans is the data-mining clustering benchmark (Rodinia lineage): points
+// are assigned to the nearest of K centres, centres are recomputed as the
+// mean of their members, and the loop repeats until the assignment is
+// stable. The output is the final cluster assignment of every point,
+// scored with the misclassification rate (MCR) - the suite's one
+// classification-quality benchmark.
+//
+// Inventory (Table II: TV=26, TC=15): the feature matrix, the centres,
+// and the fresh-centre accumulators form three pointer webs; the
+// convergence delta and the working distance travel through pointer
+// out-params (two pairs); ten scalars are independent.
+//
+// Performance character: the paper's Table IV records essentially no
+// benefit (0.96x) for the full single conversion and MCR 0. The blobs are
+// well separated, so assignments never flip under rounding; and the
+// assignment phase - index arithmetic, compares, branches - dominates the
+// run and gains nothing from narrower data, so halving the feature traffic
+// moves the total barely at all.
+type kmeans struct {
+	app
+	vFeature, vClusters, vNewCenters mp.VarID
+	vDelta, vDist                    mp.VarID
+}
+
+const (
+	kmPoints = 1024
+	kmDims   = 8
+	kmK      = 5
+	kmTol    = 1e-4
+	kmMax    = 40
+	kmScale  = 40
+	// Per point-centre-dimension work of the assignment phase, charged at
+	// double rate: the distance loop is dominated by index arithmetic,
+	// compares, and branches that precision leaves untouched.
+	kmAssignFlops = 16
+)
+
+// kmSingleNames are the ten independent scalars.
+var kmSingleNames = []string{
+	"min_dist", "threshold", "rmse", "sum", "tmp_dist",
+	"obj", "fuzziness", "scale_factor", "delta_tmp", "timing",
+}
+
+// NewKMeans constructs the application.
+func NewKMeans() bench.Benchmark {
+	k := &kmeans{app: app{
+		name:   "K-means",
+		desc:   "K-means clustering of data objects into K sub-clusters",
+		metric: verify.MCR,
+		graph:  typedep.NewGraph(),
+	}}
+	g := k.graph
+	k.vFeature = g.Add("feature", "main", typedep.ArrayVar)
+	addAliases(g, k.vFeature, "kmeans_clustering", "feature", 3)
+	k.vClusters = g.Add("clusters", "main", typedep.ArrayVar)
+	addAliases(g, k.vClusters, "kmeans_clustering", "clusters", 3)
+	k.vNewCenters = g.Add("new_centers", "kmeans_clustering", typedep.ArrayVar)
+	addAliases(g, k.vNewCenters, "find_nearest_point", "new_centers", 3)
+	pair := func(name string) mp.VarID {
+		owner := g.Add(name, "kmeans_clustering", typedep.Scalar)
+		param := g.Add(name+"_p", "find_nearest_point", typedep.Param)
+		g.Connect(owner, param)
+		return owner
+	}
+	k.vDelta = pair("delta")
+	k.vDist = pair("dist")
+	for _, n := range kmSingleNames {
+		g.Add(n, "main", typedep.Scalar)
+	}
+	if g.NumVars() != 26 || g.NumClusters() != 15 {
+		panic(fmt.Sprintf("kmeans: inventory %d/%d, want 26/15", g.NumVars(), g.NumClusters()))
+	}
+	return k
+}
+
+func (k *kmeans) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(kmScale)
+	rng := rand.New(rand.NewSource(seed))
+	feature := t.NewArray(k.vFeature, kmPoints*kmDims)
+	clusters := t.NewArray(k.vClusters, kmK*kmDims)
+	newCenters := t.NewArray(k.vNewCenters, kmK*kmDims)
+
+	// Well-separated blobs: blob centres on a coarse lattice, points
+	// jittered tightly around them, so no rounding flips an assignment.
+	// The data arrives through the runtime library's file path (the
+	// paper's kdd_bin input, Listing 3): the file stores doubles, and
+	// mp_fread converts to whatever width the configuration gives the
+	// feature buffer.
+	blobOf := make([]int, kmPoints)
+	raw := make([]float64, kmPoints*kmDims)
+	for i := 0; i < kmPoints; i++ {
+		blob := rng.Intn(kmK)
+		blobOf[i] = blob
+		for d := 0; d < kmDims; d++ {
+			center := float64((blob*7+d*3)%kmK) * 4.0
+			raw[i*kmDims+d] = center + 0.3*(rng.Float64()-0.5)
+		}
+	}
+	var inputFile bytes.Buffer
+	if err := mp.WriteValues(&inputFile, mp.F64, raw); err != nil {
+		panic("kmeans: writing input file: " + err.Error())
+	}
+	if err := mp.ReadInto(&inputFile, mp.F64, feature); err != nil {
+		panic("kmeans: reading input file: " + err.Error())
+	}
+	// Initial centres: the first point of each blob (Rodinia seeds with
+	// the first K points; blob-seeding keeps runs comparable).
+	seeded := make(map[int]bool)
+	for i := 0; i < kmPoints && len(seeded) < kmK; i++ {
+		b := blobOf[i]
+		if !seeded[b] {
+			seeded[b] = true
+			for d := 0; d < kmDims; d++ {
+				clusters.Set(b*kmDims+d, feature.Get(i*kmDims+d))
+			}
+		}
+	}
+
+	membership := make([]int, kmPoints)
+	for i := range membership {
+		membership[i] = -1
+	}
+	counts := make([]int, kmK)
+	iters := 0
+	for iters < kmMax {
+		delta := 0.0
+		newCenters.Fill(0)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < kmPoints; i++ {
+			best, bestDist := 0, 0.0
+			for c := 0; c < kmK; c++ {
+				dist := 0.0
+				for d := 0; d < kmDims; d++ {
+					diff := feature.Get(i*kmDims+d) - clusters.Get(c*kmDims+d)
+					dist = t.Assign(k.vDist, dist+diff*diff, 3, k.vFeature, k.vClusters)
+				}
+				if c == 0 || dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			if membership[i] != best {
+				delta = t.Assign(k.vDelta, delta+1, 1)
+				membership[i] = best
+			}
+			counts[best]++
+			for d := 0; d < kmDims; d++ {
+				idx := best*kmDims + d
+				newCenters.Set(idx, newCenters.Get(idx)+feature.Get(i*kmDims+d))
+			}
+		}
+		// Recompute centres and measure their movement.
+		move := 0.0
+		for c := 0; c < kmK; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < kmDims; d++ {
+				idx := c*kmDims + d
+				nc := newCenters.Get(idx) / float64(counts[c])
+				diff := nc - clusters.Get(idx)
+				move += diff * diff
+				clusters.Set(idx, nc)
+			}
+		}
+		iters++
+		if delta == 0 && move < kmTol {
+			break
+		}
+	}
+	t.AddFlops(mp.F64, uint64(kmAssignFlops*kmPoints*kmK*kmDims*iters))
+
+	labels := make([]float64, kmPoints)
+	for i, m := range membership {
+		labels[i] = float64(m)
+	}
+	return bench.Output{Values: labels}
+}

@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// lavamd computes particle potential and force relocation due to mutual
+// forces between particles within a large 3D space (Rodinia lavaMD
+// lineage). The space is cut into boxes; particles interact with the
+// particles of their home box and its 26 neighbour boxes, under a smooth
+// exponential cutoff kernel. The quality metric applies MAE over the
+// updated particle state (positions and velocities/forces).
+//
+// Inventory (Table II: TV=47, TC=11): the position vector rv, charge
+// vector qv, and force vector fv form three large pointer webs; the
+// interaction temporaries travel in a FOUR_VECTOR struct passed by
+// pointer, binding nine of them into one cluster; the cutoff parameters
+// alpha and a2 are computed through one init routine; six scalars remain
+// independent.
+//
+// Performance character: the paper's headline case. At double precision
+// the modelled particle state sits just above the L3 capacity; full
+// demotion halves it into cache, so the speedup (Table IV: 2.66x)
+// exceeds what traffic halving alone allows - the cache-miss-rate
+// mechanism the paper calls out. Demoting only rv+qv (positions and
+// charges) keeps the accumulator exact with a mid-range speedup but a
+// small position-rounding error; demoting fv rounds every accumulation
+// and only survives loose thresholds.
+type lavamd struct {
+	app
+	vRv, vQv, vFv  mp.VarID
+	vR2, vVij, vFs mp.VarID
+	vA2            mp.VarID
+}
+
+const (
+	// The space is a periodic lavaDim^3 grid of boxes; each home box
+	// interacts with itself and its 26 surrounding boxes, the paper's
+	// cutoff neighbourhood.
+	lavaDim       = 4
+	lavaBoxes     = lavaDim * lavaDim * lavaDim
+	lavaPerBox    = 10
+	lavaNeighbors = 26
+	lavaBoxSize   = 0.05
+	lavaScale     = 700
+	// Per-interaction flop split: the exponential stays on libm's double
+	// path, the surrounding vector arithmetic follows the clusters.
+	lavaArithFlops = 24
+	lavaLibmFlops  = 6
+)
+
+// lavaTmpNames is the FOUR_VECTOR temporary cluster.
+var lavaTmpNames = []string{
+	"r2", "u2", "vij", "fs", "d_x", "d_y", "d_z", "fxij", "fyij",
+}
+
+// lavaSingleNames are the independent scalars.
+var lavaSingleNames = []string{
+	"cutoff", "dot", "extent", "space", "par_scale", "box_dim",
+}
+
+// NewLavaMD constructs the application.
+func NewLavaMD() bench.Benchmark {
+	g := typedep.NewGraph()
+	l := &lavamd{app: app{
+		name:   "LavaMD",
+		desc:   "Particle potential and relocation from mutual forces within a 3D space",
+		metric: verify.MAE,
+		graph:  g,
+	}}
+	l.vRv = g.Add("rv", "main", typedep.ArrayVar)
+	addAliases(g, l.vRv, "kernel_cpu", "rv", 11)
+	l.vQv = g.Add("qv", "main", typedep.ArrayVar)
+	addAliases(g, l.vQv, "kernel_cpu", "qv", 5)
+	l.vFv = g.Add("fv", "main", typedep.ArrayVar)
+	addAliases(g, l.vFv, "kernel_cpu", "fv", 11)
+	tmp := make([]mp.VarID, len(lavaTmpNames))
+	for i, n := range lavaTmpNames {
+		tmp[i] = g.Add(n, "kernel_cpu", typedep.Scalar)
+	}
+	g.ConnectAll(tmp...)
+	l.vR2, l.vVij, l.vFs = tmp[0], tmp[2], tmp[3]
+	l.vA2 = g.Add("a2", "main", typedep.Scalar)
+	alpha := g.Add("alpha", "main", typedep.Scalar)
+	g.Connect(l.vA2, alpha)
+	for _, n := range lavaSingleNames {
+		g.Add(n, "main", typedep.Scalar)
+	}
+	if g.NumVars() != 47 || g.NumClusters() != 11 {
+		panic(fmt.Sprintf("lavamd: inventory %d/%d, want 47/11", g.NumVars(), g.NumClusters()))
+	}
+	return l
+}
+
+func (l *lavamd) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(lavaScale)
+	rng := rand.New(rand.NewSource(seed))
+	n := lavaBoxes * lavaPerBox
+	// rv holds x,y,z,extent per particle; qv one charge; fv accumulates
+	// the potential and three force components.
+	rv := t.NewArray(l.vRv, 4*n)
+	qv := t.NewArray(l.vQv, n)
+	fv := t.NewArray(l.vFv, 4*n)
+	// Particles live inside their box in a periodic lavaDim^3 lattice.
+	boxOrigin := func(b int) (x, y, z float64) {
+		return float64(b%lavaDim) * lavaBoxSize,
+			float64((b/lavaDim)%lavaDim) * lavaBoxSize,
+			float64(b/(lavaDim*lavaDim)) * lavaBoxSize
+	}
+	for b := 0; b < lavaBoxes; b++ {
+		ox, oy, oz := boxOrigin(b)
+		for p := 0; p < lavaPerBox; p++ {
+			i := b*lavaPerBox + p
+			rv.Set(4*i, ox+lavaBoxSize*rng.Float64())
+			rv.Set(4*i+1, oy+lavaBoxSize*rng.Float64())
+			rv.Set(4*i+2, oz+lavaBoxSize*rng.Float64())
+			rv.Set(4*i+3, 0.05+0.01*rng.Float64())
+			qv.Set(i, 0.5+0.5*rng.Float64())
+		}
+	}
+	fv.Fill(0)
+	a2 := t.Value(l.vA2, 0.5*0.5*2) // 2*alpha^2 with alpha=0.5 (exact)
+
+	// neighbours enumerates the home box plus its 26 surrounding boxes in
+	// the periodic lattice, exactly the paper's neighbourhood.
+	neighbours := func(hb int) []int {
+		hx, hy, hz := hb%lavaDim, (hb/lavaDim)%lavaDim, hb/(lavaDim*lavaDim)
+		out := make([]int, 0, lavaNeighbors+1)
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx := (hx + dx + lavaDim) % lavaDim
+					ny := (hy + dy + lavaDim) % lavaDim
+					nz := (hz + dz + lavaDim) % lavaDim
+					out = append(out, nz*lavaDim*lavaDim+ny*lavaDim+nx)
+				}
+			}
+		}
+		return out
+	}
+
+	interactions := uint64(0)
+	for hb := 0; hb < lavaBoxes; hb++ {
+		for _, nb := range neighbours(hb) {
+			for i := hb * lavaPerBox; i < (hb+1)*lavaPerBox; i++ {
+				xi, yi, zi := rv.Get(4*i), rv.Get(4*i+1), rv.Get(4*i+2)
+				// The force accumulator is a FOUR_VECTOR local: it lives
+				// in registers across the neighbour-box scan (one store
+				// per particle per box) but rounds at fv's precision on
+				// every accumulation, as the demoted struct type would.
+				av := fv.Get(4 * i)
+				ax := fv.Get(4*i + 1)
+				ay := fv.Get(4*i + 2)
+				az := fv.Get(4*i + 3)
+				for j := nb * lavaPerBox; j < (nb+1)*lavaPerBox; j++ {
+					dx := xi - rv.Get(4*j)
+					dy := yi - rv.Get(4*j+1)
+					dz := zi - rv.Get(4*j+2)
+					r2 := t.Assign(l.vR2, dx*dx+dy*dy+dz*dz, 5, l.vRv)
+					vij := t.Assign(l.vVij, math.Exp(-a2*r2), 1, l.vR2, l.vA2)
+					fs := t.Assign(l.vFs, 2*vij*qv.Get(j), 2, l.vVij, l.vQv)
+					av = t.Value(l.vFv, av+qv.Get(j)*vij)
+					ax = t.Value(l.vFv, ax+fs*dx)
+					ay = t.Value(l.vFv, ay+fs*dy)
+					az = t.Value(l.vFv, az+fs*dz)
+					interactions++
+				}
+				fv.Set(4*i, av)
+				fv.Set(4*i+1, ax)
+				fv.Set(4*i+2, ay)
+				fv.Set(4*i+3, az)
+			}
+		}
+	}
+	t.AddFlops(t.Prec(l.vRv), lavaArithFlops*interactions)
+	t.AddFlops(mp.F64, lavaLibmFlops*interactions)
+	return bench.Output{Values: fv.Snapshot()}
+}

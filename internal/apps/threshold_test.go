@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// demote returns a config with the clusters containing the named variables
+// demoted (whole clusters, so the config always compiles).
+func demote(t *testing.T, b bench.Benchmark, names ...string) bench.Config {
+	t.Helper()
+	g := b.Graph()
+	cfg := bench.NewConfig(g.NumVars())
+	for _, name := range names {
+		var target mp.VarID = -1
+		for _, v := range g.Vars() {
+			if v.Name == name {
+				target = v.ID
+				break
+			}
+		}
+		if target < 0 {
+			t.Fatalf("%s: no variable named %q", b.Name(), name)
+		}
+		for _, c := range g.Clusters() {
+			for _, m := range c.Members {
+				if m == target {
+					for _, mm := range c.Members {
+						cfg[mm] = mp.F32
+					}
+				}
+			}
+		}
+	}
+	return cfg
+}
+
+// check evaluates a config against the reference at a threshold.
+func check(t *testing.T, b bench.Benchmark, cfg bench.Config, threshold float64) (verify.Verdict, float64) {
+	t.Helper()
+	r := bench.NewRunner(42)
+	ref := r.Reference(b)
+	res := r.Run(b, cfg)
+	v, err := verify.Check(b.Metric(), ref.Output.Values, res.Output.Values, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, ref.Measured.Mean / res.Measured.Mean
+}
+
+// TestLavaMDThresholdArc pins the paper's LavaMD story: full demotion
+// passes only the loose threshold (with the cache-step speedup), the
+// position+charge demotion survives 1e-6 with a mid-range speedup, and at
+// 1e-8 both fail.
+func TestLavaMDThresholdArc(t *testing.T) {
+	l := NewLavaMD()
+	full := bench.AllSingle(l.Graph().NumVars())
+	rvqv := demote(t, l, "rv", "qv")
+
+	v, su := check(t, l, full, 1e-3)
+	if !v.Passed || su < 2.2 {
+		t.Errorf("full @1e-3: passed=%v speedup=%.2f, want pass with >2.2x", v.Passed, su)
+	}
+	if v, _ := check(t, l, full, 1e-6); v.Passed {
+		t.Errorf("full @1e-6 passed with err=%.3g", v.Error)
+	}
+	v, su = check(t, l, rvqv, 1e-6)
+	if !v.Passed {
+		t.Errorf("rv+qv @1e-6 failed with err=%.3g", v.Error)
+	}
+	if su < 1.3 {
+		t.Errorf("rv+qv speedup = %.2f, want mid-range > 1.3", su)
+	}
+	if v, _ := check(t, l, rvqv, 1e-8); v.Passed {
+		t.Errorf("rv+qv @1e-8 passed with err=%.3g", v.Error)
+	}
+}
+
+// TestSRADNaN pins the destroyed-output mechanism: demoting the working
+// image overflows float32 and floods the output with NaN, failing any
+// threshold.
+func TestSRADNaN(t *testing.T) {
+	s := NewSRAD()
+	jOnly := demote(t, s, "J")
+	v, _ := check(t, s, jOnly, math.Inf(1))
+	if v.Passed {
+		t.Error("image demotion passed even an infinite threshold")
+	}
+	if !math.IsNaN(v.Error) {
+		t.Errorf("error = %g, want NaN", v.Error)
+	}
+	// The derivative grids hold image-scale values and must blow up too.
+	dn := demote(t, s, "dN")
+	if v, _ := check(t, s, dn, 1e-3); v.Passed {
+		t.Errorf("dN demotion passed with err=%.3g", v.Error)
+	}
+}
+
+// TestHotspotPassesStrictest pins the paper's Hotspot row: the stencil's
+// quality loss sits near 1e-10, inside even the strictest threshold, so
+// the speedup is available at every tier.
+func TestHotspotPassesStrictest(t *testing.T) {
+	h := NewHotspot()
+	full := bench.AllSingle(h.Graph().NumVars())
+	v, su := check(t, h, full, 1e-8)
+	if !v.Passed {
+		t.Fatalf("full @1e-8 failed with err=%.3g", v.Error)
+	}
+	if su < 1.5 {
+		t.Errorf("speedup = %.2f, want > 1.5", su)
+	}
+}
+
+// TestHPCCGMatrixDemotion pins the HPCCG tiering: demoting the matrix
+// values passes 1e-3 with a real speedup (same iteration count, less
+// traffic) but perturbs the solution beyond 1e-6.
+func TestHPCCGMatrixDemotion(t *testing.T) {
+	h := NewHPCCG()
+	aOnly := demote(t, h, "A_values")
+	v, su := check(t, h, aOnly, 1e-3)
+	if !v.Passed {
+		t.Fatalf("A-only @1e-3 failed with err=%.3g", v.Error)
+	}
+	if su < 1.1 {
+		t.Errorf("A-only speedup = %.2f, want > 1.1", su)
+	}
+	if v, _ := check(t, h, aOnly, 1e-6); v.Passed {
+		t.Errorf("A-only @1e-6 passed with err=%.3g", v.Error)
+	}
+	// The right-hand side is float32-exact: lossless at any threshold.
+	bOnly := demote(t, h, "b")
+	if v, _ := check(t, h, bOnly, 1e-8); !v.Passed || v.Error != 0 {
+		t.Errorf("b-only: passed=%v err=%.3g, want lossless", v.Passed, v.Error)
+	}
+}
+
+// TestBlackscholesInputsLossless pins the input design: the market-data
+// buffers are float32-exact, so demoting them alone changes nothing,
+// while demoting the price output costs ~1e-6.
+func TestBlackscholesInputsLossless(t *testing.T) {
+	bs := NewBlackscholes()
+	inputs := demote(t, bs, "sptprice", "strike", "rate", "volatility", "otime")
+	v, _ := check(t, bs, inputs, 1e-8)
+	if !v.Passed || v.Error != 0 {
+		t.Errorf("input demotion: passed=%v err=%.3g, want lossless", v.Passed, v.Error)
+	}
+	prices := demote(t, bs, "prices")
+	v, _ = check(t, bs, prices, 1e-6)
+	if v.Passed {
+		t.Errorf("price demotion @1e-6 passed with err=%.3g", v.Error)
+	}
+	if v, _ := check(t, bs, prices, 1e-3); !v.Passed {
+		t.Errorf("price demotion @1e-3 failed with err=%.3g", v.Error)
+	}
+}
+
+// TestKMeansAssignmentsStable pins the MCR design: demotions never flip an
+// assignment on the separated blobs.
+func TestKMeansAssignmentsStable(t *testing.T) {
+	k := NewKMeans()
+	full := bench.AllSingle(k.Graph().NumVars())
+	v, su := check(t, k, full, 0) // MCR must be exactly zero
+	if !v.Passed {
+		t.Errorf("full demotion flipped assignments: MCR=%.3g", v.Error)
+	}
+	if su < 0.9 || su > 1.2 {
+		t.Errorf("speedup = %.2f, want ~1.0 (assignment-bound)", su)
+	}
+}
+
+// TestCFDLiteralCasts pins the hidden-literal mechanism: a searched full
+// demotion (literals stay double) is slower than the manual conversion
+// that rewrites literals too.
+func TestCFDLiteralCasts(t *testing.T) {
+	c := NewCFD()
+	r := bench.NewRunner(42)
+	ref := r.Reference(c)
+	searched := r.Run(c, bench.AllSingle(c.Graph().NumVars()))
+	manual := r.RunManualSingle(c)
+	suSearched := ref.Measured.Mean / searched.Measured.Mean
+	suManual := ref.Measured.Mean / manual.Measured.Mean
+	if suSearched >= suManual {
+		t.Errorf("searched %.3f >= manual %.3f: literal casts missing", suSearched, suManual)
+	}
+	if suManual-suSearched < 0.01 {
+		t.Errorf("literal-cast penalty too small: %.3f vs %.3f", suSearched, suManual)
+	}
+}
+
+// TestAppGraphsAreValidPartitions property-checks every application's
+// dependence graph: clusters partition the variables and group labels are
+// consistent.
+func TestAppGraphsAreValidPartitions(t *testing.T) {
+	for _, a := range All() {
+		g := a.Graph()
+		seen := map[mp.VarID]bool{}
+		for _, c := range g.Clusters() {
+			for _, m := range c.Members {
+				if seen[m] {
+					t.Errorf("%s: variable %d in two clusters", a.Name(), m)
+				}
+				seen[m] = true
+			}
+		}
+		if len(seen) != g.NumVars() {
+			t.Errorf("%s: clusters cover %d of %d vars", a.Name(), len(seen), g.NumVars())
+		}
+		for _, v := range g.Vars() {
+			if v.Name == "" || v.Unit == "" {
+				t.Errorf("%s: variable %d lacks name/unit", a.Name(), v.ID)
+			}
+		}
+		_ = typedep.SearchSpaceSize(2, g.NumVars()) // must not panic
+	}
+}

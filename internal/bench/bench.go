@@ -1,0 +1,260 @@
+// Package bench defines the benchmark contract of HPC-MixPBench and the
+// runner that executes one precision configuration of one benchmark.
+//
+// A benchmark is a program ported into the suite: it declares its tunable
+// floating-point variables (with the type-dependence edges Typeforge would
+// extract from the original source), names the quality metric its output is
+// verified with, and runs its computation against an mp.Tape that carries
+// the active precision configuration. Everything a search algorithm learns
+// about a configuration - output values, numeric error, modelled execution
+// time - flows through this package.
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/mp"
+	"repro/internal/perfmodel"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// Kind separates the two benchmark classes of the suite.
+type Kind uint8
+
+const (
+	// Kernel marks the small Livermore-style loop kernels (Table I): no
+	// IO, randomly initialised inputs, few variables.
+	Kernel Kind = iota
+	// App marks the proxy/mini applications drawn from PARSEC, Rodinia,
+	// and Mantevo.
+	App
+)
+
+// String returns the class name.
+func (k Kind) String() string {
+	if k == Kernel {
+		return "kernel"
+	}
+	return "application"
+}
+
+// Output is the verification payload of one run: the values the original
+// program would write to its output file (or, for K-means, the cluster
+// assignment labels scored with MCR).
+type Output struct {
+	Values []float64
+}
+
+// Benchmark is one program of the suite. Implementations must be stateless
+// with respect to Run: all run state lives on the Tape and in locals, so a
+// single Benchmark value can be evaluated concurrently.
+type Benchmark interface {
+	// Name is the suite-wide identifier (matches the paper's tables).
+	Name() string
+	// Kind reports whether this is a kernel or an application.
+	Kind() Kind
+	// Description is the one-line description from Table I / Section III-B.
+	Description() string
+	// Metric is the quality metric the paper verifies this benchmark with.
+	Metric() verify.Metric
+	// Graph is the variable inventory with type-dependence edges. The
+	// returned graph is shared and must not be mutated.
+	Graph() *typedep.Graph
+	// Run executes the benchmark against the precision configuration
+	// carried by the tape, with inputs generated deterministically from
+	// seed, and returns the verification output.
+	Run(t *mp.Tape, seed int64) Output
+}
+
+// HiddenVarser is implemented by benchmarks with precision sites that a
+// source-level tool cannot retype - floating-point literals and library
+// temporaries. The paper observes (Hotspot, Section IV-B) that Typeforge
+// does not handle literals, so searched configurations execute extra
+// typecasts that a manual whole-program conversion avoids. Hidden variables
+// occupy tape slots beyond the dependence graph: the search never assigns
+// them, but RunManualSingle demotes them along with everything else.
+type HiddenVarser interface {
+	// HiddenVars returns the number of non-searchable precision sites.
+	HiddenVars() int
+}
+
+// hiddenVars returns b's hidden site count (zero for most benchmarks).
+func hiddenVars(b Benchmark) int {
+	if h, ok := b.(HiddenVarser); ok {
+		return h.HiddenVars()
+	}
+	return 0
+}
+
+// Config is one precision assignment: element i is the precision of
+// variable i. A nil Config means the original all-double program.
+type Config []mp.Prec
+
+// NewConfig returns an all-double configuration for n variables.
+func NewConfig(n int) Config { return make(Config, n) }
+
+// Clone returns an independent copy.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Singles returns the number of variables demoted to single precision.
+func (c Config) Singles() int {
+	n := 0
+	for _, p := range c {
+		if p == mp.F32 {
+			n++
+		}
+	}
+	return n
+}
+
+// Key returns a compact string identity usable as a cache key.
+func (c Config) Key() string {
+	b := make([]byte, len(c))
+	for i, p := range c {
+		b[i] = '0' + byte(p)
+	}
+	return string(b)
+}
+
+// AllSingle returns a configuration demoting every variable.
+func AllSingle(n int) Config {
+	c := make(Config, n)
+	for i := range c {
+		c[i] = mp.F32
+	}
+	return c
+}
+
+// Result is everything one evaluation of one configuration yields.
+type Result struct {
+	// Output is the verification payload.
+	Output Output
+	// Cost is the metered machine work.
+	Cost mp.Cost
+	// Profile attributes the cost to the tunable variables (the
+	// instrumentation half of the runtime library); profile-guided
+	// strategies rank demotion candidates with it.
+	Profile []mp.VarProfile
+	// ModelTime is the noiseless modelled execution time in seconds.
+	ModelTime float64
+	// Measured is the paper-protocol timing (trimmed mean of repeated
+	// jittered runs).
+	Measured perfmodel.Measurement
+}
+
+// Runner executes benchmark configurations under one machine model and
+// measurement protocol.
+type Runner struct {
+	// Machine is the analytic execution-time model.
+	Machine perfmodel.Machine
+	// Runs is the repetition count of the measurement protocol.
+	Runs int
+	// Seed generates benchmark workloads; a fixed Seed makes every
+	// configuration of a benchmark see identical inputs, which the
+	// verification comparison requires.
+	Seed int64
+}
+
+// NewRunner returns a Runner with the default machine, the paper's
+// ten-repetition protocol, and the given workload seed.
+func NewRunner(seed int64) *Runner {
+	return &Runner{Machine: perfmodel.Default(), Runs: perfmodel.DefaultRuns, Seed: seed}
+}
+
+// Run evaluates one configuration. A nil cfg runs the original program. The
+// measurement jitter stream is derived from the workload seed and the
+// configuration identity, so results are deterministic yet distinct per
+// configuration.
+func (r *Runner) Run(b Benchmark, cfg Config) Result {
+	n := b.Graph().NumVars()
+	if cfg != nil && len(cfg) != n {
+		panic(fmt.Sprintf("bench: config for %s has %d entries, want %d", b.Name(), len(cfg), n))
+	}
+	tape := mp.NewTape(n + hiddenVars(b))
+	for i, p := range cfg {
+		tape.SetPrec(mp.VarID(i), p)
+	}
+	out := b.Run(tape, r.Seed)
+	cost := tape.Cost()
+	modelTime := r.Machine.Time(cost)
+	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), cfg)))
+	return Result{
+		Output:    out,
+		Cost:      cost,
+		Profile:   tape.Profile(),
+		ModelTime: modelTime,
+		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
+	}
+}
+
+// Reference evaluates the original double-precision program.
+func (r *Runner) Reference(b Benchmark) Result {
+	return r.Run(b, nil)
+}
+
+// RunIR evaluates a configuration under IR-level demotion semantics (the
+// paper's lower-level analysis tier): demoted variables compute narrow but
+// their storage stays at the declared double width, as an
+// instruction-rewriting tool would leave it. Accuracy changes like the
+// source-level run; traffic and footprint do not.
+func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
+	n := b.Graph().NumVars()
+	if cfg != nil && len(cfg) != n {
+		panic(fmt.Sprintf("bench: IR config for %s has %d entries, want %d", b.Name(), len(cfg), n))
+	}
+	tape := mp.NewTape(n + hiddenVars(b))
+	tape.SetComputeOnly(true)
+	for i, p := range cfg {
+		tape.SetPrec(mp.VarID(i), p)
+	}
+	out := b.Run(tape, r.Seed)
+	cost := tape.Cost()
+	modelTime := r.Machine.Time(cost)
+	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name()+"/ir", cfg)))
+	return Result{
+		Output:    out,
+		Cost:      cost,
+		Profile:   tape.Profile(),
+		ModelTime: modelTime,
+		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
+	}
+}
+
+// RunManualSingle evaluates the whole-program single-precision conversion
+// of the paper's Table IV: every searchable variable and every hidden site
+// (literals included) is demoted, as a programmer editing the source would
+// do. This is the ceiling a search-based tool cannot quite reach when the
+// program has literal-typed expressions.
+func (r *Runner) RunManualSingle(b Benchmark) Result {
+	n := b.Graph().NumVars()
+	h := hiddenVars(b)
+	tape := mp.NewTape(n + h)
+	for i := 0; i < n+h; i++ {
+		tape.SetPrec(mp.VarID(i), mp.F32)
+	}
+	out := b.Run(tape, r.Seed)
+	cost := tape.Cost()
+	modelTime := r.Machine.Time(cost)
+	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), AllSingle(n+h))))
+	return Result{
+		Output:    out,
+		Cost:      cost,
+		ModelTime: modelTime,
+		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
+	}
+}
+
+// jitterSeed mixes the workload seed, benchmark name, and configuration
+// into one deterministic RNG seed.
+func (r *Runner) jitterSeed(name string, cfg Config) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%s", r.Seed, name, cfg.Key())
+	return int64(h.Sum64())
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/search"
+)
+
+// Job is one deployed analysis: a benchmark plus the analysis parameters
+// from its configuration entry.
+type Job struct {
+	Spec      Spec
+	Benchmark bench.Benchmark
+	// Seed drives the workload and all analysis randomness.
+	Seed int64
+	// BudgetSeconds caps the analysis (simulated seconds); zero means the
+	// paper's 24-hour default.
+	BudgetSeconds float64
+}
+
+// Report is what an analysis returns for one job: the paper's three
+// metrics plus the raw outcome.
+type Report struct {
+	Benchmark string
+	Algorithm string
+	Threshold float64
+	// Evaluated is the EV metric.
+	Evaluated int
+	// Speedup is the SU metric for the configuration the analysis
+	// converged to (1.0 when nothing was found).
+	Speedup float64
+	// Quality is the AC metric: the error of the chosen configuration
+	// (NaN marks destroyed output, 0 marks no conversion).
+	Quality float64
+	// Found and TimedOut qualify the run; a timed-out report renders as
+	// the paper's empty grey cell.
+	Found    bool
+	TimedOut bool
+	// Demoted counts variables converted to single precision.
+	Demoted int
+	// Config is the converged precision assignment (nil when nothing was
+	// found) - the analysis artifact, the analog of the transformed
+	// executable the original harness returns a path to.
+	Config bench.Config
+	// Clusters and Variables record the Table II complexity metrics.
+	Clusters  int
+	Variables int
+}
+
+// Analysis is the harness plugin interface: implementing it and
+// registering the implementation makes a new analysis technique available
+// to every benchmark entry, mirroring the Python harness's class-based
+// plugins.
+type Analysis interface {
+	// Name is the plugin name configuration files select (the analysis
+	// clause's "name" field).
+	Name() string
+	// Analyze runs the technique on one deployed benchmark.
+	Analyze(job Job) (Report, error)
+}
+
+var (
+	pluginMu sync.RWMutex
+	plugins  = map[string]Analysis{}
+)
+
+// RegisterAnalysis installs a plugin; a duplicate name panics, as plugin
+// registration happens at program start and a collision is a bug.
+func RegisterAnalysis(a Analysis) {
+	pluginMu.Lock()
+	defer pluginMu.Unlock()
+	if _, dup := plugins[a.Name()]; dup {
+		panic(fmt.Sprintf("harness: duplicate analysis plugin %q", a.Name()))
+	}
+	plugins[a.Name()] = a
+}
+
+// LookupAnalysis resolves a plugin by name.
+func LookupAnalysis(name string) (Analysis, error) {
+	pluginMu.RLock()
+	defer pluginMu.RUnlock()
+	a, ok := plugins[name]
+	if !ok {
+		names := make([]string, 0, len(plugins))
+		for n := range plugins {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("harness: unknown analysis %q (registered: %v)", name, names)
+	}
+	return a, nil
+}
+
+// FloatSmith is the built-in analysis plugin: source-level mixed-precision
+// search over the FloatSmith/CRAFT/Typeforge stack, the tool the paper
+// evaluates. The configuration's algorithm field selects the strategy.
+type FloatSmith struct{}
+
+// Name returns "floatSmith".
+func (FloatSmith) Name() string { return "floatSmith" }
+
+// Analyze runs the selected search strategy and assembles the report.
+func (FloatSmith) Analyze(job Job) (Report, error) {
+	algoName, err := CanonicalAlgorithm(job.Spec.Analysis.Algorithm)
+	if err != nil {
+		return Report{}, err
+	}
+	algo, err := search.ByName(algoName, gaSeed(job))
+	if err != nil {
+		return Report{}, err
+	}
+	g := job.Benchmark.Graph()
+	space := search.NewSpace(g, algo.Mode())
+	eval := search.NewEvaluator(space, bench.NewRunner(job.Seed), job.Benchmark, job.Spec.Analysis.Threshold)
+	if job.BudgetSeconds > 0 {
+		eval.SetBudget(job.BudgetSeconds)
+	}
+	out := algo.Search(eval)
+
+	rep := Report{
+		Benchmark: job.Benchmark.Name(),
+		Algorithm: algoName,
+		Threshold: job.Spec.Analysis.Threshold,
+		Evaluated: out.Evaluated,
+		Speedup:   1.0,
+		Quality:   0,
+		Found:     out.Found,
+		TimedOut:  out.TimedOut,
+		Clusters:  g.NumClusters(),
+		Variables: g.NumVars(),
+	}
+	if out.Found {
+		rep.Speedup = out.BestResult.Speedup
+		rep.Quality = out.BestResult.Verdict.Error
+		cfg, _ := space.Expand(out.Best, algoName == "CM")
+		rep.Demoted = cfg.Singles()
+		rep.Config = cfg
+	}
+	if rep.TimedOut && !rep.Found {
+		rep.Speedup = math.NaN()
+		rep.Quality = math.NaN()
+	}
+	return rep, nil
+}
+
+// gaSeed mixes the job identity into the strategy seed so repeated runs
+// are reproducible but distinct jobs decorrelate.
+func gaSeed(job Job) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%g/%d", job.Benchmark.Name(), job.Spec.Analysis.Algorithm,
+		job.Spec.Analysis.Threshold, job.Seed)
+	return int64(h.Sum64())
+}
+
+func init() {
+	RegisterAnalysis(FloatSmith{})
+}

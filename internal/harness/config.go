@@ -1,0 +1,214 @@
+// Package harness is the reproduction of the paper's test harness: the
+// component that deploys benchmarks and analyses them under a
+// user-provided YAML configuration (Listing 4). The original is a Python
+// script; this port keeps its contract - a configuration file describes
+// how to build, run, and verify each benchmark and which analysis to
+// apply - and its plugin interface: an analysis is a named component the
+// harness invokes with the deployed benchmark, and new analyses register
+// themselves without harness changes.
+//
+// Build and clean commands are validated and recorded, not executed: in
+// this reproduction a "build" is the selection of the Go port named by the
+// bin clause, so the commands serve as provenance (they are what the
+// original suite would run).
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/suite"
+	"repro/internal/verify"
+	"repro/internal/yamlite"
+)
+
+// AnalysisSpec is the analysis clause of one benchmark entry.
+type AnalysisSpec struct {
+	// ID is the clause key (e.g. "floatsmith").
+	ID string
+	// Name is the registered plugin name (e.g. "floatSmith").
+	Name string
+	// Algorithm is the search strategy (CB, CM, DD, HR, HC, GA; the
+	// paper's configs also accept the long name "ddebug").
+	Algorithm string
+	// Threshold is the quality bound configurations must meet.
+	Threshold float64
+}
+
+// OutputSpec is the output clause: how the original program names its
+// output file.
+type OutputSpec struct {
+	Option string
+	Name   string
+}
+
+// Spec is one benchmark entry of a harness configuration file.
+type Spec struct {
+	// Name is the entry key (the benchmark's config name).
+	Name string
+	// BuildDir, Build, and Clean record the original build instructions.
+	BuildDir string
+	Build    []string
+	Clean    []string
+	// Analysis selects and parameterises the analysis plugin.
+	Analysis AnalysisSpec
+	// Output describes the program's output file.
+	Output OutputSpec
+	// Metric is the verification metric.
+	Metric verify.Metric
+	// Bin names the executable; the harness resolves it to a suite
+	// benchmark.
+	Bin string
+	// Copy lists run dependencies (binary and input files).
+	Copy []string
+	// Args is the executable invocation command line.
+	Args string
+}
+
+// DefaultThreshold is used when the analysis clause omits one: the
+// kernel-study threshold of the paper's Table III.
+const DefaultThreshold = 1e-8
+
+// algorithmAliases maps the long names the paper's configs use to the
+// table abbreviations.
+var algorithmAliases = map[string]string{
+	"combinational": "CB",
+	"compositional": "CM",
+	"ddebug":        "DD",
+	"deltadebug":    "DD",
+	"hierarchical":  "HR",
+	"hiercomp":      "HC",
+	"genetic":       "GA",
+	"greedy":        "GP",
+}
+
+// CanonicalAlgorithm resolves an algorithm spelling to its abbreviation.
+func CanonicalAlgorithm(name string) (string, error) {
+	if a, ok := algorithmAliases[name]; ok {
+		return a, nil
+	}
+	switch name {
+	case "CB", "CM", "DD", "HR", "HC", "GA", "GP":
+		return name, nil
+	}
+	return "", fmt.Errorf("harness: unknown algorithm %q", name)
+}
+
+// ParseConfig parses a harness configuration document into its benchmark
+// entries, in document order.
+func ParseConfig(src string) ([]Spec, error) {
+	doc, err := yamlite.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var specs []Spec
+	for _, name := range doc.Keys() {
+		entry, err := doc.GetMap(name)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := parseSpec(name, entry)
+		if err != nil {
+			return nil, fmt.Errorf("harness: entry %q: %w", name, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func parseSpec(name string, m *yamlite.Map) (Spec, error) {
+	s := Spec{Name: name}
+	var err error
+	if s.BuildDir, err = m.GetString("build_dir"); err != nil {
+		return s, err
+	}
+	if s.Build, err = m.GetStrings("build"); err != nil {
+		return s, err
+	}
+	if s.Clean, err = m.GetStrings("clean"); err != nil {
+		return s, err
+	}
+	if s.Bin, err = m.GetString("bin"); err != nil {
+		return s, err
+	}
+	metricName, err := m.GetString("metric")
+	if err != nil {
+		return s, err
+	}
+	if s.Metric, err = verify.ParseMetric(metricName); err != nil {
+		return s, err
+	}
+	if s.Copy, err = m.GetStrings("copy"); err != nil {
+		return s, err
+	}
+	if s.Args, err = m.GetString("args"); err != nil {
+		return s, err
+	}
+	if out, err := m.GetMap("output"); err == nil {
+		if s.Output.Option, err = out.GetString("option"); err != nil {
+			return s, err
+		}
+		if s.Output.Name, err = out.GetString("name"); err != nil {
+			return s, err
+		}
+	}
+
+	analysis, err := m.GetMap("analysis")
+	if err != nil {
+		return s, err
+	}
+	if analysis.Len() != 1 {
+		return s, fmt.Errorf("analysis clause must name exactly one plugin, has %d", analysis.Len())
+	}
+	id := analysis.Keys()[0]
+	plug, err := analysis.GetMap(id)
+	if err != nil {
+		return s, err
+	}
+	s.Analysis.ID = id
+	if s.Analysis.Name, err = plug.GetString("name"); err != nil {
+		return s, err
+	}
+	s.Analysis.Threshold = DefaultThreshold
+	if extra, err := plug.GetMap("extra_args"); err == nil {
+		algo, err := extra.GetString("algorithm")
+		if err != nil {
+			return s, err
+		}
+		if s.Analysis.Algorithm, err = CanonicalAlgorithm(algo); err != nil {
+			return s, err
+		}
+		if raw, ok := extra.Get("threshold"); ok {
+			switch v := raw.(type) {
+			case float64:
+				s.Analysis.Threshold = v
+			case int64:
+				s.Analysis.Threshold = float64(v)
+			case string:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return s, fmt.Errorf("bad threshold %q: %w", v, err)
+				}
+				s.Analysis.Threshold = f
+			default:
+				return s, fmt.Errorf("bad threshold type %T", raw)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Resolve maps the spec's bin clause to its suite benchmark and checks the
+// metric matches the benchmark's declared one.
+func (s Spec) Resolve() (bench.Benchmark, error) {
+	b, err := suite.Lookup(s.Bin)
+	if err != nil {
+		return nil, err
+	}
+	if b.Metric() != s.Metric {
+		return nil, fmt.Errorf("harness: %s: config metric %v, benchmark verifies with %v",
+			s.Name, s.Metric, b.Metric())
+	}
+	return b, nil
+}

@@ -1,0 +1,316 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+const kmeansYAML = `
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+        threshold: 1e-3
+  output:
+    option: '-o'
+    name: 'outputFile.bin'
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans', 'kdd_bin']
+  args: '-i kdd_bin -k 5 -n 5'
+`
+
+func TestParseConfig(t *testing.T) {
+	specs, err := ParseConfig(kmeansYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "kmeans" || s.Bin != "kmeans" {
+		t.Errorf("spec identity = %q/%q", s.Name, s.Bin)
+	}
+	if s.Metric != verify.MCR {
+		t.Errorf("metric = %v", s.Metric)
+	}
+	if s.Analysis.Name != "floatSmith" || s.Analysis.Algorithm != "DD" {
+		t.Errorf("analysis = %+v", s.Analysis)
+	}
+	if s.Analysis.Threshold != 1e-3 {
+		t.Errorf("threshold = %g", s.Analysis.Threshold)
+	}
+	if s.Output.Option != "-o" || s.Output.Name != "outputFile.bin" {
+		t.Errorf("output = %+v", s.Output)
+	}
+	if len(s.Copy) != 2 || s.Copy[1] != "kdd_bin" {
+		t.Errorf("copy = %v", s.Copy)
+	}
+}
+
+func TestParseConfigDefaultsThreshold(t *testing.T) {
+	specs, err := ParseConfig(strings.Replace(kmeansYAML, "        threshold: 1e-3\n", "", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Analysis.Threshold != DefaultThreshold {
+		t.Errorf("threshold = %g, want default %g", specs[0].Analysis.Threshold, DefaultThreshold)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing bin":   strings.Replace(kmeansYAML, "bin: 'kmeans'", "notbin: 'x'", 1),
+		"bad metric":    strings.Replace(kmeansYAML, "'MCR'", "'XXX'", 1),
+		"bad algorithm": strings.Replace(kmeansYAML, "'ddebug'", "'simulated-annealing'", 1),
+		"bad threshold": strings.Replace(kmeansYAML, "1e-3", "'not-a-number'", 1),
+		"no analysis":   strings.Replace(kmeansYAML, "analysis:", "analyses:", 1),
+		"two plugins":   strings.Replace(kmeansYAML, "    floatsmith:", "    other:\n      name: 'x'\n      extra_args:\n        algorithm: 'ddebug'\n    floatsmith:", 1),
+		"not yaml":      "a b c",
+	}
+	for name, src := range cases {
+		if _, err := ParseConfig(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCanonicalAlgorithm(t *testing.T) {
+	cases := map[string]string{
+		"ddebug": "DD", "deltadebug": "DD", "combinational": "CB",
+		"compositional": "CM", "hierarchical": "HR", "hiercomp": "HC",
+		"genetic": "GA", "DD": "DD", "GA": "GA",
+	}
+	for in, want := range cases {
+		got, err := CanonicalAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("CanonicalAlgorithm(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := CanonicalAlgorithm("bogus"); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestResolveChecksMetric(t *testing.T) {
+	specs, err := ParseConfig(strings.Replace(kmeansYAML, "'MCR'", "'MAE'", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := specs[0].Resolve(); err == nil {
+		t.Error("expected metric mismatch error")
+	}
+}
+
+func TestResolveUnknownBenchmark(t *testing.T) {
+	specs, err := ParseConfig(strings.Replace(kmeansYAML, "bin: 'kmeans'", "bin: 'doom'", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := specs[0].Resolve(); err == nil {
+		t.Error("expected unknown benchmark error")
+	}
+}
+
+func TestFloatSmithAnalyzeKMeans(t *testing.T) {
+	specs, err := ParseConfig(kmeansYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := JobsFromSpecs(specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FloatSmith{}.Analyze(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "K-means" || rep.Algorithm != "DD" {
+		t.Errorf("report identity = %s/%s", rep.Benchmark, rep.Algorithm)
+	}
+	if rep.Variables != 26 || rep.Clusters != 15 {
+		t.Errorf("complexity = %d/%d", rep.Variables, rep.Clusters)
+	}
+	// K-means at 1e-3: the full conversion keeps MCR 0, so DD accepts it
+	// in one shot.
+	if !rep.Found || rep.TimedOut {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Quality != 0 {
+		t.Errorf("quality = %g, want 0 (assignments stable)", rep.Quality)
+	}
+	if rep.Demoted == 0 {
+		t.Error("no variables demoted")
+	}
+}
+
+func TestSchedulerOrderAndParallel(t *testing.T) {
+	specs, err := ParseConfig(kmeansYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three jobs with different algorithms.
+	var jobs []Job
+	for _, algo := range []string{"DD", "GA", "HR"} {
+		s := specs[0]
+		s.Analysis.Algorithm = algo
+		b, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Spec: s, Benchmark: b, Seed: 42})
+	}
+	results := Scheduler{Workers: 3}.Run(jobs)
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, algo := range []string{"DD", "GA", "HR"} {
+		if results[i].Err != nil {
+			t.Fatalf("job %d: %v", i, results[i].Err)
+		}
+		if results[i].Report.Algorithm != algo {
+			t.Errorf("result %d = %s, want %s (order not preserved)", i, results[i].Report.Algorithm, algo)
+		}
+	}
+}
+
+func TestSchedulerEmptyAndErrors(t *testing.T) {
+	if got := (Scheduler{}).Run(nil); len(got) != 0 {
+		t.Errorf("empty run returned %d results", len(got))
+	}
+	specs, _ := ParseConfig(kmeansYAML)
+	s := specs[0]
+	s.Analysis.Name = "no-such-plugin"
+	b, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Scheduler{}.Run([]Job{{Spec: s, Benchmark: b, Seed: 1}})
+	if results[0].Err == nil {
+		t.Error("expected plugin lookup error")
+	}
+}
+
+func TestTimedOutReportHasNaNMetrics(t *testing.T) {
+	specs, _ := ParseConfig(kmeansYAML)
+	jobs, err := JobsFromSpecs(specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs[0].BudgetSeconds = 1 // nothing fits
+	rep, err := FloatSmith{}.Analyze(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut || rep.Found {
+		t.Fatalf("report = %+v, want pure timeout", rep)
+	}
+	if !math.IsNaN(rep.Speedup) || !math.IsNaN(rep.Quality) {
+		t.Error("timed-out metrics should be NaN")
+	}
+}
+
+func TestRegisterAnalysisDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate registration")
+		}
+	}()
+	RegisterAnalysis(FloatSmith{})
+}
+
+// panicAnalysis is a failure-injection plugin: it always panics, as a
+// misdeclared benchmark would.
+type panicAnalysis struct{}
+
+func (panicAnalysis) Name() string { return "panic-for-test" }
+func (panicAnalysis) Analyze(Job) (Report, error) {
+	panic("injected failure")
+}
+
+func TestSchedulerRecoversFromPanickingAnalysis(t *testing.T) {
+	RegisterAnalysis(panicAnalysis{})
+	specs, _ := ParseConfig(kmeansYAML)
+	s := specs[0]
+	s.Analysis.Name = "panic-for-test"
+	b, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := specs[0]
+	gb, err := good.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := Scheduler{Workers: 2}.Run([]Job{
+		{Spec: s, Benchmark: b, Seed: 1},
+		{Spec: good, Benchmark: gb, Seed: 42},
+	})
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
+		t.Errorf("panicking job error = %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Errorf("healthy job failed alongside panicking one: %v", results[1].Err)
+	}
+	if !results[1].Report.Found {
+		t.Error("healthy job produced no result")
+	}
+}
+
+func TestReportCarriesConfigArtifact(t *testing.T) {
+	specs, err := ParseConfig(kmeansYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := JobsFromSpecs(specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FloatSmith{}.Analyze(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Found {
+		t.Fatal("analysis found nothing")
+	}
+	if len(rep.Config) != rep.Variables {
+		t.Fatalf("artifact config covers %d of %d variables", len(rep.Config), rep.Variables)
+	}
+	if rep.Config.Singles() != rep.Demoted {
+		t.Errorf("artifact singles %d != Demoted %d", rep.Config.Singles(), rep.Demoted)
+	}
+}
+
+func TestGreedyAlgorithmThroughConfig(t *testing.T) {
+	specs, err := ParseConfig(strings.Replace(kmeansYAML, "'ddebug'", "'greedy'", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Analysis.Algorithm != "GP" {
+		t.Fatalf("algorithm = %q", specs[0].Analysis.Algorithm)
+	}
+	jobs, err := JobsFromSpecs(specs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FloatSmith{}.Analyze(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != "GP" || !rep.Found {
+		t.Errorf("report = %+v", rep)
+	}
+	// One evaluation per cluster at most.
+	if rep.Evaluated > rep.Clusters {
+		t.Errorf("GP evaluated %d > %d clusters", rep.Evaluated, rep.Clusters)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Scheduler fans analysis jobs out over a pool of workers, reproducing the
+// paper's setup: "the harness offloads the search for each combination of
+// an application/algorithm to a separate node" of the cluster. One worker
+// stands in for one node; results come back in job order regardless of
+// completion order, so harness output is deterministic.
+type Scheduler struct {
+	// Workers is the pool size (simulated node count). Zero means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// JobResult pairs a job's report with its error, positionally aligned
+// with the submitted jobs.
+type JobResult struct {
+	Report Report
+	Err    error
+}
+
+// Run executes all jobs and returns their results in submission order.
+func (s Scheduler) Run(jobs []Job) []JobResult {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	type task struct {
+		idx int
+		job Job
+	}
+	queue := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				results[t.idx] = runOne(t.job)
+			}
+		}()
+	}
+	for i, j := range jobs {
+		queue <- task{idx: i, job: j}
+	}
+	close(queue)
+	wg.Wait()
+	return results
+}
+
+// runOne resolves and executes a single job, converting panics from
+// misdeclared benchmarks into errors so one bad entry cannot take down a
+// whole campaign.
+func runOne(job Job) (jr JobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Err = fmt.Errorf("harness: job %s/%s panicked: %v",
+				job.Spec.Name, job.Spec.Analysis.Algorithm, r)
+		}
+	}()
+	plugin, err := LookupAnalysis(job.Spec.Analysis.Name)
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	rep, err := plugin.Analyze(job)
+	return JobResult{Report: rep, Err: err}
+}
+
+// JobsFromSpecs resolves each spec's benchmark and builds one job per
+// spec with the given workload seed.
+func JobsFromSpecs(specs []Spec, seed int64) ([]Job, error) {
+	jobs := make([]Job, 0, len(specs))
+	for _, s := range specs {
+		b, err := s.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, Job{Spec: s, Benchmark: b, Seed: seed})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+// bandedLinEq is the banded linear systems solution kernel (Livermore
+// loop 4 lineage): each band row folds a strided dot product of the
+// solution vector with the band coefficients back into the solution.
+//
+// Inventory (Table II: TV=2, TC=1): the solution vector x and coefficient
+// vector y are both passed by pointer through the band-update routine, so
+// Typeforge places them in one cluster.
+//
+// The kernel is the suite's bandwidth-bound case: its byte/flop ratio is 8
+// and its modelled working set sits just above the L3 capacity at double
+// precision but fits after demotion, so the single-precision version gains
+// both from halved traffic and from the cache-capacity step - the
+// mechanism behind its outsized speedup in the paper's Table III.
+type bandedLinEq struct {
+	kernel
+	vX, vY mp.VarID
+}
+
+// Problem shape: rows band rows, each scanning stride-5 over n elements;
+// the cost scale models the paper's full problem size (the modelled
+// footprint is 2 vectors x n x scale x 8 bytes ~ 31 MiB at double
+// precision, 15.5 MiB at single).
+const (
+	bandedN     = 1 << 16
+	bandedRows  = 40
+	bandedScale = 30
+)
+
+// NewBandedLinEq constructs the kernel.
+func NewBandedLinEq() bench.Benchmark {
+	g := typedep.NewGraph()
+	k := &bandedLinEq{kernel: kernel{
+		name:  "banded-lin-eq",
+		desc:  "Banded linear systems solution",
+		graph: g,
+	}}
+	k.vX = g.Add("x", "band_update", typedep.ArrayVar)
+	k.vY = g.Add("y", "band_update", typedep.ArrayVar)
+	g.Connect(k.vX, k.vY)
+	return k
+}
+
+func (k *bandedLinEq) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(bandedScale)
+	rng := rand.New(rand.NewSource(seed))
+	x := t.NewArray(k.vX, bandedN)
+	y := t.NewArray(k.vY, bandedN)
+	fillRand(x, rng, 0.05, 0.35)
+	fillRand(y, rng, 0.05, 0.35)
+
+	m := (bandedN - 7) / bandedRows
+	folds := uint64(0)
+	for kk := 6; kk < bandedN; kk += m {
+		lw := kk - 6
+		temp := x.Get(kk - 1)
+		for j := 4; j < bandedN; j += 5 {
+			// temp -= x[lw]*y[j]; the fold accumulates in the expression
+			// precision and the final store narrows to the cluster's type.
+			temp -= x.Get(lw) * y.Get(j)
+			folds++
+			lw++
+			if lw >= bandedN {
+				lw = 0
+			}
+		}
+		x.Set(kk-1, y.Get(4)*temp)
+	}
+	// The product x[lw]*y[j] retires at the cluster's precision; the fold
+	// into temp (a local double that no pointer binds, so it keeps its
+	// type) retires at double precision, as does the final row scale.
+	t.AddFlops(t.Prec(k.vX), folds)
+	t.AddFlops(mp.F64, folds+bandedRows)
+	return bench.Output{Values: x.Snapshot()}
+}

@@ -1,0 +1,201 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/verify"
+)
+
+// kernelProfile captures the qualitative behaviour the paper's Table III
+// reports for each kernel at the 1e-8 quality threshold:
+//
+//   - demotable: the array cluster (and for single-cluster kernels, the
+//     whole program) can be demoted within threshold, with the given
+//     speedup band;
+//   - not demotable: full demotion fails the threshold, and the best
+//     passing configuration leaves the arrays at double precision, so the
+//     speedup stays near 1.0.
+type kernelProfile struct {
+	demotable  bool
+	minSpeedup float64 // demoted speedup lower bound (if demotable)
+	maxSpeedup float64 // demoted speedup upper bound (if demotable)
+}
+
+var kernelProfiles = map[string]kernelProfile{
+	"banded-lin-eq":  {demotable: true, minSpeedup: 3.5, maxSpeedup: 5.5},
+	"diff-predictor": {demotable: true, minSpeedup: 1.3, maxSpeedup: 2.0},
+	"eos":            {demotable: false},
+	"gen-lin-recur":  {demotable: false},
+	"hydro-1d":       {demotable: true, minSpeedup: 1.4, maxSpeedup: 2.0},
+	"iccg":           {demotable: true, minSpeedup: 1.6, maxSpeedup: 2.2},
+	"innerprod":      {demotable: true, minSpeedup: 0.95, maxSpeedup: 1.15},
+	"int-predict":    {demotable: true, minSpeedup: 1.3, maxSpeedup: 1.9},
+	"planckian":      {demotable: false},
+	"tridiag":        {demotable: false},
+}
+
+const kernelThreshold = 1e-8
+
+// arrayClusterConfig demotes every cluster that contains an array variable
+// and leaves scalar-only clusters at double precision.
+func arrayClusterConfig(b bench.Benchmark) bench.Config {
+	g := b.Graph()
+	cfg := bench.NewConfig(g.NumVars())
+	for _, c := range g.Clusters() {
+		hasArray := false
+		for _, m := range c.Members {
+			k := g.Var(m).Kind
+			if k == 1 { // typedep.ArrayVar
+				hasArray = true
+			}
+		}
+		if hasArray {
+			for _, m := range c.Members {
+				cfg[m] = mp.F32
+			}
+		}
+	}
+	return cfg
+}
+
+func TestKernelCalibration(t *testing.T) {
+	runner := bench.NewRunner(42)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			prof, ok := kernelProfiles[b.Name()]
+			if !ok {
+				t.Fatalf("no profile for kernel %s", b.Name())
+			}
+			ref := runner.Reference(b)
+			// A search would consider both the array-cluster demotion and
+			// the uniform full demotion; take the fastest passing one.
+			arrayOnly := runner.Run(b, arrayClusterConfig(b))
+			full := runner.Run(b, bench.AllSingle(b.Graph().NumVars()))
+			bestSU, anyPassed := 0.0, false
+			for _, cand := range []bench.Result{arrayOnly, full} {
+				v, err := verify.Check(b.Metric(), ref.Output.Values, cand.Output.Values, kernelThreshold)
+				if err != nil {
+					t.Fatal(err)
+				}
+				su := ref.Measured.Mean / cand.Measured.Mean
+				t.Logf("err=%.3g pass=%v speedup=%.3f (model %.3g -> %.3g s)",
+					v.Error, v.Passed, su, ref.ModelTime, cand.ModelTime)
+				if v.Passed {
+					anyPassed = true
+					if su > bestSU {
+						bestSU = su
+					}
+				}
+			}
+			if prof.demotable {
+				if !anyPassed {
+					t.Error("some demotion should pass 1e-8")
+				}
+				if bestSU < prof.minSpeedup || bestSU > prof.maxSpeedup {
+					t.Errorf("best speedup %.3f outside [%.2f, %.2f]", bestSU, prof.minSpeedup, prof.maxSpeedup)
+				}
+			} else if anyPassed {
+				t.Error("array demotion should fail 1e-8")
+			}
+		})
+	}
+}
+
+// TestKernelScalarDemotionIsLossless checks the float32-exact scalar design:
+// for kernels whose scalar clusters are pure inputs (not accumulators),
+// demoting the scalar-only clusters must leave the output bit-identical,
+// which is the zero-error cell of Table III. innerprod's scalar is an
+// accumulator and gen-lin-recur's scalars sit in the array cluster, so
+// they are excluded.
+func TestKernelScalarDemotionIsLossless(t *testing.T) {
+	losslessScalars := map[string]bool{
+		"eos": true, "hydro-1d": true, "planckian": true, "int-predict": true,
+	}
+	runner := bench.NewRunner(42)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			if !losslessScalars[b.Name()] {
+				t.Skip("kernel has no pure-input scalar cluster")
+			}
+			g := b.Graph()
+			cfg := bench.NewConfig(g.NumVars())
+			for _, c := range g.Clusters() {
+				scalarOnly := true
+				for _, m := range c.Members {
+					if g.Var(m).Kind == 1 {
+						scalarOnly = false
+					}
+				}
+				if scalarOnly {
+					for _, m := range c.Members {
+						cfg[m] = mp.F32
+					}
+				}
+			}
+			ref := runner.Reference(b)
+			cand := runner.Run(b, cfg)
+			e, err := verify.Compute(b.Metric(), ref.Output.Values, cand.Output.Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != 0 {
+				t.Errorf("scalar-only demotion error = %g, want exactly 0", e)
+			}
+		})
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	runner := bench.NewRunner(7)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			a := runner.Reference(b)
+			c := runner.Reference(b)
+			if a.Cost != c.Cost {
+				t.Error("cost differs between identical runs")
+			}
+			if len(a.Output.Values) != len(c.Output.Values) {
+				t.Fatal("output length differs")
+			}
+			for i := range a.Output.Values {
+				if a.Output.Values[i] != c.Output.Values[i] {
+					t.Fatalf("output[%d] differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelProfilesStableAcrossSeeds guards the calibration against
+// workload luck: the demotable/not-demotable classification of every
+// kernel must hold for workload seeds other than the canonical one.
+func TestKernelProfilesStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99, 1234} {
+		runner := bench.NewRunner(seed)
+		for _, b := range All() {
+			prof := kernelProfiles[b.Name()]
+			ref := runner.Reference(b)
+			arrayOnly := runner.Run(b, arrayClusterConfig(b))
+			full := runner.Run(b, bench.AllSingle(b.Graph().NumVars()))
+			anyPassed := false
+			for _, cand := range []bench.Result{arrayOnly, full} {
+				v, err := verify.Check(b.Metric(), ref.Output.Values, cand.Output.Values, kernelThreshold)
+				if err != nil {
+					t.Fatalf("seed %d, %s: %v", seed, b.Name(), err)
+				}
+				if v.Passed {
+					anyPassed = true
+				}
+			}
+			if anyPassed != prof.demotable {
+				t.Errorf("seed %d: %s demotable=%v, calibrated as %v",
+					seed, b.Name(), anyPassed, prof.demotable)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// These tests verify that the ports compute what their Livermore-lineage
+// fragments claim, against independent plain-Go formulations: the search
+// layer only sees (error, time) pairs, so a silently wrong port would
+// still "tune" - these tests are what anchor the numerics to the ground
+// truth.
+
+// refRand reproduces fillRand's value stream.
+func refRand(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+func TestHydro1DMatchesFormula(t *testing.T) {
+	k := NewHydro1D()
+	out := bench.NewRunner(42).Reference(k).Output.Values
+
+	// Recompute independently with the same seed and update rule.
+	rng := rand.New(rand.NewSource(42))
+	y := make([]float64, hydroN+11)
+	z := make([]float64, hydroN+11)
+	for i := range y {
+		y[i] = refRand(rng, 0.01, 0.10)
+	}
+	for i := range z {
+		z[i] = refRand(rng, 0.01, 0.10)
+	}
+	q := float64(rng.Float32()) * 0.0625
+	r := float64(rng.Float32()) * 0.5
+	tt := float64(rng.Float32()) * 0.5
+	x := make([]float64, hydroN)
+	for rep := 0; rep < hydroReps; rep++ {
+		for i := 0; i < hydroN; i++ {
+			x[i] = q + y[i]*(r*z[i+10]+tt*z[i+11])
+		}
+	}
+	if len(out) != hydroN {
+		t.Fatalf("output length %d", len(out))
+	}
+	for i := range out {
+		if out[i] != x[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, out[i], x[i])
+		}
+	}
+}
+
+func TestTridiagMatchesRecurrence(t *testing.T) {
+	k := NewTridiag()
+	out := bench.NewRunner(7).Reference(k).Output.Values
+
+	rng := rand.New(rand.NewSource(7))
+	y := make([]float64, tridiagN)
+	z := make([]float64, tridiagN)
+	for i := range y {
+		y[i] = refRand(rng, 0.4, 1.2)
+	}
+	for i := range z {
+		z[i] = refRand(rng, 0.3, 0.9)
+	}
+	x := make([]float64, tridiagN)
+	x[0] = 0.5
+	for rep := 0; rep < tridiagReps; rep++ {
+		for i := 1; i < tridiagN; i++ {
+			x[i] = z[i] * (y[i] - x[i-1])
+		}
+	}
+	for i := range out {
+		if out[i] != x[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, out[i], x[i])
+		}
+	}
+}
+
+func TestInnerProdMatchesDotProduct(t *testing.T) {
+	k := NewInnerProd()
+	out := bench.NewRunner(11).Reference(k).Output.Values
+	if len(out) != 1 {
+		t.Fatalf("output length %d", len(out))
+	}
+	rng := rand.New(rand.NewSource(11))
+	q := 0.0
+	zs := make([]float64, innerN)
+	xs := make([]float64, innerN)
+	for i := 0; i < innerN; i++ {
+		zs[i] = float64(rng.Float32()) * 0.0625
+		xs[i] = float64(rng.Float32()) * 0.0625
+	}
+	for i := 0; i < innerN; i++ {
+		q += zs[i] * xs[i]
+	}
+	if math.Abs(out[0]-q) > 1e-12*math.Abs(q) {
+		t.Errorf("q = %v, want %v", out[0], q)
+	}
+}
+
+func TestPlanckianValuesBounded(t *testing.T) {
+	// w[k] = x/(exp(y)-1) with y in [u/v range, capped at expmax]: every
+	// output must be finite, positive, and consistent with the bounds of
+	// the input ranges.
+	k := NewPlanckian()
+	out := bench.NewRunner(3).Reference(k).Output.Values
+	if len(out) != planckN {
+		t.Fatalf("output length %d", len(out))
+	}
+	// y in [0.25, 2.5] -> exp(y)-1 in [0.284, 11.18]; x in [0.5, 1.5).
+	lo, hi := 0.5/(math.Exp(2.5)-1), 1.5/(math.Exp(0.25)-1)
+	for i, w := range out {
+		if math.IsNaN(w) || w <= 0 {
+			t.Fatalf("w[%d] = %v", i, w)
+		}
+		if w < lo*0.99 || w > hi*1.01 {
+			t.Fatalf("w[%d] = %v outside [%v, %v]", i, w, lo, hi)
+		}
+	}
+}
+
+func TestEOSMatchesFragment(t *testing.T) {
+	k := NewEOS()
+	out := bench.NewRunner(5).Reference(k).Output.Values
+
+	rng := rand.New(rand.NewSource(5))
+	y := make([]float64, eosN+7)
+	z := make([]float64, eosN+7)
+	u := make([]float64, eosN+7)
+	for i := range y {
+		y[i] = refRand(rng, 0.5, 1.5)
+	}
+	for i := range z {
+		z[i] = refRand(rng, 0.5, 1.5)
+	}
+	for i := range u {
+		u[i] = refRand(rng, 0.5, 1.5)
+	}
+	r := float64(rng.Float32()) * 0.25
+	tt := float64(rng.Float32()) * 0.25
+	q := float64(rng.Float32()) * 0.25
+	for i := 0; i < eosN; i++ {
+		want := u[i] + r*(z[i]+r*y[i]) +
+			tt*(u[i+3]+r*(u[i+2]+r*u[i+1])+
+				tt*(u[i+6]+q*(u[i+5]+q*u[i+4])))
+		if out[i] != want {
+			t.Fatalf("x[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestICCGHalvesActiveRange(t *testing.T) {
+	// The reduction touches exactly n-1 interior elements per repetition
+	// (sum over levels of ii/2 for ii = n, n/2, ..., 2).
+	k := NewICCG().(*iccg)
+	ref := bench.NewRunner(1).Reference(k)
+	elems := uint64(0)
+	ii := iccgN
+	for ii > 1 {
+		elems += uint64(ii / 2)
+		ii /= 2
+	}
+	// 4 flops per reduced element per repetition, at scale.
+	want := 4 * elems * iccgReps * iccgScale
+	if ref.Cost.Flops64 != want {
+		t.Errorf("Flops64 = %d, want %d", ref.Cost.Flops64, want)
+	}
+}
+
+func TestBandedLinEqTouchesBandRows(t *testing.T) {
+	// Only the band rows' solution entries change; everything else must
+	// be the untouched input.
+	k := NewBandedLinEq()
+	out := bench.NewRunner(9).Reference(k).Output.Values
+	rng := rand.New(rand.NewSource(9))
+	x0 := make([]float64, bandedN)
+	for i := range x0 {
+		x0[i] = refRand(rng, 0.05, 0.35)
+	}
+	m := (bandedN - 7) / bandedRows
+	changed := map[int]bool{}
+	for kk := 6; kk < bandedN; kk += m {
+		changed[kk-1] = true
+	}
+	same, diff := 0, 0
+	for i := range out {
+		if changed[i] {
+			if out[i] != x0[i] {
+				diff++
+			}
+			continue
+		}
+		if out[i] == x0[i] {
+			same++
+		}
+	}
+	if same != bandedN-len(changed) {
+		t.Errorf("untouched entries changed: %d of %d preserved", same, bandedN-len(changed))
+	}
+	if diff != len(changed) {
+		t.Errorf("band rows updated: %d of %d", diff, len(changed))
+	}
+}

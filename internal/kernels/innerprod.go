@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+// innerProd is the inner product kernel (Livermore loop 3 lineage):
+//
+//	q += z[k] * x[k]
+//
+// Inventory (Table II: TV=3, TC=2): the operand vectors z and x are passed
+// by pointer into the dot-product routine and share a cluster; the
+// accumulator q is returned by value and forms its own.
+//
+// The inputs are drawn float32-exact, so demoting the operand cluster alone
+// is lossless (the accumulation still runs in double): that is the zero
+// error cell of the paper's Table III. Demoting the accumulator rounds
+// every partial sum and fails any realistic threshold.
+type innerProd struct {
+	kernel
+	vZ, vX, vQ mp.VarID
+}
+
+const (
+	innerN     = 4096
+	innerReps  = 6
+	innerScale = 2
+)
+
+// NewInnerProd constructs the kernel.
+func NewInnerProd() bench.Benchmark {
+	g := typedep.NewGraph()
+	k := &innerProd{kernel: kernel{
+		name:  "innerprod",
+		desc:  "Inner product",
+		graph: g,
+	}}
+	k.vZ = g.Add("z", "dot", typedep.ArrayVar)
+	k.vX = g.Add("x", "dot", typedep.ArrayVar)
+	k.vQ = g.Add("q", "dot", typedep.Scalar)
+	g.Connect(k.vZ, k.vX)
+	return k
+}
+
+func (k *innerProd) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(innerScale)
+	rng := rand.New(rand.NewSource(seed))
+	z := t.NewArray(k.vZ, innerN)
+	x := t.NewArray(k.vX, innerN)
+	// float32-exact inputs scaled by an exact power of two.
+	for i := 0; i < innerN; i++ {
+		z.Set(i, float64(rng.Float32())*0.0625)
+		x.Set(i, float64(rng.Float32())*0.0625)
+	}
+
+	q := 0.0
+	for rep := 0; rep < innerReps; rep++ {
+		q = 0
+		for i := 0; i < innerN; i++ {
+			// q += z[k]*x[k]: the accumulation runs at q's precision; a
+			// double q widens the products (error-free for exact inputs),
+			// a single q rounds every partial sum.
+			q = t.Assign(k.vQ, q+z.Get(i)*x.Get(i), 2, k.vZ, k.vX)
+		}
+	}
+	return bench.Output{Values: []float64{q}}
+}

@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/verify"
+)
+
+// TestTableIIKernelCounts locks the Total Variables / Total Clusters
+// inventory of every kernel to the paper's Table II.
+func TestTableIIKernelCounts(t *testing.T) {
+	want := map[string]struct{ tv, tc int }{
+		"banded-lin-eq":  {2, 1},
+		"diff-predictor": {5, 1},
+		"eos":            {7, 2},
+		"gen-lin-recur":  {4, 1},
+		"hydro-1d":       {6, 2},
+		"iccg":           {2, 1},
+		"innerprod":      {3, 2},
+		"int-predict":    {9, 2},
+		"planckian":      {6, 2},
+		"tridiag":        {3, 1},
+	}
+	ks := All()
+	if len(ks) != len(want) {
+		t.Fatalf("suite has %d kernels, want %d", len(ks), len(want))
+	}
+	for _, k := range ks {
+		w, ok := want[k.Name()]
+		if !ok {
+			t.Errorf("unexpected kernel %q", k.Name())
+			continue
+		}
+		g := k.Graph()
+		if g.NumVars() != w.tv {
+			t.Errorf("%s: TV = %d, want %d", k.Name(), g.NumVars(), w.tv)
+		}
+		if g.NumClusters() != w.tc {
+			t.Errorf("%s: TC = %d, want %d", k.Name(), g.NumClusters(), w.tc)
+		}
+	}
+}
+
+// TestTableIKernelInventory locks the kernel names and descriptions of
+// Table I, in table order.
+func TestTableIKernelInventory(t *testing.T) {
+	want := []struct{ name, desc string }{
+		{"banded-lin-eq", "Banded linear systems solution"},
+		{"diff-predictor", "Difference predictor"},
+		{"eos", "Equation of state fragment"},
+		{"gen-lin-recur", "General linear recurrence equation"},
+		{"hydro-1d", "Hydrodynamics fragment"},
+		{"iccg", "Incomplete Cholesky conjugate gradient"},
+		{"innerprod", "Inner product"},
+		{"int-predict", "Integrate predictors"},
+		{"planckian", "Planckian distribution"},
+		{"tridiag", "Tridiagonal linear systems solution"},
+	}
+	ks := All()
+	if len(ks) != len(want) {
+		t.Fatalf("suite has %d kernels, want %d", len(ks), len(want))
+	}
+	for i, k := range ks {
+		if k.Name() != want[i].name {
+			t.Errorf("kernel %d = %q, want %q", i, k.Name(), want[i].name)
+		}
+		if k.Description() != want[i].desc {
+			t.Errorf("%s description = %q, want %q", k.Name(), k.Description(), want[i].desc)
+		}
+		if k.Kind() != bench.Kernel {
+			t.Errorf("%s kind = %v, want kernel", k.Name(), k.Kind())
+		}
+		if k.Metric() != verify.MAE {
+			t.Errorf("%s metric = %v, want MAE", k.Name(), k.Metric())
+		}
+	}
+}
+
+// TestKernelsHaveNonTrivialOutput guards against a kernel silently losing
+// its computation: every kernel's reference output must contain finite,
+// non-constant values.
+func TestKernelsHaveNonTrivialOutput(t *testing.T) {
+	runner := bench.NewRunner(3)
+	for _, k := range All() {
+		out := runner.Reference(k).Output.Values
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", k.Name())
+			continue
+		}
+		if len(out) > 1 {
+			allSame := true
+			for _, v := range out {
+				if v != out[0] {
+					allSame = false
+					break
+				}
+			}
+			if allSame {
+				t.Errorf("%s: constant output", k.Name())
+			}
+		}
+		ref := runner.Reference(k)
+		if ref.Cost.Flops() == 0 {
+			t.Errorf("%s: no flops charged", k.Name())
+		}
+		if ref.Cost.Bytes() == 0 {
+			t.Errorf("%s: no traffic charged", k.Name())
+		}
+	}
+}

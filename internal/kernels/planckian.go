@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+// planckian is the Planckian distribution kernel (Livermore loop 22
+// lineage):
+//
+//	y[k] = u[k] / v[k]
+//	w[k] = x[k] / (exp(y[k]) - 1)
+//
+// Inventory (Table II: TV=6, TC=2): the five arrays u, v, w, x, y flow
+// through the distribution routine by pointer and form one cluster; the
+// guard scalar expmax (the largest exponent admitted before the
+// denominator saturates) forms its own.
+//
+// The distribution values sit near 1.0, so demoting the array cluster
+// costs a float32 ulp per element and fails the kernel threshold; the
+// float32-exact guard demotes losslessly. The search settles on the
+// guard-only configuration: zero error, no speedup.
+type planckian struct {
+	kernel
+	vU, vV, vW, vX, vY, vExpmax mp.VarID
+}
+
+const (
+	planckN     = 8192
+	planckReps  = 8
+	planckScale = 4
+)
+
+// NewPlanckian constructs the kernel.
+func NewPlanckian() bench.Benchmark {
+	g := typedep.NewGraph()
+	k := &planckian{kernel: kernel{
+		name:  "planckian",
+		desc:  "Planckian distribution",
+		graph: g,
+	}}
+	k.vU = g.Add("u", "planck", typedep.ArrayVar)
+	k.vV = g.Add("v", "planck", typedep.ArrayVar)
+	k.vW = g.Add("w", "planck", typedep.ArrayVar)
+	k.vX = g.Add("x", "planck", typedep.ArrayVar)
+	k.vY = g.Add("y", "planck", typedep.ArrayVar)
+	k.vExpmax = g.Add("expmax", "planck", typedep.Scalar)
+	g.ConnectAll(k.vU, k.vV, k.vW, k.vX, k.vY)
+	return k
+}
+
+func (k *planckian) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(planckScale)
+	rng := rand.New(rand.NewSource(seed))
+	u := t.NewArray(k.vU, planckN)
+	v := t.NewArray(k.vV, planckN)
+	w := t.NewArray(k.vW, planckN)
+	x := t.NewArray(k.vX, planckN)
+	y := t.NewArray(k.vY, planckN)
+	fillRand(u, rng, 0.5, 2.5)
+	fillRand(v, rng, 1.0, 2.0)
+	fillRand(x, rng, 0.5, 1.5)
+	expmax := t.Value(k.vExpmax, 20.0)
+
+	for rep := 0; rep < planckReps; rep++ {
+		for i := 0; i < planckN; i++ {
+			yi := u.Get(i) / v.Get(i)
+			if yi > expmax {
+				yi = expmax
+			}
+			y.Set(i, yi)
+			w.Set(i, x.Get(i)/(math.Exp(y.Get(i))-1))
+		}
+	}
+	// Division, exp (charged as 8 flops), comparison, subtraction,
+	// division per element at the array cluster's precision.
+	t.AddFlops(t.Prec(k.vU), 12*planckN*planckReps)
+	return bench.Output{Values: w.Snapshot()}
+}

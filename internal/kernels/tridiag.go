@@ -1,0 +1,66 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+// tridiag is the tri-diagonal linear systems solution kernel (Livermore
+// loop 5 lineage), a first-order recurrence:
+//
+//	x[i] = z[i] * (y[i] - x[i-1])
+//
+// Inventory (Table II: TV=3, TC=1): x, y, z are threaded by pointer through
+// the forward-elimination routine and form a single cluster, so the only
+// non-trivial configuration demotes the whole recurrence.
+//
+// Rounding error compounds along the recurrence chain, so the demoted
+// version fails the kernel quality threshold and the search keeps the
+// original program: the paper's ~1.0 speedup, zero error row.
+type tridiag struct {
+	kernel
+	vX, vY, vZ mp.VarID
+}
+
+const (
+	tridiagN     = 8192
+	tridiagReps  = 8
+	tridiagScale = 4
+)
+
+// NewTridiag constructs the kernel.
+func NewTridiag() bench.Benchmark {
+	g := typedep.NewGraph()
+	k := &tridiag{kernel: kernel{
+		name:  "tridiag",
+		desc:  "Tridiagonal linear systems solution",
+		graph: g,
+	}}
+	k.vX = g.Add("x", "forward_elim", typedep.ArrayVar)
+	k.vY = g.Add("y", "forward_elim", typedep.ArrayVar)
+	k.vZ = g.Add("z", "forward_elim", typedep.ArrayVar)
+	g.ConnectAll(k.vX, k.vY, k.vZ)
+	return k
+}
+
+func (k *tridiag) Run(t *mp.Tape, seed int64) bench.Output {
+	t.SetScale(tridiagScale)
+	rng := rand.New(rand.NewSource(seed))
+	x := t.NewArray(k.vX, tridiagN)
+	y := t.NewArray(k.vY, tridiagN)
+	z := t.NewArray(k.vZ, tridiagN)
+	fillRand(y, rng, 0.4, 1.2)
+	fillRand(z, rng, 0.3, 0.9)
+	x.Set(0, 0.5)
+
+	for rep := 0; rep < tridiagReps; rep++ {
+		for i := 1; i < tridiagN; i++ {
+			x.Set(i, z.Get(i)*(y.Get(i)-x.Get(i-1)))
+		}
+	}
+	t.AddFlops(t.Prec(k.vX), 2*(tridiagN-1)*tridiagReps)
+	return bench.Output{Values: x.Snapshot()}
+}

@@ -1,0 +1,86 @@
+package mp
+
+// Array is a dynamically allocated floating-point buffer owned by one
+// tunable variable. It is the reproduction of the paper's mp_malloc:
+// the buffer's element width follows the precision the active configuration
+// assigns to its variable, so demoting the variable halves both the
+// working-set footprint and the traffic of every access.
+//
+// Values are stored as float64 for uniform access, but every store narrows
+// through the variable's precision first, so a single-precision array holds
+// exactly the values a real float buffer would.
+type Array struct {
+	tape *Tape
+	v    VarID
+	data []float64
+}
+
+// NewArray allocates an n-element buffer for variable v and charges its
+// footprint at the width the configuration assigns to v.
+func (t *Tape) NewArray(v VarID, n int) *Array {
+	bytes := uint64(n) * t.storageWidth(v).Size() * t.scale
+	switch t.storageWidth(v) {
+	case F32:
+		t.cost.Footprint32 += bytes
+	case F16:
+		t.cost.Footprint16 += bytes
+	default:
+		t.cost.Footprint64 += bytes
+	}
+	return &Array{tape: t, v: v, data: make([]float64, n)}
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.data) }
+
+// Var returns the tunable variable that owns the buffer.
+func (a *Array) Var() VarID { return a.v }
+
+// Prec reports the element precision under the active configuration.
+func (a *Array) Prec() Prec { return a.tape.prec[a.v] }
+
+// Get loads element i, charging one element of read traffic.
+func (a *Array) Get(i int) float64 {
+	a.charge(1)
+	return a.data[i]
+}
+
+// Set stores x into element i, narrowing to the array's precision and
+// charging one element of write traffic.
+func (a *Array) Set(i int, x float64) {
+	a.charge(1)
+	a.data[i] = a.tape.prec[a.v].Round(x)
+}
+
+// Fill stores x into every element (one rounding, n elements of traffic).
+func (a *Array) Fill(x float64) {
+	a.charge(uint64(len(a.data)))
+	r := a.tape.prec[a.v].Round(x)
+	for i := range a.data {
+		a.data[i] = r
+	}
+}
+
+// Snapshot returns a copy of the buffer contents without charging traffic.
+// Verification reads output buffers through Snapshot so that measuring
+// quality does not perturb the cost of the run being measured.
+func (a *Array) Snapshot() []float64 {
+	out := make([]float64, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
+// charge records n elements of traffic at the array's current width.
+func (a *Array) charge(n uint64) {
+	p := a.tape.storageWidth(a.v)
+	bytes := n * p.Size() * a.tape.scale
+	switch p {
+	case F32:
+		a.tape.cost.Bytes32 += bytes
+	case F16:
+		a.tape.cost.Bytes16 += bytes
+	default:
+		a.tape.cost.Bytes64 += bytes
+	}
+	a.tape.attributeBytes(a.v, bytes)
+}

@@ -1,0 +1,99 @@
+package mp
+
+import "math"
+
+// Half-precision support. The paper's study restricts itself to double and
+// single precision (the levels Typeforge can refactor between), but its
+// search-space framing is p^loc with p=3 on accelerators that add IEEE-754
+// binary16, and it lists half precision as the obvious extension. The
+// runtime supports it so extension studies (see examples/halfprecision)
+// can explore three-level configurations; the paper-table regenerations
+// never assign it.
+
+// Half-precision limits.
+const (
+	// halfMaxFinite is the largest finite binary16 value.
+	halfMaxFinite = 65504
+	// halfOverflow is the rounding boundary to infinity: values with
+	// magnitude >= 65520 round away from the largest finite half.
+	halfOverflow = 65520
+	// halfMinNormal is the smallest normal binary16 value, 2^-14.
+	halfMinNormal = 6.103515625e-05
+	// halfSubQuantum is the subnormal quantum, 2^-24.
+	halfSubQuantum = 5.960464477539063e-08
+)
+
+// roundToHalf rounds x to the nearest IEEE-754 binary16 value
+// (round-to-nearest-even), returning it as a float64. The arithmetic runs
+// entirely in float64, whose 53-bit significand represents every
+// intermediate exactly, so no double rounding occurs.
+func roundToHalf(x float64) float64 {
+	if x != x || math.IsInf(x, 0) || x == 0 {
+		return x
+	}
+	ax := math.Abs(x)
+	if ax >= halfOverflow {
+		return math.Inf(int(math.Copysign(1, x)))
+	}
+	if ax < halfMinNormal {
+		// Subnormal range: fixed quantum of 2^-24.
+		return math.RoundToEven(x/halfSubQuantum) * halfSubQuantum
+	}
+	// Normal range: 11 significant bits.
+	f, e := math.Frexp(x) // x = f * 2^e with |f| in [0.5, 1)
+	m := math.RoundToEven(f*(1<<11)) / (1 << 11)
+	y := math.Ldexp(m, e)
+	if math.Abs(y) >= halfOverflow {
+		// Rounding carried the significand past the largest finite half.
+		return math.Inf(int(math.Copysign(1, x)))
+	}
+	return y
+}
+
+// halfBits encodes a half-rounded value as its IEEE-754 binary16 bit
+// pattern (used by the mixed-precision file IO).
+func halfBits(x float64) uint16 {
+	var sign uint16
+	if math.Signbit(x) {
+		sign = 0x8000
+	}
+	switch {
+	case x != x:
+		return sign | 0x7E00 // quiet NaN
+	case math.IsInf(x, 0):
+		return sign | 0x7C00
+	case x == 0:
+		return sign
+	}
+	ax := math.Abs(x)
+	if ax < halfMinNormal {
+		// Subnormal: magnitude is a multiple of the quantum.
+		return sign | uint16(math.Round(ax/halfSubQuantum))
+	}
+	f, e := math.Frexp(ax) // ax = f * 2^e, f in [0.5, 1)
+	// binary16 exponent field for value 1.m * 2^(e-1) is (e-1)+15.
+	exp := uint16(e-1+15) << 10
+	mant := uint16(math.Round((2*f - 1) * (1 << 10)))
+	return sign | exp | mant
+}
+
+// halfFromBits decodes an IEEE-754 binary16 bit pattern.
+func halfFromBits(b uint16) float64 {
+	sign := 1.0
+	if b&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(b>>10) & 0x1F
+	mant := float64(b & 0x3FF)
+	switch exp {
+	case 0:
+		return sign * mant * halfSubQuantum
+	case 0x1F:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * math.Ldexp(1+mant/(1<<10), exp-15)
+	}
+}

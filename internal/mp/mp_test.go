@@ -1,0 +1,358 @@
+package mp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecSize(t *testing.T) {
+	if got := F64.Size(); got != 8 {
+		t.Errorf("F64.Size() = %d, want 8", got)
+	}
+	if got := F32.Size(); got != 4 {
+		t.Errorf("F32.Size() = %d, want 4", got)
+	}
+}
+
+func TestPrecString(t *testing.T) {
+	if F64.String() != "double" || F32.String() != "single" {
+		t.Errorf("String() = %q, %q", F64, F32)
+	}
+	if got := Prec(9).String(); got != "Prec(9)" {
+		t.Errorf("Prec(9).String() = %q", got)
+	}
+}
+
+func TestRoundIdentityForF64(t *testing.T) {
+	f := func(x float64) bool {
+		return F64.Round(x) == x || (math.IsNaN(x) && math.IsNaN(F64.Round(x)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundF32MatchesFloat32(t *testing.T) {
+	f := func(x float64) bool {
+		want := float64(float32(x))
+		got := F32.Round(x)
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundF32IsIdempotent(t *testing.T) {
+	f := func(x float64) bool {
+		once := F32.Round(x)
+		twice := F32.Round(once)
+		if math.IsNaN(once) {
+			return math.IsNaN(twice)
+		}
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundF32Overflow(t *testing.T) {
+	// Values beyond float32 range must overflow to infinity, because that
+	// is what makes the SRAD full-single configuration produce NaN output.
+	if got := F32.Round(1e300); !math.IsInf(got, 1) {
+		t.Errorf("F32.Round(1e300) = %g, want +Inf", got)
+	}
+	if got := F32.Round(-1e300); !math.IsInf(got, -1) {
+		t.Errorf("F32.Round(-1e300) = %g, want -Inf", got)
+	}
+}
+
+func TestTapeDefaultsToDouble(t *testing.T) {
+	tape := NewTape(4)
+	for v := VarID(0); v < 4; v++ {
+		if tape.Prec(v) != F64 {
+			t.Errorf("Prec(%d) = %v, want double", v, tape.Prec(v))
+		}
+	}
+	if tape.NumVars() != 4 {
+		t.Errorf("NumVars() = %d, want 4", tape.NumVars())
+	}
+}
+
+func TestAssignRoundsToDestination(t *testing.T) {
+	tape := NewTape(2)
+	tape.SetPrec(1, F32)
+	x := 1.0 + 1e-12 // not representable in float32
+	if got := tape.Assign(0, x, 1); got != x {
+		t.Errorf("double assign changed value: %g", got)
+	}
+	if got := tape.Assign(1, x, 1); got != float64(float32(x)) {
+		t.Errorf("single assign = %g, want %g", got, float64(float32(x)))
+	}
+}
+
+func TestAssignFlopPrecision(t *testing.T) {
+	// Expression runs in single precision only when destination and all
+	// sources are single.
+	tape := NewTape(3)
+	tape.SetPrec(0, F32)
+	tape.SetPrec(1, F32)
+
+	tape.Assign(0, 1, 2, 1) // f32 <- f32: two single flops
+	c := tape.Cost()
+	if c.Flops32 != 2 || c.Flops64 != 0 || c.Casts != 0 {
+		t.Fatalf("all-single assign cost = %+v", c)
+	}
+
+	tape.Assign(0, 1, 3, 2) // f32 <- f64 source: widened, plus one cast
+	c = tape.Cost()
+	if c.Flops64 != 3 {
+		t.Errorf("Flops64 = %d, want 3", c.Flops64)
+	}
+	if c.Casts != 1 {
+		t.Errorf("Casts = %d, want 1", c.Casts)
+	}
+
+	tape.Assign(2, 1, 1, 0) // f64 <- f32 source: double flop, one cast
+	c = tape.Cost()
+	if c.Flops64 != 4 {
+		t.Errorf("Flops64 = %d, want 4", c.Flops64)
+	}
+	if c.Casts != 2 {
+		t.Errorf("Casts = %d, want 2", c.Casts)
+	}
+}
+
+func TestValueRoundsWithoutWork(t *testing.T) {
+	tape := NewTape(1)
+	tape.SetPrec(0, F32)
+	got := tape.Value(0, math.Pi)
+	if got != float64(float32(math.Pi)) {
+		t.Errorf("Value = %g", got)
+	}
+	if c := tape.Cost(); c.Flops() != 0 || c.Casts != 0 {
+		t.Errorf("Value charged work: %+v", c)
+	}
+}
+
+func TestArrayFootprintAndTraffic(t *testing.T) {
+	tape := NewTape(2)
+	tape.SetPrec(1, F32)
+
+	a64 := tape.NewArray(0, 10)
+	a32 := tape.NewArray(1, 10)
+	c := tape.Cost()
+	if c.Footprint64 != 80 || c.Footprint32 != 40 {
+		t.Fatalf("footprints = %d/%d, want 80/40", c.Footprint64, c.Footprint32)
+	}
+
+	a64.Set(0, 1)
+	_ = a64.Get(0)
+	a32.Set(0, 1)
+	_ = a32.Get(0)
+	c = tape.Cost()
+	if c.Bytes64 != 16 {
+		t.Errorf("Bytes64 = %d, want 16", c.Bytes64)
+	}
+	if c.Bytes32 != 8 {
+		t.Errorf("Bytes32 = %d, want 8", c.Bytes32)
+	}
+}
+
+func TestArrayStoresNarrowedValues(t *testing.T) {
+	tape := NewTape(1)
+	tape.SetPrec(0, F32)
+	a := tape.NewArray(0, 1)
+	x := 1.0 + 1e-12
+	a.Set(0, x)
+	if got := a.Get(0); got != float64(float32(x)) {
+		t.Errorf("Get = %g, want narrowed %g", got, float64(float32(x)))
+	}
+}
+
+func TestArrayFillAndSnapshot(t *testing.T) {
+	tape := NewTape(1)
+	a := tape.NewArray(0, 3)
+	a.Fill(2.5)
+	snap := a.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, v := range snap {
+		if v != 2.5 {
+			t.Errorf("snap[%d] = %g", i, v)
+		}
+	}
+	before := tape.Cost()
+	_ = a.Snapshot()
+	if tape.Cost() != before {
+		t.Error("Snapshot charged traffic")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1.5, math.Pi, 1e-300, -1e300}
+	for _, p := range []Prec{F64, F32} {
+		var buf bytes.Buffer
+		if err := WriteValues(&buf, p, vals); err != nil {
+			t.Fatalf("%v: write: %v", p, err)
+		}
+		if got := buf.Len(); got != len(vals)*int(p.Size()) {
+			t.Fatalf("%v: wrote %d bytes", p, got)
+		}
+		back, err := ReadValues(&buf, p, len(vals))
+		if err != nil {
+			t.Fatalf("%v: read: %v", p, err)
+		}
+		for i, v := range vals {
+			want := p.Round(v)
+			if math.IsInf(want, 0) { // 1e-300/-1e300 under F32
+				if !math.IsInf(back[i], int(math.Copysign(1, want))) {
+					t.Errorf("%v: [%d] = %g, want %g", p, i, back[i], want)
+				}
+				continue
+			}
+			if back[i] != want {
+				t.Errorf("%v: [%d] = %g, want %g", p, i, back[i], want)
+			}
+		}
+	}
+}
+
+func TestReadValuesShortStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteValues(&buf, F64, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadValues(&buf, F64, 2); err == nil {
+		t.Error("expected error on short stream")
+	}
+}
+
+func TestReadIntoConvertsAndCharges(t *testing.T) {
+	// File stored as DOUBLE, destination demoted to single: every element
+	// must arrive narrowed and the load must charge one cast per element.
+	var buf bytes.Buffer
+	x := 1.0 + 1e-12
+	if err := WriteValues(&buf, F64, []float64{x, x}); err != nil {
+		t.Fatal(err)
+	}
+	tape := NewTape(1)
+	tape.SetPrec(0, F32)
+	dst := tape.NewArray(0, 2)
+	if err := ReadInto(&buf, F64, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Get(0); got != float64(float32(x)) {
+		t.Errorf("element = %g, want narrowed", got)
+	}
+	if c := tape.Cost(); c.Casts != 2 {
+		t.Errorf("Casts = %d, want 2", c.Casts)
+	}
+}
+
+func TestWriteFromPreservesDeclaredLayout(t *testing.T) {
+	tape := NewTape(1)
+	tape.SetPrec(0, F32)
+	src := tape.NewArray(0, 2)
+	src.Set(0, 1.5)
+	src.Set(1, 2.5)
+
+	var buf bytes.Buffer
+	if err := WriteFrom(&buf, F64, src); err != nil {
+		t.Fatal(err)
+	}
+	// Declared DOUBLE layout: 2*8 bytes even though the array is single.
+	if buf.Len() != 16 {
+		t.Fatalf("wrote %d bytes, want 16", buf.Len())
+	}
+	back, err := ReadValues(&buf, F64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 1.5 || back[1] != 2.5 {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Flops64: 1, Flops32: 2, Casts: 3, Bytes64: 4, Bytes32: 5, Footprint64: 6, Footprint32: 7}
+	b := a
+	a.Add(b)
+	want := Cost{Flops64: 2, Flops32: 4, Casts: 6, Bytes64: 8, Bytes32: 10, Footprint64: 12, Footprint32: 14}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+	if a.Flops() != 6 || a.Bytes() != 18 || a.Footprint() != 26 {
+		t.Errorf("totals: flops=%d bytes=%d footprint=%d", a.Flops(), a.Bytes(), a.Footprint())
+	}
+}
+
+func TestTapeString(t *testing.T) {
+	tape := NewTape(3)
+	tape.SetPrec(1, F32)
+	if got := tape.String(); got != "tape{vars: 3, single: 1}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestScaleMultipliesAllCharges(t *testing.T) {
+	tape := NewTape(2)
+	tape.SetPrec(1, F32)
+	tape.SetScale(10)
+	a := tape.NewArray(0, 4) // 4*8*10 footprint
+	a.Set(0, 1)              // 8*10 bytes
+	tape.AddFlops(F32, 3)    // 30 single flops
+	tape.AddBytes(F32, 2)    // 20 bytes32
+	tape.Assign(1, 1, 1, 0)  // f32 <- f64: 10 casts, 10 double flops
+	c := tape.Cost()
+	if c.Footprint64 != 320 {
+		t.Errorf("Footprint64 = %d, want 320", c.Footprint64)
+	}
+	if c.Bytes64 != 80 {
+		t.Errorf("Bytes64 = %d, want 80", c.Bytes64)
+	}
+	if c.Flops32 != 30 {
+		t.Errorf("Flops32 = %d, want 30", c.Flops32)
+	}
+	if c.Bytes32 != 20 {
+		t.Errorf("Bytes32 = %d, want 20", c.Bytes32)
+	}
+	if c.Casts != 10 {
+		t.Errorf("Casts = %d, want 10", c.Casts)
+	}
+	if c.Flops64 != 10 {
+		t.Errorf("Flops64 = %d, want 10", c.Flops64)
+	}
+	if tape.Scale() != 10 {
+		t.Errorf("Scale() = %d", tape.Scale())
+	}
+}
+
+func TestSetScalePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for scale 0")
+		}
+	}()
+	NewTape(1).SetScale(0)
+}
+
+// BenchmarkArrayAccess measures the metered load/store path every
+// benchmark iteration pays.
+func BenchmarkArrayAccess(b *testing.B) {
+	tape := NewTape(1)
+	tape.SetPrec(0, F32)
+	a := tape.NewArray(0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i & 1023
+		a.Set(idx, a.Get(idx)+1)
+	}
+}

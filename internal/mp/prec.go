@@ -1,0 +1,92 @@
+// Package mp implements the HPC-MixPBench mixed-precision runtime.
+//
+// The paper's runtime library wraps memory allocation and file IO so that a
+// program whose variables have been demoted from double to single precision
+// still allocates, reads, and writes data of the right width (the mp_malloc,
+// mp_fread, and mp_fwrite calls of Listing 3). This package is the Go
+// equivalent, with one addition made necessary by the reproduction strategy:
+// instead of recompiling a program per precision configuration, benchmarks
+// execute once against a Tape that carries the configuration. Every
+// assignment to a variable that the configuration demotes to single
+// precision is rounded through float32, which is exactly the numeric
+// behaviour of a source-level type demotion (arithmetic evaluates in the
+// wide type, the store narrows).
+//
+// The Tape also meters the work a real mixed-precision binary would perform
+// - floating-point operations per precision, memory traffic per element
+// width, and casts introduced at precision boundaries - so that the
+// perfmodel package can reconstruct execution time for the machine the paper
+// evaluated on.
+package mp
+
+import "fmt"
+
+// Prec identifies a floating-point precision level. The paper's study
+// restricts itself to the two levels supported by Typeforge's refactoring:
+// IEEE-754 binary64 and binary32.
+type Prec uint8
+
+const (
+	// F64 is IEEE-754 double precision, the precision every benchmark
+	// starts from.
+	F64 Prec = iota
+	// F32 is IEEE-754 single precision, the demotion target of the
+	// paper's study.
+	F32
+	// F16 is IEEE-754 half precision, supported as the extension level
+	// the paper motivates for accelerators (p=3); the paper-table
+	// regenerations never assign it.
+	F16
+)
+
+// NumPrecs is the number of precision levels of the paper's study (its
+// p; the search space over loc locations has p^loc points). The runtime
+// additionally supports F16 for extension studies.
+const NumPrecs = 2
+
+// Size returns the width of one value of this precision in bytes.
+func (p Prec) Size() uint64 {
+	switch p {
+	case F32:
+		return 4
+	case F16:
+		return 2
+	default:
+		return 8
+	}
+}
+
+// Round narrows x to the precision p. For F64 this is the identity; for F32
+// the value takes a round trip through float32, which applies IEEE
+// round-to-nearest-even narrowing including overflow to infinity and
+// flush of values below the float32 subnormal range.
+func (p Prec) Round(x float64) float64 {
+	switch p {
+	case F32:
+		return float64(float32(x))
+	case F16:
+		return roundToHalf(x)
+	default:
+		return x
+	}
+}
+
+// String implements fmt.Stringer using the paper's names for the levels.
+func (p Prec) String() string {
+	switch p {
+	case F64:
+		return "double"
+	case F32:
+		return "single"
+	case F16:
+		return "half"
+	default:
+		return fmt.Sprintf("Prec(%d)", uint8(p))
+	}
+}
+
+// VarID names one tunable program location (a variable, parameter, or
+// pointer in the source-level view). IDs are dense indices assigned by a
+// benchmark's variable declaration order, so a precision configuration is a
+// simple slice indexed by VarID.
+type VarID int

@@ -1,0 +1,45 @@
+package mp
+
+// VarProfile is the per-variable slice of a run's cost: where the traffic,
+// arithmetic, and conversions attach. The paper's runtime library exists
+// "for instrumentation and profiling"; this is the profiling half, and it
+// is what a profile-guided search strategy ranks candidates with.
+type VarProfile struct {
+	// Bytes is the array traffic attributed to the variable (zero for
+	// scalars, which live in registers).
+	Bytes uint64
+	// Flops is the arithmetic retired at the variable's assignment sites.
+	Flops uint64
+	// Casts is the conversion work at the variable's precision
+	// boundaries.
+	Casts uint64
+}
+
+// Profile returns the per-variable attribution of the work metered so
+// far, indexed by VarID. The caller owns the returned slice.
+func (t *Tape) Profile() []VarProfile {
+	out := make([]VarProfile, len(t.perVar))
+	copy(out, t.perVar)
+	return out
+}
+
+// attributeBytes adds array traffic to a variable's profile.
+func (t *Tape) attributeBytes(v VarID, bytes uint64) {
+	if int(v) < len(t.perVar) {
+		t.perVar[v].Bytes += bytes
+	}
+}
+
+// attributeFlops adds assignment-site arithmetic to a variable's profile.
+func (t *Tape) attributeFlops(v VarID, flops uint64) {
+	if int(v) < len(t.perVar) {
+		t.perVar[v].Flops += flops
+	}
+}
+
+// attributeCasts adds conversion work to a variable's profile.
+func (t *Tape) attributeCasts(v VarID, casts uint64) {
+	if int(v) < len(t.perVar) {
+		t.perVar[v].Casts += casts
+	}
+}

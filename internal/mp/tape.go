@@ -1,0 +1,160 @@
+package mp
+
+import "fmt"
+
+// Tape carries one precision configuration through one benchmark execution
+// and meters the work performed against it. A benchmark's Run method
+// receives a fresh Tape per evaluation; the search framework sets the
+// precision of each variable before the run and reads the accumulated Cost
+// afterwards.
+//
+// The zero Tape is not usable; construct with NewTape.
+type Tape struct {
+	prec        []Prec
+	cost        Cost
+	scale       uint64
+	perVar      []VarProfile
+	computeOnly bool
+}
+
+// NewTape returns a Tape for a program with n tunable variables, all at
+// double precision (the original program).
+func NewTape(n int) *Tape {
+	return &Tape{prec: make([]Prec, n), scale: 1, perVar: make([]VarProfile, n)}
+}
+
+// SetScale sets the problem-size multiplier k (at least 1): every metered
+// quantity - flops, traffic, footprint, casts - is charged k times.
+//
+// Benchmarks use this to model the paper's problem sizes while computing on
+// proportionally smaller arrays: numeric accuracy is evaluated on the real
+// computation, and the cost counters describe the same loops run at k times
+// the size. The search algorithms never observe the difference because they
+// only consume (error, modelled time) pairs.
+func (t *Tape) SetScale(k uint64) {
+	if k < 1 {
+		panic("mp: scale must be at least 1")
+	}
+	t.scale = k
+}
+
+// Scale returns the active problem-size multiplier.
+func (t *Tape) Scale() uint64 { return t.scale }
+
+// SetComputeOnly switches the tape to IR-level demotion semantics: a
+// demoted variable's arithmetic narrows (values round, flops retire at the
+// narrow rate) but its storage does not - arrays stay at their declared
+// double width, so traffic and footprint are unchanged.
+//
+// This models the paper's lower-level analysis tier (Section II,
+// "for example on LLVM IR ... the locations can be any SSA register"):
+// an IR tool rewrites instructions, not allocations. The paper's LavaMD
+// insight - that the cache-behaviour speedups of source-level demotion
+// "cannot be discovered from tools that operate on the intermediate
+// representation ... because the application memory is not changed" -
+// falls out of this switch; see BenchmarkAblationIRLevel.
+func (t *Tape) SetComputeOnly(on bool) { t.computeOnly = on }
+
+// ComputeOnly reports whether IR-level demotion semantics are active.
+func (t *Tape) ComputeOnly() bool { return t.computeOnly }
+
+// storageWidth returns the width variable v's storage uses: its
+// configured precision at source level, always double under IR-level
+// semantics.
+func (t *Tape) storageWidth(v VarID) Prec {
+	if t.computeOnly {
+		return F64
+	}
+	return t.prec[v]
+}
+
+// NumVars returns the number of tunable variables the tape was built for.
+func (t *Tape) NumVars() int { return len(t.prec) }
+
+// SetPrec assigns precision p to variable v. It panics on an out-of-range
+// ID, which always indicates a benchmark declaring fewer variables than its
+// Run method uses.
+func (t *Tape) SetPrec(v VarID, p Prec) {
+	t.prec[v] = p
+}
+
+// Prec reports the precision the configuration assigns to variable v.
+func (t *Tape) Prec(v VarID) Prec { return t.prec[v] }
+
+// Cost returns the work metered so far.
+func (t *Tape) Cost() Cost { return t.cost }
+
+// AddFlops records n floating-point operations retired at precision p.
+// Benchmarks use it for work that is not tied to an Assign site, such as
+// reductions folded into library calls.
+func (t *Tape) AddFlops(p Prec, n uint64) {
+	switch p {
+	case F32:
+		t.cost.Flops32 += n * t.scale
+	case F16:
+		t.cost.Flops16 += n * t.scale
+	default:
+		t.cost.Flops64 += n * t.scale
+	}
+}
+
+// AddCasts records n precision-conversion operations.
+func (t *Tape) AddCasts(n uint64) { t.cost.Casts += n * t.scale }
+
+// AddBytes records n bytes of array traffic at precision p, for work that
+// is not routed through an Array accessor.
+func (t *Tape) AddBytes(p Prec, n uint64) {
+	switch p {
+	case F32:
+		t.cost.Bytes32 += n * t.scale
+	case F16:
+		t.cost.Bytes16 += n * t.scale
+	default:
+		t.cost.Bytes64 += n * t.scale
+	}
+}
+
+// Assign stores x into variable dst: the value is rounded to dst's
+// configured precision and returned, flops operations are charged at the
+// precision the expression executes in, and one cast is charged for every
+// source variable whose precision differs from dst's.
+//
+// The expression precision rule mirrors C usual-arithmetic conversions
+// after a source-level demotion: the arithmetic runs at the widest
+// precision among the destination and the named sources, so a narrow
+// store only buys narrow arithmetic when the whole expression is narrow.
+func (t *Tape) Assign(dst VarID, x float64, flops uint64, srcs ...VarID) float64 {
+	dp := t.prec[dst]
+	ep := dp // expression precision: the widest operand wins
+	for _, s := range srcs {
+		sp := t.prec[s]
+		if sp != dp {
+			t.cost.Casts += t.scale
+			t.attributeCasts(dst, t.scale)
+		}
+		if sp < ep { // Prec values order widest-first (F64 < F32 < F16)
+			ep = sp
+		}
+	}
+	t.AddFlops(ep, flops)
+	t.attributeFlops(dst, flops*t.scale)
+	return dp.Round(x)
+}
+
+// Value rounds x to the precision of v without charging any work. It models
+// reading a constant or an input value through a typed variable.
+func (t *Tape) Value(v VarID, x float64) float64 {
+	return t.prec[v].Round(x)
+}
+
+// String summarises the configuration, listing the single-precision
+// variables by ID.
+func (t *Tape) String() string {
+	singles := 0
+	for _, p := range t.prec {
+		if p == F32 {
+			singles++
+		}
+	}
+	return fmt.Sprintf("tape{vars: %d, single: %d}", len(t.prec), singles)
+}

@@ -1,0 +1,210 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/suite"
+)
+
+// Compare renders a markdown paper-vs-measured comparison for every table
+// and figure, the body of EXPERIMENTS.md. It requires a full study.
+func (s *Study) Compare() string {
+	var b strings.Builder
+	b.WriteString("## Table III — kernel study (threshold 1e-8)\n\n")
+	b.WriteString("Speedup of the configuration each algorithm converged to. ")
+	b.WriteString("`paper -> measured` per cell.\n\n")
+	b.WriteString("| Kernel | " + strings.Join(KernelAlgorithms, " | ") + " |\n")
+	b.WriteString("|---|" + strings.Repeat("---|", len(KernelAlgorithms)) + "\n")
+	for _, k := range suite.Kernels() {
+		fmt.Fprintf(&b, "| %s |", k.Name())
+		for _, algo := range KernelAlgorithms {
+			paper := PaperTableIIISpeedups[k.Name()][algo]
+			got := s.Kernel[k.Name()][algo].Speedup
+			fmt.Fprintf(&b, " %.2f -> %.2f |", paper, got)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\n## Table IV — manual whole-program single conversion\n\n")
+	b.WriteString("| Application | Speedup (paper -> measured) | Quality loss (paper -> measured) |\n")
+	b.WriteString("|---|---|---|\n")
+	for _, a := range suite.Apps() {
+		paper := PaperTableIV[a.Name()]
+		got := s.Conversion[a.Name()]
+		fmt.Fprintf(&b, "| %s | %.2f -> %.2f | %s -> %s |\n",
+			a.Name(), paper.Speedup, got.Speedup,
+			lossString(paper.Loss), lossString(got.QualityLoss))
+	}
+
+	b.WriteString("\n## Table V — application study\n\n")
+	b.WriteString("Speedups per threshold; `--` marks an empty cell (no result within the\n")
+	b.WriteString("24-hour budget). `paper -> measured` per cell.\n")
+	for _, th := range AppThresholds {
+		fmt.Fprintf(&b, "\n### Threshold %s\n\n", formatThreshold(th))
+		b.WriteString("| Application | " + strings.Join(AppAlgorithms, " | ") + " |\n")
+		b.WriteString("|---|" + strings.Repeat("---|", len(AppAlgorithms)) + "\n")
+		for _, a := range suite.Apps() {
+			fmt.Fprintf(&b, "| %s |", a.Name())
+			for _, algo := range AppAlgorithms {
+				paper := PaperTableVSpeedups[th][a.Name()][algo]
+				r := s.App[th][a.Name()][algo]
+				cell := "--"
+				if CellFilled(r) {
+					cell = fmt.Sprintf("%.2f", r.Speedup)
+				}
+				fmt.Fprintf(&b, " %s -> %s |", cellString(paper), cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	b.WriteString("\n## Shape summary\n\n")
+	b.WriteString(s.shapeSummary())
+	return b.String()
+}
+
+// shapeSummary checks the paper's headline findings against the study and
+// reports each as reproduced or diverging.
+func (s *Study) shapeSummary() string {
+	var b strings.Builder
+	checks := []struct {
+		claim string
+		ok    bool
+	}{
+		{
+			"banded-lin-eq demotes with a >2x (cache-step) speedup for every algorithm",
+			func() bool {
+				for _, algo := range KernelAlgorithms {
+					if s.Kernel["banded-lin-eq"][algo].Speedup < 2 {
+						return false
+					}
+				}
+				return true
+			}(),
+		},
+		{
+			"eos, gen-lin-recur, planckian, tridiag stay near 1.0x at 1e-8 (not demotable)",
+			func() bool {
+				for _, k := range []string{"eos", "gen-lin-recur", "planckian", "tridiag"} {
+					for _, algo := range KernelAlgorithms {
+						su := s.Kernel[k][algo].Speedup
+						if su < 0.9 || su > 1.1 {
+							return false
+						}
+					}
+				}
+				return true
+			}(),
+		},
+		{
+			"LavaMD's full demotion wins >2.2x at 1e-3 and collapses to ~1.0x at 1e-8",
+			func() bool {
+				loose := s.App[1e-3]["LavaMD"]["DD"].Speedup
+				strict := s.App[1e-8]["LavaMD"]["DD"].Speedup
+				return loose > 2.2 && strict < 1.1
+			}(),
+		},
+		{
+			"SRAD never tunes: ~1.0x and zero error at every threshold",
+			func() bool {
+				for _, th := range AppThresholds {
+					for _, algo := range AppAlgorithms {
+						r := s.App[th]["SRAD"][algo]
+						if CellFilled(r) && (r.Speedup > 1.1 || r.Quality != 0) {
+							return false
+						}
+					}
+				}
+				return true
+			}(),
+		},
+		{
+			"CM exhausts the 24-hour budget on variable-rich applications (empty cells exist)",
+			func() bool {
+				empty := 0
+				for _, th := range AppThresholds {
+					for _, a := range suite.Apps() {
+						if r := s.App[th][a.Name()]["CM"]; !CellFilled(r) {
+							empty++
+						}
+					}
+				}
+				return empty >= 3
+			}(),
+		},
+		{
+			"DD's evaluation count grows as the threshold tightens (Blackscholes)",
+			func() bool {
+				return s.App[1e-8]["Blackscholes"]["DD"].Evaluated >
+					s.App[1e-3]["Blackscholes"]["DD"].Evaluated
+			}(),
+		},
+		{
+			"GA's evaluation count is nearly constant across applications and thresholds",
+			func() bool {
+				lo, hi := math.MaxInt32, 0
+				for _, th := range AppThresholds {
+					for _, a := range suite.Apps() {
+						r := s.App[th][a.Name()]["GA"]
+						if !CellFilled(r) {
+							continue
+						}
+						if r.Evaluated < lo {
+							lo = r.Evaluated
+						}
+						if r.Evaluated > hi {
+							hi = r.Evaluated
+						}
+					}
+				}
+				return hi <= 3*lo
+			}(),
+		},
+		{
+			"DD finds the fastest (or tied-fastest) configuration at the loose threshold",
+			func() bool {
+				wins := 0
+				for _, a := range suite.Apps() {
+					dd := s.App[1e-3][a.Name()]["DD"].Speedup
+					best := 0.0
+					for _, algo := range AppAlgorithms {
+						if r := s.App[1e-3][a.Name()][algo]; CellFilled(r) && r.Speedup > best {
+							best = r.Speedup
+						}
+					}
+					if dd >= 0.97*best {
+						wins++
+					}
+				}
+				return wins >= 5
+			}(),
+		},
+	}
+	for _, c := range checks {
+		mark := "REPRODUCED"
+		if !c.ok {
+			mark = "DIVERGES"
+		}
+		fmt.Fprintf(&b, "- [%s] %s\n", mark, c.claim)
+	}
+	return b.String()
+}
+
+func lossString(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+func cellString(v float64) string {
+	if math.IsNaN(v) {
+		return "--"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

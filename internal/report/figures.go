@@ -1,0 +1,205 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/suite"
+)
+
+// Point is one figure sample.
+type Point struct {
+	Label     string  // application name
+	Algorithm string  // DD or GA (figures 2a/2b); any algorithm (figure 3)
+	Threshold float64 // quality threshold of the scenario
+	X, Y      float64
+}
+
+// Figure2aData returns the series behind Figure 2a: application analysis
+// complexity (total clusters, x) against evaluated configurations (y) for
+// DD and GA at every threshold - the two strategies that completed every
+// application at every threshold.
+func (s *Study) Figure2aData() []Point {
+	return s.figure2(func(r reportCell) float64 { return float64(r.Evaluated) })
+}
+
+// Figure2bData returns the series behind Figure 2b: complexity (x)
+// against obtained speedup (y) for DD and GA.
+func (s *Study) Figure2bData() []Point {
+	return s.figure2(func(r reportCell) float64 { return r.Speedup })
+}
+
+type reportCell struct {
+	Evaluated int
+	Speedup   float64
+}
+
+func (s *Study) figure2(y func(reportCell) float64) []Point {
+	var pts []Point
+	for _, th := range AppThresholds {
+		for _, a := range suite.Apps() {
+			for _, algo := range []string{"DD", "GA"} {
+				r, ok := s.App[th][a.Name()][algo]
+				if !ok || !CellFilled(r) {
+					continue
+				}
+				pts = append(pts, Point{
+					Label:     a.Name(),
+					Algorithm: algo,
+					Threshold: th,
+					X:         float64(a.Graph().NumClusters()),
+					Y:         y(reportCell{r.Evaluated, r.Speedup}),
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// Figure3Data returns the scatter behind Figure 3: number of tested
+// configurations (x, a proxy for search time) against the speedup of the
+// configuration found (y), over every search scenario of the study -
+// kernels and applications, all algorithms, all thresholds.
+func (s *Study) Figure3Data() []Point {
+	var pts []Point
+	for _, k := range suite.Kernels() {
+		for _, algo := range KernelAlgorithms {
+			r, ok := s.Kernel[k.Name()][algo]
+			if !ok || !CellFilled(r) {
+				continue
+			}
+			pts = append(pts, Point{
+				Label: k.Name(), Algorithm: algo, Threshold: KernelThreshold,
+				X: float64(r.Evaluated), Y: r.Speedup,
+			})
+		}
+	}
+	for _, th := range AppThresholds {
+		for _, a := range suite.Apps() {
+			for _, algo := range AppAlgorithms {
+				r, ok := s.App[th][a.Name()][algo]
+				if !ok || !CellFilled(r) {
+					continue
+				}
+				pts = append(pts, Point{
+					Label: a.Name(), Algorithm: algo, Threshold: th,
+					X: float64(r.Evaluated), Y: r.Speedup,
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// FigureCSV renders points as a CSV document (label, algorithm,
+// threshold, x, y), for external plotting.
+func FigureCSV(header string, pts []Point) string {
+	var b strings.Builder
+	b.WriteString("# " + header + "\n")
+	b.WriteString("label,algorithm,threshold,x,y\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s,%s,%s,%g,%g\n", p.Label, p.Algorithm, formatThreshold(p.Threshold), p.X, p.Y)
+	}
+	return b.String()
+}
+
+// Figure2a renders Figure 2a as CSV plus an ASCII summary.
+func (s *Study) Figure2a() string {
+	pts := s.Figure2aData()
+	return FigureCSV("Figure 2a: clusters (x) vs evaluated configurations (y), DD vs GA", pts) +
+		"\n" + asciiScatter(pts, "clusters", "evaluated configs", true)
+}
+
+// Figure2b renders Figure 2b as CSV plus an ASCII summary.
+func (s *Study) Figure2b() string {
+	pts := s.Figure2bData()
+	return FigureCSV("Figure 2b: clusters (x) vs speedup (y), DD vs GA", pts) +
+		"\n" + asciiScatter(pts, "clusters", "speedup", false)
+}
+
+// Figure3 renders Figure 3 as CSV plus an ASCII summary.
+func (s *Study) Figure3() string {
+	pts := s.Figure3Data()
+	return FigureCSV("Figure 3: tested configurations (x) vs speedup (y), all scenarios", pts) +
+		"\n" + asciiScatter(pts, "tested configs", "speedup", true)
+}
+
+// asciiScatter draws a coarse scatter plot for terminal inspection. logX
+// compresses heavy-tailed x axes (evaluation counts).
+func asciiScatter(pts []Point, xLabel, yLabel string, logX bool) string {
+	if len(pts) == 0 {
+		return "(no data)\n"
+	}
+	const w, h = 64, 16
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		x := p.X
+		if logX {
+			x = math.Log10(math.Max(x, 1))
+		}
+		xs[i] = x
+		ys[i] = p.Y
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for i, p := range pts {
+		cx := int((xs[i] - minX) / (maxX - minX) * float64(w-1))
+		cy := h - 1 - int((ys[i]-minY)/(maxY-minY)*float64(h-1))
+		marker := byte('+')
+		switch p.Algorithm {
+		case "DD":
+			marker = 'D'
+		case "GA":
+			marker = 'G'
+		}
+		grid[cy][cx] = marker
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: %s [%.3g .. %.3g]\n", yLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("| " + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w+1) + "\n")
+	scale := ""
+	if logX {
+		scale = " (log10)"
+	}
+	fmt.Fprintf(&b, "x: %s%s [%.3g .. %.3g]\n", xLabel, scale, minX, maxX)
+	return b.String()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// SortPoints orders points deterministically (by algorithm, threshold,
+// label) for stable output.
+func SortPoints(pts []Point) {
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].Algorithm != pts[b].Algorithm {
+			return pts[a].Algorithm < pts[b].Algorithm
+		}
+		if pts[a].Threshold != pts[b].Threshold {
+			return pts[a].Threshold > pts[b].Threshold
+		}
+		return pts[a].Label < pts[b].Label
+	})
+}

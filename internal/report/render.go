@@ -1,0 +1,225 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+
+	"repro/internal/mp"
+	"repro/internal/suite"
+	"repro/internal/typedep"
+)
+
+// TableI renders the kernel inventory (paper Table I).
+func TableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: Kernels included in HPC-MixPBench\n\n")
+	w := newTextTable("Name", "Description")
+	for _, k := range suite.Kernels() {
+		w.row(k.Name(), k.Description())
+	}
+	b.WriteString(w.String())
+	return b.String()
+}
+
+// TableII renders the Typeforge complexity inventory (paper Table II):
+// Total Variables and Total Clusters per benchmark, plus the resulting
+// two-level search-space sizes (the paper's p^loc with p=2) showing how
+// much the clustering compresses each program's space.
+func TableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: Total Variables (TV) and Total Clusters (TC) identified by the\n")
+	b.WriteString("type-dependence analysis as possible transformations, with the two-level\n")
+	b.WriteString("search-space sizes they induce (2^TV raw, 2^TC after clustering)\n\n")
+	w := newTextTable("Kind", "Name", "TV", "TC", "2^TV", "2^TC")
+	for _, k := range suite.Kernels() {
+		w.row(tableIIRow("kernel", k)...)
+	}
+	for _, a := range suite.Apps() {
+		w.row(tableIIRow("application", a)...)
+	}
+	b.WriteString(w.String())
+	return b.String()
+}
+
+// tableIIRow assembles one Table II row, rendering astronomically large
+// spaces in scientific notation.
+func tableIIRow(kind string, b interface {
+	Name() string
+	Graph() *typedep.Graph
+}) []string {
+	g := b.Graph()
+	return []string{
+		kind, b.Name(),
+		fmt.Sprint(g.NumVars()), fmt.Sprint(g.NumClusters()),
+		spaceSize(g.NumVars()), spaceSize(g.NumClusters()),
+	}
+}
+
+// spaceSize formats 2^n compactly: exact below 2^20, scientific above.
+func spaceSize(n int) string {
+	size := typedep.SearchSpaceSize(mp.NumPrecs, n)
+	if n <= 20 {
+		return size.String()
+	}
+	f := new(big.Float).SetInt(size)
+	return fmt.Sprintf("%.1e", f)
+}
+
+// TableIII renders the kernel study (paper Table III): quality (in units
+// of 1e-9), evaluated configurations, and speedup per kernel and
+// algorithm.
+func (s *Study) TableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III: Evaluation results of kernel codes (threshold 1e-8)\n")
+	b.WriteString("Quality reported in units of 1e-9; EV = evaluated configurations; SU = speedup\n\n")
+	for _, section := range []string{"Quality(1e-9)", "Evaluated Configs", "Speedup"} {
+		b.WriteString(section + "\n")
+		w := newTextTable(append([]string{"Application"}, KernelAlgorithms...)...)
+		for _, k := range suite.Kernels() {
+			cells := []string{k.Name()}
+			for _, algo := range KernelAlgorithms {
+				r := s.Kernel[k.Name()][algo]
+				switch section {
+				case "Quality(1e-9)":
+					cells = append(cells, formatQuality(r.Quality, 1e-9))
+				case "Evaluated Configs":
+					cells = append(cells, fmt.Sprint(r.Evaluated))
+				default:
+					cells = append(cells, fmt.Sprintf("%.2f", r.Speedup))
+				}
+			}
+			w.row(cells...)
+		}
+		b.WriteString(w.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TableIV renders the manual whole-program conversion study (paper Table
+// IV).
+func (s *Study) TableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV: Application speedup and quality loss when comparing single- to\n")
+	b.WriteString("double-precision executions (manual whole-program conversion)\n\n")
+	w := newTextTable("Application", "Speed Up", "Quality Metric", "Quality Loss")
+	for _, a := range suite.Apps() {
+		row := s.Conversion[a.Name()]
+		loss := "NaN"
+		if !math.IsNaN(row.QualityLoss) {
+			loss = fmt.Sprintf("%.2E", row.QualityLoss)
+		}
+		w.row(row.App, fmt.Sprintf("%.2f", row.Speedup), row.Metric.String(), loss)
+	}
+	b.WriteString(w.String())
+	return b.String()
+}
+
+// TableV renders the application study (paper Table V) for every
+// threshold: speedup, evaluated configurations, and quality per
+// application and algorithm; timed-out analyses render as empty cells.
+func (s *Study) TableV() string {
+	var b strings.Builder
+	b.WriteString("Table V: Evaluation results of the applications at quality thresholds\n")
+	b.WriteString("1e-3, 1e-6, 1e-8 (empty cells: no result within the 24-hour budget)\n\n")
+	for _, th := range AppThresholds {
+		for _, section := range []string{"Speedup", "Evaluated Configs", "Quality"} {
+			fmt.Fprintf(&b, "%s (threshold %s)\n", section, formatThreshold(th))
+			w := newTextTable(append([]string{"Application"}, AppAlgorithms...)...)
+			for _, a := range suite.Apps() {
+				cells := []string{a.Name()}
+				for _, algo := range AppAlgorithms {
+					r := s.App[th][a.Name()][algo]
+					if !CellFilled(r) {
+						cells = append(cells, "")
+						continue
+					}
+					switch section {
+					case "Speedup":
+						cells = append(cells, fmt.Sprintf("%.2f", r.Speedup))
+					case "Evaluated Configs":
+						cells = append(cells, fmt.Sprint(r.Evaluated))
+					default:
+						cells = append(cells, formatQuality(r.Quality, 1))
+					}
+				}
+				w.row(cells...)
+			}
+			b.WriteString(w.String())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// formatQuality renders an error value in the given unit; exact zero stays
+// "0" and NaN marks destroyed output.
+func formatQuality(q, unit float64) string {
+	switch {
+	case math.IsNaN(q):
+		return "NaN"
+	case q == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", q/unit)
+	}
+}
+
+// formatThreshold renders 1e-3 style threshold labels.
+func formatThreshold(th float64) string {
+	return fmt.Sprintf("1e%d", int(math.Round(math.Log10(th))))
+}
+
+// textTable lays out aligned columns.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) row(cells ...string) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("report: row has %d cells, header has %d", len(cells), len(t.header)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := len(t.header)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

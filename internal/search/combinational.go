@@ -1,0 +1,78 @@
+package search
+
+// Combinational is the brute-force strategy (the paper's CB): it tries all
+// combinations of clusters and keeps the fastest passing one. It is only
+// tractable for the kernel benchmarks, which is exactly the role the paper
+// assigns it - ground truth to compare the other strategies against. On a
+// large space it simply runs until the analysis budget expires.
+//
+// Subsets are visited in descending size, so the most aggressive
+// configurations (the likeliest big wins) are tested first and an early
+// budget expiry still leaves a meaningful best-so-far.
+type Combinational struct{}
+
+// Name returns "CB".
+func (Combinational) Name() string { return "CB" }
+
+// Mode returns ByCluster.
+func (Combinational) Mode() Mode { return ByCluster }
+
+// Search enumerates every non-empty subset of the clusters.
+func (c Combinational) Search(e *Evaluator) Outcome {
+	n := e.Space().NumUnits()
+	var (
+		best    Set
+		bestRes Result
+		found   bool
+		stopErr error
+	)
+enumeration:
+	for size := n; size >= 1; size-- {
+		stop := forEachSubsetOfSize(n, size, func(set Set) bool {
+			r, err := e.Evaluate(set)
+			if err != nil {
+				stopErr = err
+				return false
+			}
+			if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
+				best, bestRes, found = set, r, true
+			}
+			return true
+		})
+		if stop {
+			break enumeration
+		}
+	}
+	return finish(c.Name(), e, best, bestRes, found, stopErr)
+}
+
+// forEachSubsetOfSize visits every subset of {0..n-1} with exactly k
+// members in lexicographic order, calling fn for each. fn returns false to
+// stop; forEachSubsetOfSize then returns true.
+func forEachSubsetOfSize(n, k int, fn func(Set) bool) bool {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		set := NewSet(n)
+		for _, i := range idx {
+			set.Add(i)
+		}
+		if !fn(set) {
+			return true
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return false
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package search
+
+// DeltaDebug is the paper's DD strategy (Precimonious lineage): a modified
+// binary search over the list of clusters. It first tries to demote
+// everything; on failure it recursively bisects the candidate list,
+// keeping every half that can be demoted on top of what is already
+// demoted, and descending into halves that cannot. It terminates at a
+// local minimum where no remaining cluster can be converted.
+//
+// The paper's findings about DD fall out of this structure: at loose
+// thresholds the whole program passes at once (two evaluations and done);
+// as the threshold tightens, more bisection levels fail and the number of
+// evaluated configurations grows, but the converged configuration
+// consistently carries the most speedup of all strategies because every
+// accepted half is re-validated in the context of everything accepted
+// before it.
+type DeltaDebug struct{}
+
+// Name returns "DD".
+func (DeltaDebug) Name() string { return "DD" }
+
+// Mode returns ByCluster.
+func (DeltaDebug) Mode() Mode { return ByCluster }
+
+// Search runs the recursive bisection.
+func (d DeltaDebug) Search(e *Evaluator) Outcome {
+	n := e.Space().NumUnits()
+	lowered := NewSet(n)
+	var stopErr error
+
+	// test evaluates lowered+candidates and accepts the candidates when
+	// the combined configuration passes.
+	test := func(candidates []int) (bool, Result) {
+		set := lowered.Clone()
+		for _, i := range candidates {
+			set.Add(i)
+		}
+		r, err := e.Evaluate(set)
+		if err != nil {
+			stopErr = err
+			return false, r
+		}
+		return r.Passed, r
+	}
+
+	var descend func(candidates []int)
+	descend = func(candidates []int) {
+		if len(candidates) == 0 || stopErr != nil {
+			return
+		}
+		ok, _ := test(candidates)
+		if stopErr != nil {
+			return
+		}
+		if ok {
+			for _, i := range candidates {
+				lowered.Add(i)
+			}
+			return
+		}
+		if len(candidates) == 1 {
+			return // this cluster cannot be converted
+		}
+		mid := len(candidates) / 2
+		descend(candidates[:mid])
+		descend(candidates[mid:])
+	}
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	descend(all)
+
+	if stopErr != nil || lowered.Count() == 0 {
+		return finish(d.Name(), e, Set{}, Result{}, false, stopErr)
+	}
+	r, err := e.Evaluate(lowered) // cached: the accepting test ran it
+	if err != nil {
+		return finish(d.Name(), e, Set{}, Result{}, false, err)
+	}
+	return finish(d.Name(), e, lowered, r, r.Passed, nil)
+}

@@ -1,0 +1,252 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/verify"
+)
+
+// ErrBudgetExhausted reports that an evaluation would exceed the analysis
+// time budget (the paper's 24-hour wall-clock limit per application and
+// algorithm). Strategies stop where they are and report a timeout.
+var ErrBudgetExhausted = errors.New("search: analysis time budget exhausted")
+
+// Result is everything a strategy learns about one configuration.
+type Result struct {
+	// Valid reports whether the configuration compiled. Variable-level
+	// strategies can propose cluster-splitting selections; those fail
+	// without running.
+	Valid bool
+	// Verdict carries the quality check (zero value when !Valid).
+	Verdict verify.Verdict
+	// Speedup is baseline time over configuration time, the paper's SU.
+	Speedup float64
+	// Passed is the bottom line: the configuration compiled, ran, and met
+	// the quality threshold.
+	Passed bool
+}
+
+// Evaluator runs configurations for one (benchmark, threshold) pair. It is
+// the reproduction of the FloatSmith evaluation pipeline: build the
+// variant, run it the protocol's ten times, verify the output, and account
+// the spent time against the analysis budget.
+type Evaluator struct {
+	space     *Space
+	runner    *bench.Runner
+	benchmark bench.Benchmark
+	threshold float64
+
+	// typeforgeExpand controls whether unit selections pull whole
+	// type-change sets (see Space.Expand).
+	typeforgeExpand bool
+
+	// Budget accounting, in simulated seconds.
+	budget    float64
+	spent     float64
+	buildCost float64
+
+	reference bench.Result
+	cache     map[string]Result
+	evaluated int
+
+	traceOn bool
+	trace   []TraceEntry
+}
+
+// TraceEntry records one evaluated configuration in evaluation order, the
+// equivalent of CRAFT's per-configuration log. Cache hits do not appear:
+// the trace is the sequence of builds the analysis actually paid for.
+type TraceEntry struct {
+	// Seq is the 1-based evaluation index (equals the EV counter at the
+	// time of evaluation).
+	Seq int
+	// Config is the expanded variable-level configuration key (one digit
+	// per variable, 0=double 1=single).
+	Config string
+	// Singles is the number of demoted variables.
+	Singles int
+	// Result is the evaluation outcome.
+	Result Result
+	// SpentSeconds is the cumulative simulated analysis time after this
+	// evaluation.
+	SpentSeconds float64
+}
+
+// Budget and cost defaults reproducing the paper's experimental setup.
+const (
+	// DefaultBudgetSeconds is the paper's per-analysis limit: 24 hours.
+	DefaultBudgetSeconds = 24 * 60 * 60
+	// DefaultBuildSeconds charges each new configuration for its
+	// Typeforge transformation and recompilation.
+	DefaultBuildSeconds = 30
+)
+
+// NewEvaluator builds an evaluator over space with the paper's default
+// budget. The baseline (all-double) measurement is taken immediately and
+// charged against the budget like any other configuration.
+func NewEvaluator(space *Space, runner *bench.Runner, b bench.Benchmark, threshold float64) *Evaluator {
+	e := &Evaluator{
+		space:     space,
+		runner:    runner,
+		benchmark: b,
+		threshold: threshold,
+		budget:    DefaultBudgetSeconds,
+		buildCost: DefaultBuildSeconds,
+		cache:     make(map[string]Result),
+	}
+	e.reference = runner.Reference(b)
+	e.spent += e.buildCost + e.reference.Measured.Total
+	// The all-double selection IS the baseline: seed the cache so
+	// strategies that propose it (GA's random draws, DD's empty result)
+	// get it for free, as CRAFT does.
+	emptyCfg, _ := space.Expand(NewSet(space.NumUnits()), false)
+	e.cache[emptyCfg.Key()] = Result{
+		Valid:   true,
+		Verdict: verify.Verdict{Error: 0, Passed: true},
+		Speedup: 1.0,
+		Passed:  true,
+	}
+	return e
+}
+
+// SetBudget overrides the analysis budget (seconds of simulated time).
+func (e *Evaluator) SetBudget(seconds float64) { e.budget = seconds }
+
+// SetTypeforgeExpand switches unit selections to pull whole type-change
+// sets (used by the compositional strategies; see the package comment).
+func (e *Evaluator) SetTypeforgeExpand(on bool) { e.typeforgeExpand = on }
+
+// SetTrace enables per-configuration trace recording (off by default; the
+// trace of a budget-length analysis holds a few thousand entries).
+func (e *Evaluator) SetTrace(on bool) { e.traceOn = on }
+
+// Trace returns the recorded evaluations in order. The caller must not
+// modify the returned slice.
+func (e *Evaluator) Trace() []TraceEntry { return e.trace }
+
+// Space returns the search space.
+func (e *Evaluator) Space() *Space { return e.space }
+
+// Threshold returns the quality threshold configurations must meet.
+func (e *Evaluator) Threshold() float64 { return e.threshold }
+
+// Reference returns the baseline (all-double) measurement.
+func (e *Evaluator) Reference() bench.Result { return e.reference }
+
+// Evaluated returns the paper's EV metric: the number of distinct
+// configurations built and tested so far (cache hits are free, exactly as
+// CRAFT memoises repeated proposals).
+func (e *Evaluator) Evaluated() int { return e.evaluated }
+
+// Spent returns the simulated analysis seconds consumed.
+func (e *Evaluator) Spent() float64 { return e.spent }
+
+// Key returns the canonical identity of the configuration a selection
+// expands to. Distinct selections can share a configuration (variable
+// selections within one type-change set expand identically); strategies
+// that enumerate compositions must dedupe by this key, or they wander
+// forever through cost-free cache hits.
+func (e *Evaluator) Key(set Set) string {
+	cfg, _ := e.space.Expand(set, e.typeforgeExpand)
+	return cfg.Key()
+}
+
+// Evaluate builds, runs, and verifies one unit selection. It returns
+// ErrBudgetExhausted once the analysis budget is gone; every other path
+// yields a Result (an invalid selection is a non-passing Result, not an
+// error).
+func (e *Evaluator) Evaluate(set Set) (Result, error) {
+	if set.Len() != e.space.NumUnits() {
+		return Result{}, fmt.Errorf("search: selection over %d units, space has %d", set.Len(), e.space.NumUnits())
+	}
+	cfg, valid := e.space.Expand(set, e.typeforgeExpand)
+	key := cfg.Key()
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	if e.spent >= e.budget {
+		return Result{}, ErrBudgetExhausted
+	}
+	e.evaluated++
+	if !valid {
+		// The variant does not compile: the build time is lost, nothing
+		// runs.
+		e.spent += e.buildCost
+		r := Result{Valid: false}
+		e.cache[key] = r
+		e.record(key, cfg.Singles(), r)
+		return r, nil
+	}
+	res := e.runner.Run(e.benchmark, cfg)
+	e.spent += e.buildCost + res.Measured.Total
+	v, err := verify.Check(e.benchmark.Metric(), e.reference.Output.Values, res.Output.Values, e.threshold)
+	if err != nil {
+		return Result{}, fmt.Errorf("search: verifying %s: %w", e.benchmark.Name(), err)
+	}
+	r := Result{
+		Valid:   true,
+		Verdict: v,
+		Speedup: e.reference.Measured.Mean / res.Measured.Mean,
+		Passed:  v.Passed,
+	}
+	e.cache[key] = r
+	e.record(key, cfg.Singles(), r)
+	return r, nil
+}
+
+// record appends a trace entry when tracing is on.
+func (e *Evaluator) record(key string, singles int, r Result) {
+	if !e.traceOn {
+		return
+	}
+	e.trace = append(e.trace, TraceEntry{
+		Seq:          e.evaluated,
+		Config:       key,
+		Singles:      singles,
+		Result:       r,
+		SpentSeconds: e.spent,
+	})
+}
+
+// Outcome is what a strategy reports back.
+type Outcome struct {
+	// Algorithm is the strategy's short name (CB, CM, DD, HR, HC, GA).
+	Algorithm string
+	// Found reports whether any passing configuration was identified.
+	Found bool
+	// Best is the selection the strategy converged to (zero-value set
+	// when !Found).
+	Best Set
+	// BestResult is Best's evaluation.
+	BestResult Result
+	// Evaluated is the paper's EV metric at termination.
+	Evaluated int
+	// TimedOut reports that the analysis budget expired before the
+	// strategy terminated (the paper's empty grey cells).
+	TimedOut bool
+}
+
+// Algorithm is one search strategy.
+type Algorithm interface {
+	// Name returns the paper's abbreviation for the strategy.
+	Name() string
+	// Mode returns the unit granularity the strategy operates at.
+	Mode() Mode
+	// Search explores the evaluator's space and reports the outcome. It
+	// must treat ErrBudgetExhausted as a stop signal, never as a failure.
+	Search(e *Evaluator) Outcome
+}
+
+// finish assembles an Outcome, resolving the timeout flag from err.
+func finish(name string, e *Evaluator, best Set, bestRes Result, found bool, err error) Outcome {
+	return Outcome{
+		Algorithm:  name,
+		Found:      found,
+		Best:       best,
+		BestResult: bestRes,
+		Evaluated:  e.Evaluated(),
+		TimedOut:   errors.Is(err, ErrBudgetExhausted),
+	}
+}

@@ -1,0 +1,174 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Genetic is the paper's GA strategy, added to CRAFT for the study: it
+// mimics natural selection over precision configurations. A configuration
+// is a bit array over the clusters; the population starts random, the
+// fittest individuals (fastest among those satisfying the error
+// criterion) produce offspring by crossover, offspring mutate, and the
+// loop stops after a fixed number of generations or when the best
+// individual stagnates.
+//
+// Two properties the paper reports fall out of the parameters: the
+// evaluation count is nearly constant (population x generations, bounded
+// by the strict termination criterion, minus memoised duplicates), making
+// GA's analysis time the easiest to predict; and the small iteration
+// budget means the random walk sometimes misses configurations the
+// deterministic strategies find - GA's result is the least deterministic
+// of the six.
+type Genetic struct {
+	// Population is the number of individuals per generation.
+	Population int
+	// Generations bounds the number of generations.
+	Generations int
+	// Stagnation stops the search after this many generations without
+	// improvement of the best individual.
+	Stagnation int
+	// Seed drives all randomness; a zero value seeds deterministically.
+	Seed int64
+}
+
+// NewGenetic returns the configuration used in the paper's evaluation:
+// a small population and few generations ("we significantly decrease the
+// search time of GA by providing a small number of maximum iterations").
+func NewGenetic(seed int64) Genetic {
+	return Genetic{Population: 5, Generations: 4, Stagnation: 2, Seed: seed}
+}
+
+// Name returns "GA".
+func (Genetic) Name() string { return "GA" }
+
+// Mode returns ByCluster.
+func (Genetic) Mode() Mode { return ByCluster }
+
+// individual pairs a genome with its evaluation.
+type individual struct {
+	set Set
+	res Result
+}
+
+// fitness orders individuals: passing beats failing, faster beats slower,
+// and among failures a smaller error is closer to viability.
+func fitness(r Result) float64 {
+	if r.Passed {
+		return 1 + r.Speedup
+	}
+	if !r.Valid {
+		return 0
+	}
+	e := r.Verdict.Error
+	if e != e { // NaN output: worst
+		return 0
+	}
+	return 1 / (2 + e)
+}
+
+// Search runs the evolutionary loop.
+func (g Genetic) Search(e *Evaluator) Outcome {
+	n := e.Space().NumUnits()
+	rng := rand.New(rand.NewSource(g.Seed + 0x9e3779b9))
+	var (
+		best    Set
+		bestRes Result
+		found   bool
+		stopErr error
+	)
+	evalInd := func(set Set) (individual, bool) {
+		r, err := e.Evaluate(set)
+		if err != nil {
+			stopErr = err
+			return individual{}, false
+		}
+		if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
+			best, bestRes, found = set.Clone(), r, true
+		}
+		return individual{set: set, res: r}, true
+	}
+
+	// Initial random population.
+	pop := make([]individual, 0, g.Population)
+	for i := 0; i < g.Population && stopErr == nil; i++ {
+		set := NewSet(n)
+		for b := 0; b < n; b++ {
+			if rng.Intn(2) == 1 {
+				set.Add(b)
+			}
+		}
+		if ind, ok := evalInd(set); ok {
+			pop = append(pop, ind)
+		}
+	}
+
+	stale := 0
+	for gen := 1; gen < g.Generations && stopErr == nil && stale < g.Stagnation; gen++ {
+		sort.SliceStable(pop, func(a, b int) bool {
+			return fitness(pop[a].res) > fitness(pop[b].res)
+		})
+		prevBest := fitness(pop[0].res)
+
+		next := []individual{pop[0]} // elitism
+		for len(next) < g.Population && stopErr == nil {
+			a := tournament(pop, rng)
+			b := tournament(pop, rng)
+			child := crossover(a.set, b.set, rng)
+			mutate(&child, rng)
+			if ind, ok := evalInd(child); ok {
+				next = append(next, ind)
+			}
+		}
+		pop = next
+
+		sort.SliceStable(pop, func(a, b int) bool {
+			return fitness(pop[a].res) > fitness(pop[b].res)
+		})
+		if fitness(pop[0].res) > prevBest {
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	return finish(g.Name(), e, best, bestRes, found, stopErr)
+}
+
+// tournament picks the fitter of two random individuals.
+func tournament(pop []individual, rng *rand.Rand) individual {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if fitness(a.res) >= fitness(b.res) {
+		return a
+	}
+	return b
+}
+
+// crossover mixes two genomes bit-wise (uniform crossover).
+func crossover(a, b Set, rng *rand.Rand) Set {
+	child := NewSet(a.Len())
+	for i := 0; i < a.Len(); i++ {
+		src := a
+		if rng.Intn(2) == 1 {
+			src = b
+		}
+		if src.Has(i) {
+			child.Add(i)
+		}
+	}
+	return child
+}
+
+// mutate flips each bit with probability 1/n.
+func mutate(s *Set, rng *rand.Rand) {
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		if rng.Intn(n) == 0 {
+			if s.Has(i) {
+				s.Remove(i)
+			} else {
+				s.Add(i)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package search
+
+import "sort"
+
+// GreedyProfile is an extension strategy beyond the paper's six,
+// demonstrating the framework's pluggability (the suite's stated design
+// goal: "extensible interfaces for integrating new approximation
+// techniques"). It is profile-guided in the spirit of ADAPT: the
+// instrumented baseline run attributes traffic and arithmetic to each
+// variable, clusters are ranked by the work demotion would touch, and the
+// strategy greedily accepts each cluster - most profitable first - that
+// still passes verification on top of what was already accepted.
+//
+// Complexity is one evaluation per cluster, so its analysis time is as
+// predictable as the genetic algorithm's while its acceptance order is
+// informed rather than random.
+type GreedyProfile struct{}
+
+// Name returns "GP".
+func (GreedyProfile) Name() string { return "GP" }
+
+// Mode returns ByCluster.
+func (GreedyProfile) Mode() Mode { return ByCluster }
+
+// Search ranks clusters by profiled work and accepts greedily.
+func (g GreedyProfile) Search(e *Evaluator) Outcome {
+	space := e.Space()
+	n := space.NumUnits()
+	profile := e.Reference().Profile
+
+	// Rank clusters by the work their variables carry: bytes dominate
+	// (traffic halves under demotion), assignment flops follow.
+	weight := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		for _, v := range space.Unit(u).Vars {
+			if int(v) < len(profile) {
+				weight[u] += profile[v].Bytes + profile[v].Flops
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weight[order[a]] > weight[order[b]]
+	})
+
+	accepted := NewSet(n)
+	var (
+		acceptedRes Result
+		found       bool
+		stopErr     error
+	)
+	for _, u := range order {
+		trial := accepted.Clone()
+		trial.Add(u)
+		r, err := e.Evaluate(trial)
+		if err != nil {
+			stopErr = err
+			break
+		}
+		if r.Passed {
+			accepted, acceptedRes, found = trial, r, true
+		}
+	}
+	if !found {
+		return finish(g.Name(), e, Set{}, Result{}, false, stopErr)
+	}
+	return finish(g.Name(), e, accepted, acceptedRes, true, stopErr)
+}

@@ -1,0 +1,85 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+	"repro/internal/suite"
+)
+
+func TestGreedyProfileOnKernel(t *testing.T) {
+	k := kernels.NewHydro1D()
+	space := NewSpace(k.Graph(), ByCluster)
+	e := NewEvaluator(space, bench.NewRunner(42), k, 1e-8)
+	out := GreedyProfile{}.Search(e)
+	if !out.Found {
+		t.Fatal("GP found nothing on hydro-1d")
+	}
+	// One evaluation per cluster, by construction.
+	if out.Evaluated > space.NumUnits() {
+		t.Errorf("GP evaluated %d > %d clusters", out.Evaluated, space.NumUnits())
+	}
+	if out.BestResult.Speedup < 1.4 {
+		t.Errorf("GP speedup = %.2f, want the calibrated ~1.7", out.BestResult.Speedup)
+	}
+}
+
+func TestGreedyRanksByProfiledWork(t *testing.T) {
+	// On LavaMD at 1e-6, the profitable demotions are the big position
+	// buffer (heaviest traffic) and the charges; greedy must find a
+	// passing configuration with at most one evaluation per cluster.
+	l, err := suite.Lookup("lavamd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := NewSpace(l.Graph(), ByCluster)
+	e := NewEvaluator(space, bench.NewRunner(42), l, 1e-6)
+	out := GreedyProfile{}.Search(e)
+	if !out.Found {
+		t.Fatal("GP found nothing on LavaMD at 1e-6")
+	}
+	if out.Evaluated > space.NumUnits() {
+		t.Errorf("GP evaluated %d > %d clusters", out.Evaluated, space.NumUnits())
+	}
+	if out.BestResult.Speedup < 1.3 {
+		t.Errorf("GP speedup = %.2f, want the rv+qv mid-range", out.BestResult.Speedup)
+	}
+}
+
+func TestGreedyProfileMatchesOrBeatsGAEffortOnApps(t *testing.T) {
+	// The extension's selling point: informed acceptance order with
+	// GA-like predictable effort. Check EV stays linear in clusters on
+	// every application.
+	for _, a := range suite.Apps() {
+		space := NewSpace(a.Graph(), ByCluster)
+		e := NewEvaluator(space, bench.NewRunner(42), a, 1e-3)
+		out := GreedyProfile{}.Search(e)
+		if out.Evaluated > space.NumUnits() {
+			t.Errorf("%s: GP evaluated %d > %d clusters", a.Name(), out.Evaluated, space.NumUnits())
+		}
+		if out.TimedOut {
+			t.Errorf("%s: GP timed out", a.Name())
+		}
+	}
+}
+
+func TestProfileAttributesWork(t *testing.T) {
+	k := kernels.NewBandedLinEq()
+	r := bench.NewRunner(42)
+	res := r.Reference(k)
+	if len(res.Profile) != k.Graph().NumVars() {
+		t.Fatalf("profile covers %d vars, want %d", len(res.Profile), k.Graph().NumVars())
+	}
+	totalBytes := uint64(0)
+	for _, p := range res.Profile {
+		totalBytes += p.Bytes
+	}
+	if totalBytes != res.Cost.Bytes() {
+		t.Errorf("profile bytes %d != cost bytes %d", totalBytes, res.Cost.Bytes())
+	}
+	// banded-lin-eq reads x and y heavily; both must carry traffic.
+	if res.Profile[0].Bytes == 0 || res.Profile[1].Bytes == 0 {
+		t.Error("array variables carry no profiled traffic")
+	}
+}

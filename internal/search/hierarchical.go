@@ -1,0 +1,100 @@
+package search
+
+import "sort"
+
+// Hierarchical is the paper's HR strategy (CRAFT lineage): use program
+// structure to search for large groups of variables that can be replaced
+// together, falling back to lower-level components - and eventually
+// individual variables - when a group fails. The hierarchy here is the
+// one CRAFT derives from the program: the whole program, then each
+// function/module, then single variables.
+//
+// As the paper stresses, this strategy does not incorporate cluster
+// information, because clusters may cross function boundaries and there is
+// no straightforward way to respect them without breaking the hierarchy.
+// Group selections that split a type-change set do not compile; they are
+// charged as failed evaluations, which is how HR "wastes time creating
+// useless configurations" and why it examines far more configurations
+// than the cluster-level strategies on some benchmarks.
+type Hierarchical struct{}
+
+// Name returns "HR".
+func (Hierarchical) Name() string { return "HR" }
+
+// Mode returns ByVariable.
+func (Hierarchical) Mode() Mode { return ByVariable }
+
+// hierNode is one node of the program tree.
+type hierNode struct {
+	units    []int // variable units under this node
+	children []*hierNode
+}
+
+// buildHierarchy assembles program -> function group -> variable.
+func buildHierarchy(s *Space) *hierNode {
+	groups := map[string][]int{}
+	var order []string
+	for i := 0; i < s.NumUnits(); i++ {
+		g := s.Unit(i).Group
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	sort.Strings(order)
+	root := &hierNode{}
+	for _, g := range order {
+		fn := &hierNode{units: groups[g]}
+		for _, u := range groups[g] {
+			fn.children = append(fn.children, &hierNode{units: []int{u}})
+		}
+		root.units = append(root.units, groups[g]...)
+		root.children = append(root.children, fn)
+	}
+	return root
+}
+
+// Search walks the hierarchy, accumulating every component that can be
+// demoted on top of what was already accepted.
+func (h Hierarchical) Search(e *Evaluator) Outcome {
+	n := e.Space().NumUnits()
+	root := buildHierarchy(e.Space())
+	accepted := NewSet(n)
+	var (
+		acceptedRes Result
+		found       bool
+		stopErr     error
+	)
+
+	var walk func(node *hierNode)
+	walk = func(node *hierNode) {
+		if stopErr != nil {
+			return
+		}
+		set := accepted.Clone()
+		for _, u := range node.units {
+			set.Add(u)
+		}
+		if set.Equal(accepted) {
+			return
+		}
+		r, err := e.Evaluate(set)
+		if err != nil {
+			stopErr = err
+			return
+		}
+		if r.Passed {
+			accepted, acceptedRes, found = set, r, true
+			return
+		}
+		for _, c := range node.children {
+			walk(c)
+		}
+	}
+	walk(root)
+
+	if !found {
+		return finish(h.Name(), e, Set{}, Result{}, false, stopErr)
+	}
+	return finish(h.Name(), e, accepted, acceptedRes, true, stopErr)
+}

@@ -1,0 +1,106 @@
+package search
+
+// HierComp is the paper's HC strategy (FloatSmith lineage): it integrates
+// the hierarchical and compositional approaches. The hierarchical phase
+// identifies program components that can be replaced on their own - trying
+// the whole program, then functions, then single variables, descending
+// only into components that fail. The compositional phase then combines
+// the passing components to find inter-component configurations, without
+// ever having started from every variable individually. The search
+// terminates when all passing configurations have been composed of other
+// passing configurations.
+//
+// Like HR, the component phase ignores clusters, so a component that
+// splits a type-change set fails as a non-compiling variant; the
+// composition phase only ever unions components that already compiled, so
+// its variants are valid by construction.
+type HierComp struct{}
+
+// Name returns "HC".
+func (HierComp) Name() string { return "HC" }
+
+// Mode returns ByVariable.
+func (HierComp) Mode() Mode { return ByVariable }
+
+// Search runs component discovery and then the composition loop.
+func (h HierComp) Search(e *Evaluator) Outcome {
+	n := e.Space().NumUnits()
+	root := buildHierarchy(e.Space())
+	var (
+		best       Set
+		bestRes    Result
+		found      bool
+		stopErr    error
+		components []Set
+	)
+	consider := func(set Set, r Result) {
+		if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
+			best, bestRes, found = set, r, true
+		}
+	}
+
+	// Phase 1: find independently replaceable components, descending only
+	// where a component fails.
+	var discover func(node *hierNode)
+	discover = func(node *hierNode) {
+		if stopErr != nil {
+			return
+		}
+		set := NewSet(n)
+		for _, u := range node.units {
+			set.Add(u)
+		}
+		r, err := e.Evaluate(set)
+		if err != nil {
+			stopErr = err
+			return
+		}
+		consider(set, r)
+		if r.Passed {
+			components = append(components, set)
+			return
+		}
+		for _, c := range node.children {
+			discover(c)
+		}
+	}
+	discover(root)
+
+	// Phase 2: compose passing components, exactly as CM composes passing
+	// configurations.
+	seen := map[string]bool{}
+	for _, c := range components {
+		seen[e.Key(c)] = true
+	}
+	frontier := components
+	passing := components
+	for len(frontier) > 0 && stopErr == nil {
+		var next []Set
+	compose:
+		for _, f := range frontier {
+			for _, p := range passing {
+				u := f.Union(p)
+				if u.Equal(f) || u.Equal(p) {
+					continue
+				}
+				key := e.Key(u)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				r, err := e.Evaluate(u)
+				if err != nil {
+					stopErr = err
+					break compose
+				}
+				consider(u, r)
+				if r.Passed {
+					next = append(next, u)
+				}
+			}
+		}
+		passing = append(passing, next...)
+		frontier = next
+	}
+	return finish(h.Name(), e, best, bestRes, found, stopErr)
+}

@@ -1,0 +1,34 @@
+package search
+
+import "fmt"
+
+// AlgorithmNames lists the six strategies in the order the paper's tables
+// use: CB, CM, DD, HR, HC, GA.
+var AlgorithmNames = []string{"CB", "CM", "DD", "HR", "HC", "GA"}
+
+// ExtensionNames lists strategies beyond the paper's six, available
+// through the same registry but excluded from the table regenerations.
+var ExtensionNames = []string{"GP"}
+
+// ByName constructs the named strategy. The GA is the only randomised
+// strategy; seed drives it and is ignored by the others.
+func ByName(name string, seed int64) (Algorithm, error) {
+	switch name {
+	case "CB":
+		return Combinational{}, nil
+	case "CM":
+		return Compositional{}, nil
+	case "DD":
+		return DeltaDebug{}, nil
+	case "HR":
+		return Hierarchical{}, nil
+	case "HC":
+		return HierComp{}, nil
+	case "GA":
+		return NewGenetic(seed), nil
+	case "GP":
+		return GreedyProfile{}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q (have %v)", name, AlgorithmNames)
+	}
+}

@@ -1,0 +1,220 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// tunableBench is a synthetic benchmark with n singleton clusters, a
+// per-cluster error contribution, and a per-cluster speedup weight, for
+// exercising strategy dynamics on larger spaces than fakeBench's three.
+type tunableBench struct {
+	graph *typedep.Graph
+	errs  []float64
+	gain  []uint64
+}
+
+func newTunableBench(errs []float64, gain []uint64) *tunableBench {
+	g := typedep.NewGraph()
+	for i := range errs {
+		g.Add(string(rune('a'+i%26))+string(rune('0'+i/26)), "u", typedep.Scalar)
+	}
+	return &tunableBench{graph: g, errs: errs, gain: gain}
+}
+
+func (b *tunableBench) Name() string          { return "tunable" }
+func (b *tunableBench) Kind() bench.Kind      { return bench.Kernel }
+func (b *tunableBench) Description() string   { return "synthetic scenario target" }
+func (b *tunableBench) Metric() verify.Metric { return verify.MAE }
+func (b *tunableBench) Graph() *typedep.Graph { return b.graph }
+
+func (b *tunableBench) Run(t *mp.Tape, seed int64) bench.Output {
+	out := 1.0
+	for i := range b.errs {
+		if t.Prec(mp.VarID(i)) == mp.F32 {
+			out += b.errs[i]
+			t.AddFlops(mp.F32, b.gain[i])
+		} else {
+			t.AddFlops(mp.F64, b.gain[i])
+		}
+	}
+	return bench.Output{Values: []float64{out}}
+}
+
+// TestDeltaDebugBisectionDepth pins DD's effort scaling: with exactly one
+// poisoned cluster among 16, the bisection must isolate it in O(log n)
+// failing probes rather than O(n).
+func TestDeltaDebugBisectionDepth(t *testing.T) {
+	errs := make([]float64, 16)
+	gain := make([]uint64, 16)
+	for i := range gain {
+		gain[i] = 1e6
+	}
+	errs[11] = 1 // the poisoned cluster
+	b := newTunableBench(errs, gain)
+	e := newEval(t, b, ByCluster, 1e-8)
+	out := DeltaDebug{}.Search(e)
+	if !out.Found {
+		t.Fatal("DD found nothing")
+	}
+	if out.Best.Count() != 15 || out.Best.Has(11) {
+		t.Errorf("DD best = %s, want all but unit 11", out.Best)
+	}
+	// Full set fails, then binary descent: about 2*log2(16) probes, far
+	// below the 16 a linear scan would need... and certainly below 2^16.
+	if out.Evaluated > 12 {
+		t.Errorf("DD evaluated %d configurations, expected bisection (~9)", out.Evaluated)
+	}
+}
+
+// TestGeneticStagnationStops pins the GA termination rule: on a flat
+// fitness surface (everything passes, equal speedups) the best individual
+// cannot improve, so the run must stop after the stagnation window rather
+// than exhausting all generations.
+func TestGeneticStagnationStops(t *testing.T) {
+	errs := make([]float64, 8)
+	gain := make([]uint64, 8) // zero gain: all configs cost the same
+	b := newTunableBench(errs, gain)
+	e := newEval(t, b, ByCluster, 1e-8)
+	ga := Genetic{Population: 4, Generations: 50, Stagnation: 2, Seed: 5}
+	out := ga.Search(e)
+	// 50 generations x 4 individuals would be ~200 proposals; stagnation
+	// must cut this to a handful of generations.
+	if out.Evaluated > 40 {
+		t.Errorf("GA evaluated %d configurations, stagnation did not stop it", out.Evaluated)
+	}
+}
+
+// TestCompositionalPrefersCompositions pins CM's reason to exist: two
+// clusters that individually pass and are faster together must be
+// composed, and the composition must be the reported best.
+func TestCompositionalPrefersCompositions(t *testing.T) {
+	b := newTunableBench([]float64{0, 0, 1}, []uint64{5e6, 5e6, 5e6})
+	e := newEval(t, b, ByVariable, 1e-8)
+	out := Compositional{}.Search(e)
+	if !out.Found {
+		t.Fatal("CM found nothing")
+	}
+	if out.Best.Count() != 2 || out.Best.Has(2) {
+		t.Errorf("CM best = %s, want units 0+1", out.Best)
+	}
+	if out.BestResult.Speedup <= 1.2 {
+		t.Errorf("composed speedup = %.3f, expected the combined gain", out.BestResult.Speedup)
+	}
+}
+
+// TestBudgetMidSearchKeepsPartialResult pins the timeout contract for the
+// strategies that track a best-so-far: when the budget dies mid-search,
+// the outcome must be flagged TimedOut while still carrying whatever
+// passing configuration had been seen.
+func TestBudgetMidSearchKeepsPartialResult(t *testing.T) {
+	errs := make([]float64, 12)
+	gain := make([]uint64, 12)
+	for i := range gain {
+		gain[i] = 1e6
+	}
+	b := newTunableBench(errs, gain)
+	e := newEval(t, b, ByVariable, 1e-8)
+	// Enough budget for the individual phase plus a little composing.
+	e.SetBudget(e.Spent() + 16*DefaultBuildSeconds)
+	out := Compositional{}.Search(e)
+	if !out.TimedOut {
+		t.Fatal("CM should have timed out")
+	}
+	if !out.Found {
+		t.Fatal("CM saw passing singles before the budget died; Found must hold them")
+	}
+	if out.BestResult.Speedup <= 1.0 {
+		t.Errorf("partial best speedup = %.3f", out.BestResult.Speedup)
+	}
+}
+
+// TestHierarchicalAccumulatesAcrossGroups pins HR's accumulation: two
+// passing function groups must both end up accepted, not just the first.
+func TestHierarchicalAccumulatesAcrossGroups(t *testing.T) {
+	g := typedep.NewGraph()
+	g.Add("a", "f1", typedep.Scalar)
+	g.Add("b", "f1", typedep.Scalar)
+	g.Add("c", "f2", typedep.Scalar)
+	g.Add("d", "f2", typedep.Scalar)
+	g.Add("poison", "f3", typedep.Scalar)
+	b := &tunableBench{graph: g,
+		errs: []float64{0, 0, 0, 0, 1},
+		gain: []uint64{1e6, 1e6, 1e6, 1e6, 1e6}}
+	e := newEval(t, b, ByVariable, 1e-8)
+	out := Hierarchical{}.Search(e)
+	if !out.Found {
+		t.Fatal("HR found nothing")
+	}
+	// Root fails (poison), groups f1 and f2 pass and accumulate, f3
+	// fails, its leaf fails.
+	if out.Best.Count() != 4 {
+		t.Errorf("HR accepted %d units, want 4 (both clean groups)", out.Best.Count())
+	}
+	if out.Best.Has(4) {
+		t.Error("HR accepted the poisoned variable")
+	}
+}
+
+// TestGreedyStopsAddingWhatFails pins GP's acceptance rule: a cluster
+// whose demotion fails verification must be skipped without poisoning the
+// clusters after it in the ranking.
+func TestGreedyStopsAddingWhatFails(t *testing.T) {
+	// Heavy cluster is poisoned: greedy tries it first, rejects it, and
+	// still picks up the lighter clean ones.
+	b := newTunableBench([]float64{1, 0, 0}, []uint64{9e6, 4e6, 2e6})
+	e := newEval(t, b, ByCluster, 1e-8)
+	out := GreedyProfile{}.Search(e)
+	if !out.Found {
+		t.Fatal("GP found nothing")
+	}
+	if out.Best.Has(0) {
+		t.Error("GP accepted the poisoned cluster")
+	}
+	if out.Best.Count() != 2 {
+		t.Errorf("GP accepted %d clusters, want 2", out.Best.Count())
+	}
+	if out.Evaluated != 3 {
+		t.Errorf("GP evaluated %d, want exactly one per cluster", out.Evaluated)
+	}
+}
+
+// TestCombinationalBudgetPartial pins CB's large-space behaviour: on a
+// space too big to enumerate, it must time out with the best-so-far from
+// the size-descending order (the full set, which passes here).
+func TestCombinationalBudgetPartial(t *testing.T) {
+	errs := make([]float64, 30)
+	gain := make([]uint64, 30)
+	for i := range gain {
+		gain[i] = 1e6
+	}
+	b := newTunableBench(errs, gain)
+	e := newEval(t, b, ByCluster, 1e-8)
+	e.SetBudget(e.Spent() + 10*DefaultBuildSeconds)
+	out := Combinational{}.Search(e)
+	if !out.TimedOut {
+		t.Fatal("CB should have timed out on 2^30 configurations")
+	}
+	if !out.Found || out.Best.Count() != 30 {
+		t.Errorf("CB best = %v (found=%v), want the full set from the descending order", out.Best, out.Found)
+	}
+}
+
+// TestVerdictErrorSurfacesInResult pins the plumbing: the verified error
+// of the converged configuration must flow through Outcome untouched.
+func TestVerdictErrorSurfacesInResult(t *testing.T) {
+	b := newTunableBench([]float64{1e-10}, []uint64{1e6})
+	e := newEval(t, b, ByCluster, 1e-8)
+	out := DeltaDebug{}.Search(e)
+	if !out.Found {
+		t.Fatal("DD found nothing")
+	}
+	if math.Abs(out.BestResult.Verdict.Error-1e-10) > 1e-12 {
+		t.Errorf("verdict error = %g, want 1e-10", out.BestResult.Verdict.Error)
+	}
+}

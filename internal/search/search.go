@@ -1,0 +1,236 @@
+// Package search is the reproduction of the paper's search layer: the
+// CRAFT generic search tool as driven by FloatSmith, plus the six
+// strategies the paper compares - combinational (CB), compositional (CM),
+// delta debugging (DD), hierarchical (HR), hierarchical-compositional
+// (HC), and the genetic algorithm (GA) the paper adds to CRAFT.
+//
+// A strategy explores precision configurations over a Space of units.
+// Following the paper's Section IV-A, the unit granularity differs by
+// strategy: CB, DD, and GA operate on Typeforge clusters, while the
+// current CRAFT implementations of CM, HR, and HC operate on individual
+// variables. Variable-granularity search interacts with the type
+// dependence analysis in two ways the paper highlights:
+//
+//   - CM composes single-variable changes, and Typeforge expands each
+//     change to its full type-change set so the result compiles - which
+//     makes members of one cluster redundant proposals and inflates the
+//     evaluation count;
+//   - HR's structural groups (functions, modules) can split a cluster, and
+//     such configurations do not compile: they are charged as failed
+//     evaluations, the "useless configurations" of Section IV-B.
+package search
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bench"
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+// Mode selects the unit granularity of a Space.
+type Mode uint8
+
+const (
+	// ByCluster searches over Typeforge type-change sets: every proposed
+	// configuration compiles by construction.
+	ByCluster Mode = iota
+	// ByVariable searches over individual variables, the granularity of
+	// CRAFT's compositional and hierarchical implementations.
+	ByVariable
+)
+
+// Unit is one search unit: the set of variables toggled together.
+type Unit struct {
+	// Label names the unit for traces (cluster index or variable name).
+	Label string
+	// Group is the enclosing program component (the variable's Unit for
+	// ByVariable spaces; hierarchical strategies group by it).
+	Group string
+	// Vars lists the variable IDs the unit controls.
+	Vars []mp.VarID
+}
+
+// Space is the search space over one benchmark's dependence graph.
+type Space struct {
+	graph *typedep.Graph
+	mode  Mode
+	units []Unit
+}
+
+// NewSpace builds the search space for g at the given granularity.
+func NewSpace(g *typedep.Graph, mode Mode) *Space {
+	s := &Space{graph: g, mode: mode}
+	switch mode {
+	case ByCluster:
+		for _, c := range g.Clusters() {
+			s.units = append(s.units, Unit{
+				Label: fmt.Sprintf("cluster%d", c.Index),
+				Group: g.Var(c.Members[0]).Unit,
+				Vars:  c.Members,
+			})
+		}
+	case ByVariable:
+		for _, v := range g.Vars() {
+			s.units = append(s.units, Unit{
+				Label: v.Name,
+				Group: v.Unit,
+				Vars:  []mp.VarID{v.ID},
+			})
+		}
+	default:
+		panic(fmt.Sprintf("search: unknown mode %d", mode))
+	}
+	return s
+}
+
+// NumUnits returns the number of search units.
+func (s *Space) NumUnits() int { return len(s.units) }
+
+// Unit returns unit i.
+func (s *Space) Unit(i int) Unit { return s.units[i] }
+
+// Graph returns the underlying dependence graph.
+func (s *Space) Graph() *typedep.Graph { return s.graph }
+
+// Mode returns the unit granularity.
+func (s *Space) Mode() Mode { return s.mode }
+
+// Expand materialises a unit selection as a variable-level precision
+// configuration. For ByVariable spaces expand reports, in its second
+// result, whether the configuration compiles: a selection that demotes
+// part of a cluster but not all of it does not.
+//
+// When typeforgeExpand is true (the compositional strategies), each
+// selected variable pulls its whole type-change set, as Typeforge's
+// transformation does to keep the refactored source compilable.
+func (s *Space) Expand(set Set, typeforgeExpand bool) (bench.Config, bool) {
+	cfg := make(bench.Config, s.graph.NumVars())
+	for i := 0; i < len(s.units); i++ {
+		if !set.Has(i) {
+			continue
+		}
+		for _, v := range s.units[i].Vars {
+			cfg[v] = mp.F32
+		}
+	}
+	if s.mode == ByVariable && typeforgeExpand {
+		// Pull every selected variable's cluster.
+		for _, c := range s.graph.Clusters() {
+			demoted := false
+			for _, m := range c.Members {
+				if cfg[m] == mp.F32 {
+					demoted = true
+					break
+				}
+			}
+			if demoted {
+				for _, m := range c.Members {
+					cfg[m] = mp.F32
+				}
+			}
+		}
+	}
+	valid := s.graph.Valid(func(v mp.VarID) mp.Prec { return cfg[v] })
+	return cfg, valid
+}
+
+// Set is a fixed-capacity bitset over search units.
+type Set struct {
+	bits []uint64
+	n    int
+}
+
+// NewSet returns an empty set over n units.
+func NewSet(n int) Set {
+	return Set{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// FullSet returns the set containing every unit.
+func FullSet(n int) Set {
+	s := NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the capacity (number of units addressed).
+func (s Set) Len() int { return s.n }
+
+// Has reports membership of unit i.
+func (s Set) Has(i int) bool { return s.bits[i/64]&(1<<(i%64)) != 0 }
+
+// Add inserts unit i.
+func (s *Set) Add(i int) { s.bits[i/64] |= 1 << (i % 64) }
+
+// Remove deletes unit i.
+func (s *Set) Remove(i int) { s.bits[i/64] &^= 1 << (i % 64) }
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := Set{bits: make([]uint64, len(s.bits)), n: s.n}
+	copy(out.bits, s.bits)
+	return out
+}
+
+// Union returns s | o.
+func (s Set) Union(o Set) Set {
+	out := s.Clone()
+	for i, w := range o.bits {
+		out.bits[i] |= w
+	}
+	return out
+}
+
+// Equal reports whether both sets have identical members.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identity.
+func (s Set) Key() string {
+	return fmt.Sprintf("%x", s.bits)
+}
+
+// Members returns the member indices in ascending order.
+func (s Set) Members() []int {
+	var out []int
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the set as a 0/1 mask for traces.
+func (s Set) String() string {
+	b := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,191 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(70) // spans two words
+	if s.Count() != 0 || s.Len() != 70 {
+		t.Fatalf("empty set: count=%d len=%d", s.Count(), s.Len())
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(69)
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Error("spurious members")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestSetAddRemoveRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(n)
+		ref := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				ref[i] = true
+			} else {
+				s.Remove(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetUnionAndEqual(t *testing.T) {
+	a := NewSet(10)
+	a.Add(1)
+	a.Add(3)
+	b := NewSet(10)
+	b.Add(3)
+	b.Add(7)
+	u := a.Union(b)
+	if u.Count() != 3 || !u.Has(1) || !u.Has(3) || !u.Has(7) {
+		t.Errorf("union = %v", u)
+	}
+	// Union must not mutate operands.
+	if a.Count() != 2 || b.Count() != 2 {
+		t.Error("union mutated an operand")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal")
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets equal")
+	}
+	if a.Equal(NewSet(11)) {
+		t.Error("different capacity equal")
+	}
+}
+
+func TestSetKeyDistinguishes(t *testing.T) {
+	a := NewSet(8)
+	a.Add(2)
+	b := NewSet(8)
+	b.Add(3)
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("clone changes key")
+	}
+}
+
+func TestFullSetAndMembers(t *testing.T) {
+	s := FullSet(5)
+	if s.Count() != 5 {
+		t.Errorf("FullSet count = %d", s.Count())
+	}
+	m := s.Members()
+	want := []int{0, 1, 2, 3, 4}
+	if len(m) != len(want) {
+		t.Fatalf("Members = %v", m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("Members[%d] = %d", i, m[i])
+		}
+	}
+	if s.String() != "11111" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestForEachSubsetOfSize(t *testing.T) {
+	var got []string
+	forEachSubsetOfSize(4, 2, func(s Set) bool {
+		got = append(got, s.String())
+		return true
+	})
+	want := []string{"1100", "1010", "1001", "0110", "0101", "0011"}
+	if len(got) != len(want) {
+		t.Fatalf("visited %d subsets: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("subset %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Early stop propagates.
+	count := 0
+	stopped := forEachSubsetOfSize(4, 2, func(s Set) bool {
+		count++
+		return count < 3
+	})
+	if !stopped || count != 3 {
+		t.Errorf("stopped=%v count=%d", stopped, count)
+	}
+}
+
+func TestForEachSubsetCountsAreBinomial(t *testing.T) {
+	binom := func(n, k int) int {
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for n := 1; n <= 8; n++ {
+		total := 0
+		for k := 1; k <= n; k++ {
+			c := 0
+			forEachSubsetOfSize(n, k, func(Set) bool { c++; return true })
+			if c != binom(n, k) {
+				t.Errorf("n=%d k=%d: %d subsets, want %d", n, k, c, binom(n, k))
+			}
+			total += c
+		}
+		if total != (1<<n)-1 {
+			t.Errorf("n=%d: %d non-empty subsets, want %d", n, total, (1<<n)-1)
+		}
+	}
+}
+
+// BenchmarkSetUnionKey measures the composition loop's inner operations
+// on a CFD-width set.
+func BenchmarkSetUnionKey(b *testing.B) {
+	x := NewSet(195)
+	y := NewSet(195)
+	for i := 0; i < 195; i += 3 {
+		x.Add(i)
+		y.Add(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := x.Union(y)
+		if u.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package verify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricString(t *testing.T) {
+	cases := map[Metric]string{MAE: "MAE", RMSE: "RMSE", MSE: "MSE", R2: "R2", MCR: "MCR"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if got := Metric(99).String(); got != "Metric(99)" {
+		t.Errorf("unknown metric String() = %q", got)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for _, name := range []string{"MAE", "RMSE", "MSE", "R2", "MCR"} {
+		m, err := ParseMetric(name)
+		if err != nil {
+			t.Fatalf("ParseMetric(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Errorf("round trip %q -> %v", name, m)
+		}
+	}
+	if _, err := ParseMetric("bogus"); err == nil {
+		t.Error("expected error for unknown metric name")
+	}
+}
+
+func TestComputeKnownValues(t *testing.T) {
+	ref := []float64{1, 2, 3, 4}
+	got := []float64{1, 2, 3, 6} // one error of 2
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{MAE, 0.5},
+		{MSE, 1.0},
+		{RMSE, 1.0},
+		{MCR, 0.25},
+	}
+	for _, c := range cases {
+		v, err := Compute(c.m, ref, got)
+		if err != nil {
+			t.Fatalf("%v: %v", c.m, err)
+		}
+		if math.Abs(v-c.want) > 1e-15 {
+			t.Errorf("%v = %g, want %g", c.m, v, c.want)
+		}
+	}
+}
+
+func TestR2Loss(t *testing.T) {
+	ref := []float64{1, 2, 3, 4}
+	if v, err := Compute(R2, ref, ref); err != nil || v != 0 {
+		t.Errorf("perfect R2 loss = %g, %v", v, err)
+	}
+	// Constant reference, exact match.
+	if v, err := Compute(R2, []float64{2, 2}, []float64{2, 2}); err != nil || v != 0 {
+		t.Errorf("constant exact R2 loss = %g, %v", v, err)
+	}
+	// Constant reference, mismatch: infinite loss.
+	if v, err := Compute(R2, []float64{2, 2}, []float64{2, 3}); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("constant mismatched R2 loss = %g, %v", v, err)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(MAE, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Compute(MAE, nil, nil); err == nil {
+		t.Error("expected empty outputs error")
+	}
+	if _, err := Compute(Metric(99), []float64{1}, []float64{1}); err == nil {
+		t.Error("expected unknown metric error")
+	}
+}
+
+func TestMetricsNonNegative(t *testing.T) {
+	f := func(pairs []struct{ A, B float64 }) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		ref := make([]float64, len(pairs))
+		got := make([]float64, len(pairs))
+		for i, p := range pairs {
+			if math.IsNaN(p.A) || math.IsNaN(p.B) || math.IsInf(p.A, 0) || math.IsInf(p.B, 0) {
+				return true // non-finite inputs are Check's territory
+			}
+			ref[i], got[i] = p.A, p.B
+		}
+		for _, m := range []Metric{MAE, RMSE, MSE, MCR} {
+			v, err := Compute(m, ref, got)
+			if err != nil || math.IsNaN(v) || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdenticalOutputsScoreZero(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		for _, m := range []Metric{MAE, RMSE, MSE, R2, MCR} {
+			v, err := Compute(m, vals, vals)
+			if err != nil || v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCRCountsLabelFlips(t *testing.T) {
+	ref := []float64{0, 1, 2, 3}
+	got := []float64{0.4, 1.4, 2.6, 3} // 2.6 rounds to 3: one flip
+	v, err := Compute(MCR, ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.25 {
+		t.Errorf("MCR = %g, want 0.25", v)
+	}
+}
+
+func TestCheckPassFail(t *testing.T) {
+	ref := []float64{1, 2}
+	got := []float64{1, 2.001}
+	v, err := Check(MAE, ref, got, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Passed {
+		t.Errorf("want pass, error = %g", v.Error)
+	}
+	v, err = Check(MAE, ref, got, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Passed {
+		t.Errorf("want fail, error = %g", v.Error)
+	}
+}
+
+func TestCheckRejectsNonFiniteOutput(t *testing.T) {
+	ref := []float64{1, 2}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		v, err := Check(MAE, ref, []float64{1, bad}, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Passed {
+			t.Errorf("non-finite output %g passed", bad)
+		}
+		if !math.IsNaN(v.Error) {
+			t.Errorf("error = %g, want NaN", v.Error)
+		}
+	}
+}
+
+func TestCheckToleratesNonFiniteReference(t *testing.T) {
+	// If the reference itself is non-finite at a position, the candidate is
+	// not penalised for matching it.
+	ref := []float64{1, math.Inf(1)}
+	got := []float64{1, math.Inf(1)}
+	v, err := Check(MAE, ref, got, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAE over Inf-Inf is NaN, so the verdict still fails, but via the
+	// metric rather than the finiteness screen.
+	if v.Passed {
+		t.Error("NaN metric passed")
+	}
+}
+
+func TestCheckThresholdIsInclusive(t *testing.T) {
+	ref := []float64{0}
+	got := []float64{0.5}
+	v, err := Check(MAE, ref, got, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Passed {
+		t.Error("error equal to threshold should pass")
+	}
+}
+
+func TestCheckLengthMismatch(t *testing.T) {
+	if _, err := Check(MAE, []float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestRegisterMetric(t *testing.T) {
+	// A max-absolute-error (Linf) extension metric, as a downstream user
+	// would add it.
+	linf := RegisterMetric("LINF-test", func(ref, got []float64) float64 {
+		worst := 0.0
+		for i := range ref {
+			if d := math.Abs(ref[i] - got[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	})
+	if linf.String() != "LINF-test" {
+		t.Errorf("String() = %q", linf)
+	}
+	parsed, err := ParseMetric("LINF-test")
+	if err != nil || parsed != linf {
+		t.Errorf("ParseMetric = %v, %v", parsed, err)
+	}
+	v, err := Compute(linf, []float64{1, 2, 3}, []float64{1, 2.5, 2})
+	if err != nil || v != 1 {
+		t.Errorf("Compute = %g, %v", v, err)
+	}
+	// Check integrates it like a built-in, including NaN rejection.
+	verdict, err := Check(linf, []float64{1}, []float64{1.2}, 0.5)
+	if err != nil || !verdict.Passed {
+		t.Errorf("Check = %+v, %v", verdict, err)
+	}
+	verdict, err = Check(linf, []float64{1}, []float64{math.NaN()}, math.Inf(1))
+	if err != nil || verdict.Passed {
+		t.Errorf("NaN Check = %+v, %v", verdict, err)
+	}
+}
+
+func TestRegisterMetricCollisions(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("builtin collision", func() { RegisterMetric("MAE", func(a, b []float64) float64 { return 0 }) })
+	mustPanic("nil function", func() { RegisterMetric("NILFN", nil) })
+	RegisterMetric("DUP-test", func(a, b []float64) float64 { return 0 })
+	mustPanic("duplicate", func() { RegisterMetric("DUP-test", func(a, b []float64) float64 { return 0 }) })
+}

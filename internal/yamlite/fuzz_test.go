@@ -1,0 +1,52 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness contract: arbitrary input must
+// produce either a document or an error, never a panic, and a returned
+// document must satisfy its own invariants (keys unique, getters
+// consistent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		kmeansConfig,
+		"a: 1\nb:\n  c: 2\n",
+		"list: [1, 2, 'x, y']\n",
+		"s:\n  - one\n  - two\n",
+		"k: 'unterminated\n",
+		"deep:\n  a:\n    b:\n      c: v\n",
+		"# comment only\n",
+		": empty key\n",
+		"a: [1, [2, [3]]]\n",
+		"tab:\n\tbad: 1\n",
+		"'q': quoted key\n",
+		"a: 1 # trailing\n",
+		strings.Repeat("x: 1\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must yield a self-consistent document.
+		keys := doc.Keys()
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %q in parsed document", k)
+			}
+			seen[k] = true
+			if _, ok := doc.Get(k); !ok {
+				t.Fatalf("listed key %q not gettable", k)
+			}
+		}
+		if doc.Len() != len(keys) {
+			t.Fatalf("Len()=%d, Keys()=%d", doc.Len(), len(keys))
+		}
+	})
+}

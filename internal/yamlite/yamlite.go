@@ -1,0 +1,397 @@
+// Package yamlite is a from-scratch parser for the YAML subset the
+// HPC-MixPBench harness configuration files use (the paper's Listing 4):
+// nested block mappings by indentation, block sequences ("- item"), inline
+// flow sequences ("[a, b]"), quoted and plain scalars, and '#' comments.
+//
+// It is deliberately not a general YAML implementation: anchors, aliases,
+// multi-document streams, block scalars, and flow mappings are out of
+// scope and rejected loudly rather than misparsed. The value model is
+// plain Go: map[string]any, []any, string, int64, float64, bool, nil -
+// with map key order preserved separately for deterministic harness
+// output.
+package yamlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Map is a parsed mapping with preserved key order.
+type Map struct {
+	keys   []string
+	values map[string]any
+}
+
+// NewMap returns an empty mapping.
+func NewMap() *Map {
+	return &Map{values: make(map[string]any)}
+}
+
+// Set inserts or replaces a key.
+func (m *Map) Set(key string, v any) {
+	if _, ok := m.values[key]; !ok {
+		m.keys = append(m.keys, key)
+	}
+	m.values[key] = v
+}
+
+// Get returns the value for key and whether it exists.
+func (m *Map) Get(key string) (any, bool) {
+	v, ok := m.values[key]
+	return v, ok
+}
+
+// Keys returns the keys in document order. The caller must not modify the
+// returned slice.
+func (m *Map) Keys() []string { return m.keys }
+
+// Len returns the number of keys.
+func (m *Map) Len() int { return len(m.keys) }
+
+// GetMap returns the nested mapping at key, or an error naming the path.
+func (m *Map) GetMap(key string) (*Map, error) {
+	v, ok := m.values[key]
+	if !ok {
+		return nil, fmt.Errorf("yamlite: missing key %q", key)
+	}
+	mm, ok := v.(*Map)
+	if !ok {
+		return nil, fmt.Errorf("yamlite: key %q is %T, want mapping", key, v)
+	}
+	return mm, nil
+}
+
+// GetString returns the scalar string at key.
+func (m *Map) GetString(key string) (string, error) {
+	v, ok := m.values[key]
+	if !ok {
+		return "", fmt.Errorf("yamlite: missing key %q", key)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("yamlite: key %q is %T, want string", key, v)
+	}
+	return s, nil
+}
+
+// GetStrings returns the sequence of strings at key; a single string is
+// accepted as a one-element sequence (matching the harness's permissive
+// build/clean clauses).
+func (m *Map) GetStrings(key string) ([]string, error) {
+	v, ok := m.values[key]
+	if !ok {
+		return nil, fmt.Errorf("yamlite: missing key %q", key)
+	}
+	switch t := v.(type) {
+	case string:
+		return []string{t}, nil
+	case []any:
+		out := make([]string, len(t))
+		for i, e := range t {
+			s, ok := e.(string)
+			if !ok {
+				return nil, fmt.Errorf("yamlite: key %q element %d is %T, want string", key, i, e)
+			}
+			out[i] = s
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("yamlite: key %q is %T, want sequence", key, v)
+	}
+}
+
+// line is one meaningful input line.
+type line struct {
+	num    int
+	indent int
+	text   string // content without indentation or trailing comment
+}
+
+// Parse parses a document whose root is a mapping.
+func Parse(src string) (*Map, error) {
+	lines, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lines: lines}
+	m, err := p.parseMap(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yamlite: line %d: unexpected content %q", l.num, l.text)
+	}
+	return m, nil
+}
+
+// lex strips comments and blank lines and measures indentation.
+func lex(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yamlite: line %d: tabs are not allowed in indentation", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		out = append(out, line{
+			num:    i + 1,
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+		})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment that is not inside quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// parseMap parses a block mapping whose entries sit at exactly indent.
+func (p *parser) parseMap(indent int) (*Map, error) {
+	m := NewMap()
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yamlite: line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			break // a sequence at this level belongs to the caller
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m.Get(key); dup {
+			return nil, fmt.Errorf("yamlite: line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m.Set(key, v)
+			continue
+		}
+		// Value is the following indented block (or null if none).
+		v, err := p.parseBlock(indent)
+		if err != nil {
+			return nil, err
+		}
+		m.Set(key, v)
+	}
+	if m.Len() == 0 {
+		return nil, fmt.Errorf("yamlite: empty mapping")
+	}
+	return m, nil
+}
+
+// parseBlock parses whatever block follows a "key:" line indented deeper
+// than parentIndent: a mapping, a sequence, or nothing (null).
+func (p *parser) parseBlock(parentIndent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, nil
+	}
+	l := p.lines[p.pos]
+	if l.indent <= parentIndent {
+		return nil, nil
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSeq(l.indent)
+	}
+	return p.parseMap(l.indent)
+}
+
+// parseSeq parses a block sequence whose dashes sit at exactly indent.
+func (p *parser) parseSeq(indent int) ([]any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		p.pos++
+		if rest == "" {
+			v, err := p.parseBlock(indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if strings.HasSuffix(rest, ":") || strings.Contains(rest, ": ") {
+			return nil, fmt.Errorf("yamlite: line %d: mappings inside sequence items are not supported", l.num)
+		}
+		v, err := parseScalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" or "key:"; keys may be quoted.
+func splitKey(l line) (key, rest string, err error) {
+	text := l.text
+	var i int
+	if len(text) > 0 && (text[0] == '\'' || text[0] == '"') {
+		q := text[0]
+		end := strings.IndexByte(text[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("yamlite: line %d: unterminated quoted key", l.num)
+		}
+		key = text[1 : 1+end]
+		i = end + 2
+		if i >= len(text) || text[i] != ':' {
+			return "", "", fmt.Errorf("yamlite: line %d: expected ':' after quoted key", l.num)
+		}
+	} else {
+		i = strings.IndexByte(text, ':')
+		if i < 0 {
+			return "", "", fmt.Errorf("yamlite: line %d: expected 'key: value'", l.num)
+		}
+		key = strings.TrimSpace(text[:i])
+		if key == "" {
+			return "", "", fmt.Errorf("yamlite: line %d: empty key", l.num)
+		}
+	}
+	rest = strings.TrimSpace(text[i+1:])
+	return key, rest, nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow sequence or a scalar.
+func parseScalarOrFlow(s string, lineNum int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yamlite: line %d: unterminated flow sequence", lineNum)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, len(parts))
+		for i, part := range parts {
+			v, err := parseScalarOrFlow(strings.TrimSpace(part), lineNum)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("yamlite: line %d: flow mappings are not supported", lineNum)
+	}
+	return parseScalar(s, lineNum)
+}
+
+// splitFlow splits flow-sequence items on commas outside quotes and
+// brackets.
+func splitFlow(s string, lineNum int) ([]string, error) {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[':
+			if !inS && !inD {
+				depth++
+			}
+		case ']':
+			if !inS && !inD {
+				depth--
+			}
+		case ',':
+			if !inS && !inD && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inS || inD {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated quote in flow sequence", lineNum)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("yamlite: line %d: unbalanced brackets in flow sequence", lineNum)
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+// parseScalar interprets a scalar token: quoted string, bool, null, int,
+// float, or plain string.
+func parseScalar(s string, lineNum int) (any, error) {
+	if s == "" {
+		// Only reachable through empty flow-sequence items ("[a, ]").
+		return nil, fmt.Errorf("yamlite: line %d: empty flow-sequence item", lineNum)
+	}
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1], nil
+		}
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated quoted scalar", lineNum)
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~", "Null":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

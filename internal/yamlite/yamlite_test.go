@@ -1,0 +1,296 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// kmeansConfig is the paper's Listing 4 (the K-means harness file).
+const kmeansConfig = `
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+  output:
+    option: '-o'
+    name: 'outputFile.bin'
+  metric: 'MAE'
+  bin: 'kmeans'
+  copy: ['kmeans', 'kdd_bin']
+  args: '-i kdd_bin -k 5 -n 5'
+`
+
+func TestParseListingFour(t *testing.T) {
+	doc, err := Parse(kmeansConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := doc.GetMap("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := km.GetString("build_dir"); got != "kmeans" {
+		t.Errorf("build_dir = %q", got)
+	}
+	build, err := km.GetStrings("build")
+	if err != nil || len(build) != 1 || build[0] != "make" {
+		t.Errorf("build = %v, %v", build, err)
+	}
+	analysis, err := km.GetMap("analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := analysis.GetMap("floatsmith")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.GetString("name"); got != "floatSmith" {
+		t.Errorf("analysis name = %q", got)
+	}
+	extra, err := fs.GetMap("extra_args")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := extra.GetString("algorithm"); got != "ddebug" {
+		t.Errorf("algorithm = %q", got)
+	}
+	copyList, err := km.GetStrings("copy")
+	if err != nil || len(copyList) != 2 || copyList[1] != "kdd_bin" {
+		t.Errorf("copy = %v, %v", copyList, err)
+	}
+	if got, _ := km.GetString("args"); got != "-i kdd_bin -k 5 -n 5" {
+		t.Errorf("args = %q", got)
+	}
+}
+
+func TestKeyOrderPreserved(t *testing.T) {
+	doc, err := Parse("b: 1\na: 2\nz: 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := doc.Keys()
+	want := []string{"b", "a", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	doc, err := Parse(`
+i: 42
+neg: -7
+f: 3.5
+sci: 1e-8
+b1: true
+b2: False
+n: null
+s: plain string
+q: 'quoted # not comment'
+d: "double"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]any{
+		"i": int64(42), "neg": int64(-7), "f": 3.5, "sci": 1e-8,
+		"b1": true, "b2": false, "n": nil,
+		"s": "plain string", "q": "quoted # not comment", "d": "double",
+	}
+	for k, want := range checks {
+		v, ok := doc.Get(k)
+		if !ok {
+			t.Errorf("missing %q", k)
+			continue
+		}
+		if v != want {
+			t.Errorf("%q = %#v, want %#v", k, v, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	doc, err := Parse(`
+# full-line comment
+a: 1 # trailing comment
+b: 'kept # inside quotes'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Get("a"); v != int64(1) {
+		t.Errorf("a = %v", v)
+	}
+	if v, _ := doc.Get("b"); v != "kept # inside quotes" {
+		t.Errorf("b = %v", v)
+	}
+}
+
+func TestBlockSequence(t *testing.T) {
+	doc, err := Parse(`
+steps:
+  - make
+  - make install
+  - 42
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := doc.Get("steps")
+	seq, ok := v.([]any)
+	if !ok || len(seq) != 3 {
+		t.Fatalf("steps = %#v", v)
+	}
+	if seq[0] != "make" || seq[1] != "make install" || seq[2] != int64(42) {
+		t.Errorf("steps = %#v", seq)
+	}
+}
+
+func TestFlowSequenceNested(t *testing.T) {
+	doc, err := Parse("v: [1, [2, 3], 'a, b']\nempty: []\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := doc.Get("v")
+	seq := v.([]any)
+	if len(seq) != 3 {
+		t.Fatalf("v = %#v", seq)
+	}
+	inner := seq[1].([]any)
+	if inner[0] != int64(2) || inner[1] != int64(3) {
+		t.Errorf("inner = %#v", inner)
+	}
+	if seq[2] != "a, b" {
+		t.Errorf("quoted comma item = %#v", seq[2])
+	}
+	e, _ := doc.Get("empty")
+	if len(e.([]any)) != 0 {
+		t.Errorf("empty = %#v", e)
+	}
+}
+
+func TestNullBlockValue(t *testing.T) {
+	doc, err := Parse("a:\nb: 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc.Get("a"); !ok || v != nil {
+		t.Errorf("a = %#v, %v", v, ok)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":            "a:\n\tb: 1\n",
+		"bad indent":            "a: 1\n   b: 2\n",
+		"no colon":              "just words\n",
+		"duplicate key":         "a: 1\na: 2\n",
+		"unterminated flow":     "a: [1, 2\n",
+		"unterminated quote":    "a: 'oops\n",
+		"flow mapping":          "a: {b: 1}\n",
+		"empty document":        "   \n# only comments\n",
+		"unterminated q key":    "'a: 1\n",
+		"seq item with mapping": "a:\n  - k: v\n",
+		"unbalanced brackets":   "a: [[1]\n",
+		"quote in flow":         "a: ['x, 2]\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestGetters(t *testing.T) {
+	doc, err := Parse("m:\n  k: v\nlist: [a, b]\nscalar: one\nnum: 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.GetMap("missing"); err == nil {
+		t.Error("GetMap(missing) should error")
+	}
+	if _, err := doc.GetMap("scalar"); err == nil {
+		t.Error("GetMap(scalar) should error")
+	}
+	if _, err := doc.GetString("m"); err == nil {
+		t.Error("GetString(m) should error")
+	}
+	if _, err := doc.GetString("missing"); err == nil {
+		t.Error("GetString(missing) should error")
+	}
+	// GetStrings accepts both a sequence and a bare string.
+	if got, err := doc.GetStrings("list"); err != nil || len(got) != 2 {
+		t.Errorf("GetStrings(list) = %v, %v", got, err)
+	}
+	if got, err := doc.GetStrings("scalar"); err != nil || got[0] != "one" {
+		t.Errorf("GetStrings(scalar) = %v, %v", got, err)
+	}
+	if _, err := doc.GetStrings("num"); err == nil {
+		t.Error("GetStrings(num) should error")
+	}
+	if _, err := doc.GetStrings("missing"); err == nil {
+		t.Error("GetStrings(missing) should error")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("l0:\n")
+	for d := 1; d <= 6; d++ {
+		b.WriteString(strings.Repeat("  ", d))
+		if d == 6 {
+			b.WriteString("leaf: deep\n")
+		} else {
+			b.WriteString("l")
+			b.WriteByte(byte('0' + d))
+			b.WriteString(":\n")
+		}
+	}
+	doc, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := doc
+	for d := 0; d < 6; d++ {
+		if d == 5 {
+			m, err := cur.GetMap("l5")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := m.GetString("leaf"); v != "deep" {
+				t.Errorf("leaf = %q", v)
+			}
+			return
+		}
+		next, err := cur.GetMap("l" + string(byte('0'+d)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+}
+
+func TestEmptyFlowItemIsError(t *testing.T) {
+	// Regression: "a: [,]" used to panic in the scalar parser.
+	for _, src := range []string{"a: [,]\n", "a: [1, ]\n", "a: [ ,1]\n"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+// BenchmarkParse measures harness-config parsing throughput on the
+// paper's Listing 4 document.
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(kmeansConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

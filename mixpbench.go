@@ -1,0 +1,302 @@
+// Package mixpbench is the public API of the HPC-MixPBench reproduction:
+// a benchmark suite for mixed-precision analysis (Parasyris et al., IISWC
+// 2020) ported to Go.
+//
+// The suite bundles ten HPC kernels and seven proxy applications, each
+// exposing its floating-point variables as tunable precision sites
+// together with the type-dependence clusters a source-level tool must
+// respect. On top sit the six mixed-precision search strategies the paper
+// compares (combinational, compositional, delta debugging, hierarchical,
+// hierarchical-compositional, genetic), a verification library with the
+// paper's error metrics, and a YAML-driven harness that deploys analyses
+// over benchmarks.
+//
+// # Quick start
+//
+//	b, _ := mixpbench.Benchmark("hydro-1d")
+//	out, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+//		Algorithm: "DD",
+//		Threshold: 1e-8,
+//	})
+//
+// Tune returns the configuration the strategy converged to, its speedup
+// under the calibrated machine model, its verified error, and the number
+// of configurations evaluated. Lower-level control - custom thresholds,
+// budgets, evaluators, or new strategies - is available through the
+// re-exported types below; regeneration of every table and figure of the
+// paper lives in Study and the cmd/mptables command.
+package mixpbench
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/harness"
+	"repro/internal/mp"
+	"repro/internal/report"
+	"repro/internal/search"
+	"repro/internal/suite"
+	"repro/internal/typedep"
+	"repro/internal/verify"
+)
+
+// Re-exported core types. These aliases are the supported public names;
+// the internal packages they point at are implementation layout.
+type (
+	// BenchmarkProgram is one suite program: a kernel or application.
+	BenchmarkProgram = bench.Benchmark
+	// Config assigns a precision to every tunable variable.
+	Config = bench.Config
+	// Runner executes configurations under the machine model.
+	Runner = bench.Runner
+	// RunResult is one configuration's execution record.
+	RunResult = bench.Result
+	// Prec is a precision level (F64 or F32).
+	Prec = mp.Prec
+	// Metric is a verification metric (MAE, RMSE, MSE, R2, MCR).
+	Metric = verify.Metric
+	// Verdict is a quality-check outcome.
+	Verdict = verify.Verdict
+	// Graph is a type-dependence graph over tunable variables.
+	Graph = typedep.Graph
+	// Space is a search space over clusters or variables.
+	Space = search.Space
+	// Evaluator runs configurations for a search strategy.
+	Evaluator = search.Evaluator
+	// Algorithm is one search strategy.
+	Algorithm = search.Algorithm
+	// Outcome is a strategy's result.
+	Outcome = search.Outcome
+	// HarnessSpec is one benchmark entry of a harness configuration.
+	HarnessSpec = harness.Spec
+	// HarnessJob is one deployed analysis.
+	HarnessJob = harness.Job
+	// HarnessReport is an analysis result.
+	HarnessReport = harness.Report
+	// Study is a full regeneration of the paper's evaluation.
+	Study = report.Study
+)
+
+// Types needed to implement a new benchmark against the public API.
+type (
+	// Tape carries a precision configuration through one benchmark run
+	// and meters its cost.
+	Tape = mp.Tape
+	// Array is a precision-tracked buffer allocated from a Tape.
+	Array = mp.Array
+	// VarID names one tunable variable.
+	VarID = mp.VarID
+	// VarKind classifies a tunable variable.
+	VarKind = typedep.Kind
+	// Output is a benchmark's verification payload.
+	Output = bench.Output
+	// ProgramKind separates kernels from applications.
+	ProgramKind = bench.Kind
+)
+
+// Precision levels. F16 is the extension level for accelerator-style
+// three-level studies; the paper-table regenerations only assign F64 and
+// F32.
+const (
+	F64 = mp.F64
+	F32 = mp.F32
+	F16 = mp.F16
+)
+
+// Variable kinds for dependence-graph declarations.
+const (
+	Scalar   = typedep.Scalar
+	ArrayVar = typedep.ArrayVar
+	Param    = typedep.Param
+	Pointer  = typedep.Pointer
+)
+
+// Program kinds.
+const (
+	Kernel = bench.Kernel
+	App    = bench.App
+)
+
+// NewGraph returns an empty type-dependence graph for declaring a new
+// benchmark's tunable variables.
+func NewGraph() *Graph { return typedep.NewGraph() }
+
+// ComputeMetric evaluates metric m over a reference and a candidate
+// output.
+func ComputeMetric(m Metric, ref, got []float64) (float64, error) {
+	return verify.Compute(m, ref, got)
+}
+
+// CheckMetric evaluates metric m and applies a quality threshold,
+// rejecting non-finite candidate output.
+func CheckMetric(m Metric, ref, got []float64, threshold float64) (Verdict, error) {
+	return verify.Check(m, ref, got, threshold)
+}
+
+// RegisterMetric installs a custom verification metric under the given
+// name (usable in harness configuration files like a built-in). The
+// function must return 0 for exact agreement and grow with error. It
+// panics on name collisions, as registration runs at program start.
+func RegisterMetric(name string, fn func(ref, got []float64) float64) Metric {
+	return verify.RegisterMetric(name, fn)
+}
+
+// Verification metrics.
+const (
+	MAE  = verify.MAE
+	RMSE = verify.RMSE
+	MSE  = verify.MSE
+	R2   = verify.R2
+	MCR  = verify.MCR
+)
+
+// Benchmark resolves a suite benchmark by name (case- and
+// separator-insensitive, so "kmeans" finds "K-means").
+func Benchmark(name string) (BenchmarkProgram, error) {
+	return suite.Lookup(name)
+}
+
+// Benchmarks returns the whole suite: kernels first, then applications.
+func Benchmarks() []BenchmarkProgram { return suite.All() }
+
+// Kernels returns the ten kernel benchmarks of Table I.
+func Kernels() []BenchmarkProgram { return suite.Kernels() }
+
+// Apps returns the seven proxy applications.
+func Apps() []BenchmarkProgram { return suite.Apps() }
+
+// Algorithms lists the six strategy names in table order.
+func Algorithms() []string {
+	return append([]string(nil), search.AlgorithmNames...)
+}
+
+// ExtensionAlgorithms lists strategies beyond the paper's six (currently
+// GP, the greedy profile-guided search); they are accepted everywhere an
+// algorithm name is, but excluded from the table regenerations.
+func ExtensionAlgorithms() []string {
+	return append([]string(nil), search.ExtensionNames...)
+}
+
+// NewRunner returns a Runner with the calibrated default machine model,
+// the paper's ten-repetition measurement protocol, and the given workload
+// seed.
+func NewRunner(seed int64) *Runner { return bench.NewRunner(seed) }
+
+// TuneOptions parameterises Tune.
+type TuneOptions struct {
+	// Algorithm is the strategy name: CB, CM, DD, HR, HC, or GA (long
+	// names like "ddebug" are accepted).
+	Algorithm string
+	// Threshold is the quality bound; zero means the kernel-study default
+	// of 1e-8.
+	Threshold float64
+	// Seed drives the workload and any strategy randomness; zero means
+	// the canonical study seed.
+	Seed int64
+	// BudgetSeconds caps the analysis in simulated seconds; zero means
+	// the paper's 24-hour limit.
+	BudgetSeconds float64
+	// Trace records every configuration the analysis builds (CRAFT's
+	// per-configuration log), returned in TuneResult.Trace.
+	Trace bool
+}
+
+// TuneResult is what Tune reports.
+type TuneResult struct {
+	// Found reports whether any passing configuration was identified; the
+	// remaining fields describe the converged configuration when it was.
+	Found bool
+	// Config is the converged precision assignment.
+	Config Config
+	// Speedup is the modelled speedup over the original program.
+	Speedup float64
+	// Error is the verified quality loss.
+	Error float64
+	// Evaluated counts the configurations built and tested (the paper's
+	// EV metric).
+	Evaluated int
+	// TimedOut reports budget expiry before the strategy terminated.
+	TimedOut bool
+	// Trace is the per-configuration log (only when TuneOptions.Trace).
+	Trace []search.TraceEntry
+}
+
+// Tune searches b for a mixed-precision configuration that passes the
+// quality threshold and speeds the program up, using the named strategy.
+func Tune(b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
+	if opts.Algorithm == "" {
+		return TuneResult{}, fmt.Errorf("mixpbench: TuneOptions.Algorithm is required (one of %v)", Algorithms())
+	}
+	name, err := harness.CanonicalAlgorithm(opts.Algorithm)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = harness.DefaultThreshold
+	}
+	if opts.Seed == 0 {
+		opts.Seed = report.Seed
+	}
+	algo, err := search.ByName(name, opts.Seed)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	space := search.NewSpace(b.Graph(), algo.Mode())
+	eval := search.NewEvaluator(space, bench.NewRunner(opts.Seed), b, opts.Threshold)
+	if opts.BudgetSeconds > 0 {
+		eval.SetBudget(opts.BudgetSeconds)
+	}
+	eval.SetTrace(opts.Trace)
+	out := algo.Search(eval)
+	res := TuneResult{
+		Found:     out.Found,
+		Evaluated: out.Evaluated,
+		TimedOut:  out.TimedOut,
+		Trace:     eval.Trace(),
+	}
+	if out.Found {
+		cfg, _ := space.Expand(out.Best, name == "CM")
+		res.Config = cfg
+		res.Speedup = out.BestResult.Speedup
+		res.Error = out.BestResult.Verdict.Error
+	}
+	return res, nil
+}
+
+// RunStudy regenerates the paper's full evaluation: Tables III, IV, V and
+// the data behind Figures 2a, 2b, and 3. It is expensive (the equivalent
+// of the paper's multi-day cluster campaign, compressed to under a
+// minute); progress, when non-nil, receives one line per completed stage.
+func RunStudy(workers int, progress func(string)) *Study {
+	return report.Run(report.Options{Workers: workers, Progress: progress})
+}
+
+// ParseHarnessConfig parses a YAML harness configuration (the paper's
+// Listing 4 format) into benchmark entries.
+func ParseHarnessConfig(src string) ([]HarnessSpec, error) {
+	return harness.ParseConfig(src)
+}
+
+// RunHarness resolves and executes every entry of a harness configuration
+// on a worker pool, returning reports in entry order.
+func RunHarness(specs []HarnessSpec, workers int, seed int64) ([]HarnessReport, error) {
+	if seed == 0 {
+		seed = report.Seed
+	}
+	jobs, err := harness.JobsFromSpecs(specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	results := harness.Scheduler{Workers: workers}.Run(jobs)
+	out := make([]HarnessReport, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("mixpbench: entry %q: %w", specs[i].Name, r.Err)
+		}
+		out[i] = r.Report
+	}
+	return out, nil
+}
+
+// RegisterAnalysis installs a custom harness analysis plugin.
+func RegisterAnalysis(a harness.Analysis) { harness.RegisterAnalysis(a) }
