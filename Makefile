@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race verify tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the gate for every change: vet plus the full test suite under
+# the race detector (the telemetry determinism tests require -race to mean
+# anything).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+tables:
+	$(GO) run ./cmd/mptables

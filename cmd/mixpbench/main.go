@@ -9,6 +9,12 @@
 //	mixpbench -config path/to/config.yaml [-workers N] [-seed S]
 //	mixpbench -list
 //	mixpbench -tune bench -algorithm DD [-threshold 1e-8]
+//
+// Telemetry: -metrics PATH writes a Prometheus-style snapshot of the
+// run's metrics on exit, and -events PATH streams structured JSONL events
+// while it executes ("-" selects stdout for either). Snapshots are
+// deterministic: the same seed produces byte-identical metrics for any
+// -workers value.
 package main
 
 import (
@@ -34,8 +40,14 @@ func main() {
 		exportSpace = flag.String("export-space", "", "write a benchmark's search space as interchange JSON and exit")
 		jsonOut     = flag.Bool("json", false, "emit harness reports as interchange JSON instead of text")
 		trace       = flag.Bool("trace", false, "with -tune: print the per-configuration evaluation log")
+		metricsOut  = flag.String("metrics", "", `write a Prometheus-style metrics snapshot on exit ("-" = stdout)`)
+		eventsOut   = flag.String("events", "", `stream telemetry events as JSONL ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if err := validateFlags(*workers, *threshold, *tune, *algorithm); err != nil {
+		fatal(err)
+	}
 
 	switch {
 	case *list:
@@ -45,17 +57,105 @@ func main() {
 			fatal(err)
 		}
 	case *tune != "":
-		if err := tuneOne(os.Stdout, *tune, *algorithm, *threshold, *seed, *trace); err != nil {
+		tel, closeTel, err := openTelemetry(*metricsOut, *eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tuneOne(os.Stdout, *tune, *algorithm, *threshold, *seed, *trace, tel); err != nil {
+			fatal(err)
+		}
+		if err := closeTel(); err != nil {
 			fatal(err)
 		}
 	case *configPath != "":
-		if err := runConfig(os.Stdout, *configPath, *workers, *seed, *jsonOut); err != nil {
+		tel, closeTel, err := openTelemetry(*metricsOut, *eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runConfig(os.Stdout, *configPath, *workers, *seed, *jsonOut, tel); err != nil {
+			fatal(err)
+		}
+		if err := closeTel(); err != nil {
 			fatal(err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// validateFlags rejects nonsense flag values with a clear error before
+// any work starts.
+func validateFlags(workers int, threshold float64, tune, algorithm string) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	if threshold < 0 {
+		return fmt.Errorf("-threshold must be >= 0, got %g", threshold)
+	}
+	if tune != "" {
+		if _, err := mixpbench.CanonicalAlgorithm(algorithm); err != nil {
+			return fmt.Errorf("-algorithm: %w", err)
+		}
+	}
+	return nil
+}
+
+// openTelemetry builds the recorder behind -metrics/-events. The returned
+// close function writes the metrics snapshot and reports any event-stream
+// write error; it must run after the instrumented work completes. Both
+// paths accept "-" for stdout; empty flags yield a nil recorder.
+func openTelemetry(metricsPath, eventsPath string) (*mixpbench.Telemetry, func() error, error) {
+	if metricsPath == "" && eventsPath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var sink mixpbench.TelemetrySink
+	var eventsFile *os.File
+	if eventsPath != "" {
+		w := io.Writer(os.Stdout)
+		if eventsPath != "-" {
+			f, err := os.Create(eventsPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			eventsFile = f
+			w = f
+		}
+		sink = mixpbench.NewJSONLSink(w)
+	}
+	tel := mixpbench.NewTelemetry(sink)
+	closeFn := func() error {
+		var firstErr error
+		if metricsPath != "" {
+			w := io.Writer(os.Stdout)
+			var f *os.File
+			if metricsPath != "-" {
+				var err error
+				if f, err = os.Create(metricsPath); err != nil {
+					return err
+				}
+				w = f
+			}
+			firstErr = tel.WriteMetrics(w)
+			if f != nil {
+				if err := f.Close(); firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if sink != nil {
+			if err := sink.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		if eventsFile != nil {
+			if err := eventsFile.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return tel, closeFn, nil
 }
 
 // exportSpaceJSON writes the named benchmark's variable inventory and
@@ -86,7 +186,7 @@ func listBenchmarks(w io.Writer) {
 	}
 }
 
-func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool) error {
+func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool, tel *mixpbench.Telemetry) error {
 	b, err := mixpbench.Benchmark(name)
 	if err != nil {
 		return err
@@ -96,6 +196,7 @@ func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64,
 		Threshold: threshold,
 		Seed:      seed,
 		Trace:     trace,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
@@ -131,7 +232,7 @@ func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64,
 	return nil
 }
 
-func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool) error {
+func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool, tel *mixpbench.Telemetry) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -140,7 +241,11 @@ func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool) 
 	if err != nil {
 		return err
 	}
-	reports, err := mixpbench.RunHarness(specs, workers, seed)
+	reports, err := mixpbench.RunHarnessWith(specs, mixpbench.HarnessOptions{
+		Workers:   workers,
+		Seed:      seed,
+		Telemetry: tel,
+	})
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	mixpbench "repro"
 )
 
 func TestListBenchmarks(t *testing.T) {
@@ -35,7 +38,7 @@ func TestExportSpaceJSON(t *testing.T) {
 
 func TestTuneOneWithTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tuneOne(&buf, "hydro-1d", "DD", 1e-8, 0, true); err != nil {
+	if err := tuneOne(&buf, "hydro-1d", "DD", 1e-8, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -44,8 +47,84 @@ func TestTuneOneWithTrace(t *testing.T) {
 			t.Errorf("tune output missing %q:\n%s", frag, out)
 		}
 	}
-	if err := tuneOne(&buf, "hydro-1d", "annealing", 1e-8, 0, false); err == nil {
+	if err := tuneOne(&buf, "hydro-1d", "annealing", 1e-8, 0, false, nil); err == nil {
 		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		workers   int
+		threshold float64
+		tune      string
+		algorithm string
+		wantErr   string
+	}{
+		{name: "negative workers", workers: -1, wantErr: "-workers"},
+		{name: "negative threshold", threshold: -1e-8, wantErr: "-threshold"},
+		{name: "unknown algorithm", tune: "hydro-1d", algorithm: "annealing", wantErr: "-algorithm"},
+		{name: "ok defaults", algorithm: "DD"},
+		{name: "ok long name", tune: "hydro-1d", algorithm: "ddebug"},
+		{name: "algorithm ignored without tune", algorithm: "annealing"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.workers, c.threshold, c.tune, c.algorithm)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %s", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestTuneOneEmitsTelemetry(t *testing.T) {
+	var events bytes.Buffer
+	sink := mixpbench.NewJSONLSink(&events)
+	tel := mixpbench.NewTelemetry(sink)
+	var out bytes.Buffer
+	if err := tuneOne(&out, "hydro-1d", "DD", 1e-8, 0, false, tel); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics bytes.Buffer
+	if err := tel.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"# TYPE mixpbench_search_evaluations_total counter",
+		`mixpbench_search_evaluations_total{bench="hydro-1d"}`,
+		"mixpbench_search_speedup_bucket",
+		`mixpbench_bench_runs_total{bench="hydro-1d",kind="reference"} 1`,
+		"mixpbench_search_budget_fraction",
+	} {
+		if !strings.Contains(metrics.String(), frag) {
+			t.Errorf("metrics snapshot missing %q:\n%s", frag, metrics.String())
+		}
+	}
+
+	lines := strings.Split(strings.TrimSpace(events.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("%d event lines, want at least search_start + evaluations", len(lines))
+	}
+	for i, line := range lines {
+		var e mixpbench.TelemetryEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event line %d has seq %d", i, e.Seq)
+		}
+	}
+	if !strings.Contains(lines[0], `"event":"search_start"`) {
+		t.Errorf("first event is not search_start: %s", lines[0])
 	}
 }
 
@@ -72,20 +151,140 @@ kmeans:
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := runConfig(&buf, path, 1, 0, false); err != nil {
+	if err := runConfig(&buf, path, 1, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "K-means [DD @ 1e-03]") {
 		t.Errorf("text report malformed:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := runConfig(&buf, path, 1, 0, true); err != nil {
+	if err := runConfig(&buf, path, 1, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"algorithm": "DD"`) {
 		t.Errorf("JSON report malformed:\n%s", buf.String())
 	}
-	if err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), 1, 0, false); err == nil {
+	if err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), 1, 0, false, nil); err == nil {
 		t.Error("expected error for missing config file")
+	}
+}
+
+// multiEntryYAML drives three analyses in one campaign, enough for the
+// scheduler to actually interleave work when the pool has spare workers.
+const multiEntryYAML = `
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+        threshold: 1e-3
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans']
+  args: ''
+
+hydro:
+  build_dir: 'hydro'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'greedy'
+        threshold: 1e-8
+  metric: 'MAE'
+  bin: 'hydro-1d'
+  copy: ['hydro']
+  args: ''
+
+iccg:
+  build_dir: 'iccg'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'hierarchical'
+        threshold: 1e-8
+  metric: 'MAE'
+  bin: 'iccg'
+  copy: ['iccg']
+  args: ''
+`
+
+// TestHarnessMetricsWorkerInvariant is the acceptance check of the
+// telemetry determinism guarantee: the same seeded campaign produces
+// byte-identical metric snapshots with -workers 1 and -workers 8.
+func TestHarnessMetricsWorkerInvariant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.yaml")
+	if err := os.WriteFile(path, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		tel := mixpbench.NewTelemetry(mixpbench.NewMemorySink())
+		var out bytes.Buffer
+		if err := runConfig(&out, path, workers, 42, false, tel); err != nil {
+			t.Fatal(err)
+		}
+		var metrics bytes.Buffer
+		if err := tel.WriteMetrics(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.String()
+	}
+	one := run(1)
+	eight := run(8)
+	if one != eight {
+		t.Errorf("metric snapshots differ between -workers 1 and -workers 8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", one, eight)
+	}
+	for _, frag := range []string{
+		"mixpbench_harness_jobs_total 3",
+		"mixpbench_harness_jobs_completed_total 3",
+		"mixpbench_harness_progress 1",
+		`mixpbench_search_evaluations_total{bench="K-means"}`,
+		`mixpbench_search_evaluations_total{bench="hydro-1d"}`,
+	} {
+		if !strings.Contains(one, frag) {
+			t.Errorf("campaign snapshot missing %q:\n%s", frag, one)
+		}
+	}
+}
+
+func TestOpenTelemetryWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	tel, closeTel, err := openTelemetry(metricsPath, eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := tuneOne(&out, "iccg", "GP", 1e-8, 0, false, tel); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeTel(); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "mixpbench_search_evaluations_total") {
+		t.Errorf("metrics file malformed:\n%s", metrics)
+	}
+	events, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(events)), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("events line %d is not valid JSON: %s", i, line)
+		}
 	}
 }

@@ -66,7 +66,14 @@ func main() {
 			s.Name, s.Bin, s.Metric, s.Analysis.Algorithm, s.Analysis.Threshold)
 	}
 
-	reports, err := mixpbench.RunHarness(specs, 2, 0)
+	// Attach a telemetry recorder so the campaign's metrics can be
+	// inspected afterwards; the snapshot is byte-identical for any
+	// Workers value.
+	tel := mixpbench.NewTelemetry(mixpbench.NewMemorySink())
+	reports, err := mixpbench.RunHarnessWith(specs, mixpbench.HarnessOptions{
+		Workers:   2,
+		Telemetry: tel,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,5 +86,11 @@ func main() {
 		fmt.Printf("  %-12s %s @ %.0e: speedup %.3fx, quality %s, evaluated %d, demoted %d/%d\n",
 			r.Benchmark, r.Algorithm, r.Threshold, r.Speedup, quality,
 			r.Evaluated, r.Demoted, r.Variables)
+	}
+
+	fmt.Println("\ncampaign metrics:")
+	snap := tel.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Printf("  %s%s = %g\n", c.Name, c.Labels, c.Value)
 	}
 }

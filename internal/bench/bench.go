@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/mp"
 	"repro/internal/perfmodel"
+	"repro/internal/telemetry"
 	"repro/internal/typedep"
 	"repro/internal/verify"
 )
@@ -160,6 +161,9 @@ type Runner struct {
 	// configuration of a benchmark see identical inputs, which the
 	// verification comparison requires.
 	Seed int64
+	// Telemetry, when non-nil, records per-run timings and the perfmodel
+	// cost breakdown (flops, casts, traffic) of every execution.
+	Telemetry *telemetry.Recorder
 }
 
 // NewRunner returns a Runner with the default machine, the paper's
@@ -185,13 +189,37 @@ func (r *Runner) Run(b Benchmark, cfg Config) Result {
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
 	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), cfg)))
-	return Result{
+	res := Result{
 		Output:    out,
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
+	kind := "candidate"
+	if cfg == nil {
+		kind = "reference"
+	}
+	r.observe(b, kind, res)
+	return res
+}
+
+// observe records one execution's timing and cost breakdown.
+func (r *Runner) observe(b Benchmark, kind string, res Result) {
+	if r.Telemetry == nil {
+		return
+	}
+	name := b.Name()
+	r.Telemetry.Counter("mixpbench_bench_runs_total", "bench", name, "kind", kind).Inc()
+	r.Telemetry.Histogram("mixpbench_bench_model_seconds", telemetry.SecondsBuckets, "bench", name).Observe(res.ModelTime)
+	c := res.Cost
+	r.Telemetry.Counter("mixpbench_bench_flops64_total", "bench", name).Add(float64(c.Flops64))
+	r.Telemetry.Counter("mixpbench_bench_flops32_total", "bench", name).Add(float64(c.Flops32))
+	if c.Flops16 > 0 {
+		r.Telemetry.Counter("mixpbench_bench_flops16_total", "bench", name).Add(float64(c.Flops16))
+	}
+	r.Telemetry.Counter("mixpbench_bench_casts_total", "bench", name).Add(float64(c.Casts))
+	r.Telemetry.Counter("mixpbench_bench_traffic_bytes_total", "bench", name).Add(float64(c.Bytes()))
 }
 
 // Reference evaluates the original double-precision program.
@@ -218,13 +246,15 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
 	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name()+"/ir", cfg)))
-	return Result{
+	res := Result{
 		Output:    out,
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
+	r.observe(b, "ir", res)
+	return res
 }
 
 // RunManualSingle evaluates the whole-program single-precision conversion
@@ -243,12 +273,14 @@ func (r *Runner) RunManualSingle(b Benchmark) Result {
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
 	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), AllSingle(n+h))))
-	return Result{
+	res := Result{
 		Output:    out,
 		Cost:      cost,
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
+	r.observe(b, "manual-single", res)
+	return res
 }
 
 // jitterSeed mixes the workload seed, benchmark name, and configuration

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mp"
+	"repro/internal/telemetry"
 	"repro/internal/typedep"
 	"repro/internal/verify"
 )
@@ -174,5 +175,49 @@ func TestRunIRKeepsStorageWide(t *testing.T) {
 	// Compute still narrows.
 	if ir.Cost.Flops32 != src.Cost.Flops32 {
 		t.Errorf("IR flops32 = %d, want %d", ir.Cost.Flops32, src.Cost.Flops32)
+	}
+}
+
+// TestRunnerTelemetry checks the per-run accounting: one runs_total series
+// per (bench, kind), model-time observations in the histogram, and flop /
+// cast / traffic counters matching the cost model.
+func TestRunnerTelemetry(t *testing.T) {
+	s := newStub(0)
+	r := NewRunner(1)
+	tel := telemetry.New(nil)
+	r.Telemetry = tel
+
+	ref := r.Reference(s)
+	cfg := NewConfig(s.Graph().NumVars())
+	cfg[0] = mp.F32
+	cand := r.Run(s, cfg)
+
+	snap := tel.Snapshot()
+	counters := map[string]float64{}
+	for _, p := range snap.Counters {
+		counters[p.Name+p.Labels] = p.Value
+	}
+	if got := counters[`mixpbench_bench_runs_total{bench="stub",kind="reference"}`]; got != 1 {
+		t.Errorf("reference runs = %g, want 1", got)
+	}
+	if got := counters[`mixpbench_bench_runs_total{bench="stub",kind="candidate"}`]; got != 1 {
+		t.Errorf("candidate runs = %g, want 1", got)
+	}
+	wantF64 := float64(ref.Cost.Flops64 + cand.Cost.Flops64)
+	if got := counters[`mixpbench_bench_flops64_total{bench="stub"}`]; got != wantF64 {
+		t.Errorf("flops64 counter = %g, cost model says %g", got, wantF64)
+	}
+	wantF32 := float64(ref.Cost.Flops32 + cand.Cost.Flops32)
+	if got := counters[`mixpbench_bench_flops32_total{bench="stub"}`]; got != wantF32 {
+		t.Errorf("flops32 counter = %g, cost model says %g", got, wantF32)
+	}
+	wantBytes := float64(ref.Cost.Bytes() + cand.Cost.Bytes())
+	if got := counters[`mixpbench_bench_traffic_bytes_total{bench="stub"}`]; got != wantBytes {
+		t.Errorf("traffic counter = %g, cost model says %g", got, wantBytes)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "mixpbench_bench_model_seconds" && h.Count != 2 {
+			t.Errorf("model_seconds count = %d, want 2", h.Count)
+		}
 	}
 }

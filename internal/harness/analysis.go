@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // Job is one deployed analysis: a benchmark plus the analysis parameters
@@ -21,6 +22,11 @@ type Job struct {
 	// BudgetSeconds caps the analysis (simulated seconds); zero means the
 	// paper's 24-hour default.
 	BudgetSeconds float64
+	// Telemetry receives the job's evaluation metrics and events (nil =
+	// off). The scheduler installs a private per-job recorder here; a
+	// plugin should thread it into whatever evaluators and runners it
+	// builds.
+	Telemetry *telemetry.Recorder
 }
 
 // Report is what an analysis returns for one job: the paper's three
@@ -31,6 +37,10 @@ type Report struct {
 	Threshold float64
 	// Evaluated is the EV metric.
 	Evaluated int
+	// SpentSeconds is the simulated analysis time the job consumed (the
+	// budget accounting the paper's Table V timeout cells rest on); the
+	// scheduler's job spans are built from it.
+	SpentSeconds float64
 	// Speedup is the SU metric for the configuration the analysis
 	// converged to (1.0 when nothing was found).
 	Speedup float64
@@ -116,23 +126,27 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 	}
 	g := job.Benchmark.Graph()
 	space := search.NewSpace(g, algo.Mode())
-	eval := search.NewEvaluator(space, bench.NewRunner(job.Seed), job.Benchmark, job.Spec.Analysis.Threshold)
+	runner := bench.NewRunner(job.Seed)
+	runner.Telemetry = job.Telemetry
+	eval := search.NewEvaluator(space, runner, job.Benchmark, job.Spec.Analysis.Threshold)
 	if job.BudgetSeconds > 0 {
 		eval.SetBudget(job.BudgetSeconds)
 	}
+	eval.SetTelemetry(job.Telemetry)
 	out := algo.Search(eval)
 
 	rep := Report{
-		Benchmark: job.Benchmark.Name(),
-		Algorithm: algoName,
-		Threshold: job.Spec.Analysis.Threshold,
-		Evaluated: out.Evaluated,
-		Speedup:   1.0,
-		Quality:   0,
-		Found:     out.Found,
-		TimedOut:  out.TimedOut,
-		Clusters:  g.NumClusters(),
-		Variables: g.NumVars(),
+		Benchmark:    job.Benchmark.Name(),
+		Algorithm:    algoName,
+		Threshold:    job.Spec.Analysis.Threshold,
+		Evaluated:    out.Evaluated,
+		SpentSeconds: eval.Spent(),
+		Speedup:      1.0,
+		Quality:      0,
+		Found:        out.Found,
+		TimedOut:     out.TimedOut,
+		Clusters:     g.NumClusters(),
+		Variables:    g.NumVars(),
 	}
 	if out.Found {
 		rep.Speedup = out.BestResult.Speedup

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -252,17 +254,170 @@ func TestSchedulerRecoversFromPanickingAnalysis(t *testing.T) {
 		t.Fatal(err)
 	}
 	results := Scheduler{Workers: 2}.Run([]Job{
-		{Spec: s, Benchmark: b, Seed: 1},
 		{Spec: good, Benchmark: gb, Seed: 42},
+		{Spec: s, Benchmark: b, Seed: 1},
 	})
-	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
-		t.Errorf("panicking job error = %v", results[0].Err)
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Errorf("panicking job error = %v", results[1].Err)
 	}
-	if results[1].Err != nil {
-		t.Errorf("healthy job failed alongside panicking one: %v", results[1].Err)
+	// The recovered error names the failing job's index and carries the
+	// panic stack, so a misdeclared benchmark is diagnosable from the
+	// campaign report alone.
+	if err := results[1].Err; err != nil {
+		if !strings.Contains(err.Error(), "job 1") {
+			t.Errorf("panic error does not name the job index: %v", err)
+		}
+		if !strings.Contains(err.Error(), "goroutine ") || !strings.Contains(err.Error(), "Analyze") {
+			t.Errorf("panic error carries no stack trace: %v", err)
+		}
 	}
-	if !results[1].Report.Found {
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has Index %d", i, r.Index)
+		}
+	}
+	if results[0].Err != nil {
+		t.Errorf("healthy job failed alongside panicking one: %v", results[0].Err)
+	}
+	if !results[0].Report.Found {
 		t.Error("healthy job produced no result")
+	}
+}
+
+// telemetryJobs builds a three-entry campaign over distinct algorithms.
+func telemetryJobs(t *testing.T) []Job {
+	t.Helper()
+	specs, err := ParseConfig(kmeansYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for _, algo := range []string{"DD", "GP", "HR"} {
+		s := specs[0]
+		s.Analysis.Algorithm = algo
+		b, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Spec: s, Benchmark: b, Seed: 42})
+	}
+	return jobs
+}
+
+// TestSchedulerTelemetryDeterministic locks in the determinism guarantee:
+// the same seeded campaign yields byte-identical metric snapshots and a
+// job-ordered event stream under any worker count. Run under -race with
+// Workers > 1 it also locks in the data-race-free claim.
+func TestSchedulerTelemetryDeterministic(t *testing.T) {
+	run := func(workers int) (string, []telemetry.Event) {
+		mem := telemetry.NewMemorySink()
+		tel := telemetry.New(mem)
+		results := Scheduler{Workers: workers, Telemetry: tel}.Run(telemetryJobs(t))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("job %d: %v", i, r.Err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tel.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), mem.Events()
+	}
+
+	metrics1, events1 := run(1)
+	metrics8, events8 := run(8)
+	if metrics1 != metrics8 {
+		t.Errorf("metric snapshots differ between Workers=1 and Workers=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", metrics1, metrics8)
+	}
+	if len(events1) != len(events8) {
+		t.Errorf("event counts differ: %d vs %d", len(events1), len(events8))
+	}
+
+	// The stream is job-major: campaign_start, then for each job in
+	// submission order its job_start / per-evaluation block / job_end,
+	// then campaign_end - with contiguous sequence numbers throughout.
+	for _, events := range [][]telemetry.Event{events1, events8} {
+		if events[0].Name != "campaign_start" || events[len(events)-1].Name != "campaign_end" {
+			t.Fatalf("stream not bracketed: first=%s last=%s", events[0].Name, events[len(events)-1].Name)
+		}
+		lastJob := -1
+		for i, e := range events {
+			if e.Seq != uint64(i+1) {
+				t.Errorf("event %d has seq %d", i, e.Seq)
+			}
+			if e.Name != "job_start" {
+				continue
+			}
+			job, ok := e.Fields["job"].(int)
+			if !ok || job != lastJob+1 {
+				t.Errorf("job_start out of order: fields=%v after job %d", e.Fields, lastJob)
+			}
+			lastJob = job
+		}
+		if lastJob != 2 {
+			t.Errorf("saw job_start up to %d, want 2", lastJob)
+		}
+	}
+}
+
+// TestSchedulerTelemetryMergesJobMetrics checks that per-job evaluation
+// counters survive the merge into the campaign registry and the spans
+// reflect the simulated clock.
+func TestSchedulerTelemetryMergesJobMetrics(t *testing.T) {
+	mem := telemetry.NewMemorySink()
+	tel := telemetry.New(mem)
+	results := Scheduler{Workers: 2, Telemetry: tel}.Run(telemetryJobs(t))
+
+	snap := tel.Snapshot()
+	var evals, completed float64
+	for _, p := range snap.Counters {
+		switch p.Name {
+		case "mixpbench_search_evaluations_total":
+			evals += p.Value
+		case "mixpbench_harness_jobs_completed_total":
+			completed = p.Value
+		}
+	}
+	wantEvals := 0
+	for _, r := range results {
+		wantEvals += r.Report.Evaluated
+	}
+	if evals != float64(wantEvals) {
+		t.Errorf("merged evaluations = %g, reports say %d", evals, wantEvals)
+	}
+	if completed != 3 {
+		t.Errorf("jobs completed counter = %g, want 3", completed)
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "mixpbench_harness_progress" && g.Value != 1 {
+			t.Errorf("progress gauge = %g, want 1", g.Value)
+		}
+	}
+
+	// Spans: job_end run_seconds equals the report's simulated spend.
+	for _, e := range mem.Events() {
+		if e.Name != "job_end" {
+			continue
+		}
+		job := e.Fields["job"].(int)
+		if got := e.Fields["run_seconds"].(float64); got != results[job].Report.SpentSeconds {
+			t.Errorf("job %d span run_seconds = %g, report spent %g", job, got, results[job].Report.SpentSeconds)
+		}
+	}
+}
+
+// TestListSchedule pins the simulated cluster clock: earliest-free worker
+// wins, ties go to the lowest id.
+func TestListSchedule(t *testing.T) {
+	starts, assigned := listSchedule([]float64{10, 4, 3, 5}, 2)
+	wantStarts := []float64{0, 0, 4, 7}
+	wantWorkers := []int{0, 1, 1, 1}
+	for i := range starts {
+		if starts[i] != wantStarts[i] || assigned[i] != wantWorkers[i] {
+			t.Errorf("job %d scheduled at %.0f on worker %d, want %.0f on %d",
+				i, starts[i], assigned[i], wantStarts[i], wantWorkers[i])
+		}
 	}
 }
 

@@ -3,7 +3,11 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Scheduler fans analysis jobs out over a pool of workers, reproducing the
@@ -15,11 +19,24 @@ type Scheduler struct {
 	// Workers is the pool size (simulated node count). Zero means
 	// GOMAXPROCS.
 	Workers int
+	// Telemetry, when non-nil, receives the campaign's metrics and event
+	// stream. Each job runs against a private recorder; after the pool
+	// drains, the per-job registries are merged and the per-job event
+	// buffers replayed in job submission order, so metric snapshots are
+	// byte-identical under any worker count. Job spans (queue wait, run
+	// duration, worker id) come from the simulated cluster clock - list
+	// scheduling of each job's simulated analysis seconds over the pool -
+	// not from host goroutine timing. Only the campaign progress gauge
+	// and completion counter update live while jobs execute.
+	Telemetry *telemetry.Recorder
 }
 
 // JobResult pairs a job's report with its error, positionally aligned
 // with the submitted jobs.
 type JobResult struct {
+	// Index is the job's position in the submitted slice, so a result
+	// extracted from the batch still names the entry it belongs to.
+	Index  int
 	Report Report
 	Err    error
 }
@@ -38,18 +55,43 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 		return results
 	}
 
+	// Per-job private recorders keep concurrent telemetry deterministic:
+	// nothing is shared while workers race, everything merges in job
+	// order afterwards.
+	var recs []*telemetry.Recorder
+	var mems []*telemetry.MemorySink
+	if s.Telemetry != nil {
+		s.Telemetry.Emit("campaign_start", map[string]any{"jobs": len(jobs), "workers": workers})
+		s.Telemetry.Counter("mixpbench_harness_jobs_total").Add(float64(len(jobs)))
+		mems = make([]*telemetry.MemorySink, len(jobs))
+		recs = make([]*telemetry.Recorder, len(jobs))
+		for i := range jobs {
+			mems[i] = telemetry.NewMemorySink()
+			recs[i] = telemetry.New(mems[i])
+		}
+	}
+
 	type task struct {
 		idx int
 		job Job
 	}
 	queue := make(chan task)
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range queue {
-				results[t.idx] = runOne(t.job)
+				if recs != nil {
+					t.job.Telemetry = recs[t.idx]
+				}
+				results[t.idx] = runOne(t.idx, t.job)
+				if s.Telemetry != nil {
+					done := completed.Add(1)
+					s.Telemetry.Counter("mixpbench_harness_jobs_completed_total").Inc()
+					s.Telemetry.Gauge("mixpbench_harness_progress").SetMax(float64(done) / float64(len(jobs)))
+				}
 			}
 		}()
 	}
@@ -58,25 +100,98 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 	}
 	close(queue)
 	wg.Wait()
+
+	if s.Telemetry != nil {
+		s.flushTelemetry(jobs, results, recs, mems, workers)
+	}
 	return results
+}
+
+// flushTelemetry folds the per-job recorders into the campaign recorder
+// in job submission order and emits the per-job span events against the
+// simulated cluster schedule.
+func (s Scheduler) flushTelemetry(jobs []Job, results []JobResult, recs []*telemetry.Recorder, mems []*telemetry.MemorySink, workers int) {
+	durations := make([]float64, len(jobs))
+	for i, r := range results {
+		durations[i] = r.Report.SpentSeconds
+	}
+	starts, assigned := listSchedule(durations, workers)
+	errs := 0
+	for i := range jobs {
+		spec := jobs[i].Spec
+		s.Telemetry.Emit("job_start", map[string]any{
+			"job":           i,
+			"entry":         spec.Name,
+			"bench":         spec.Bin,
+			"algorithm":     spec.Analysis.Algorithm,
+			"threshold":     spec.Analysis.Threshold,
+			"worker":        assigned[i],
+			"queue_seconds": starts[i],
+		})
+		s.Telemetry.Stream().Replay(mems[i].Events())
+		s.Telemetry.Registry().Merge(recs[i].Registry())
+		end := map[string]any{
+			"job":         i,
+			"worker":      assigned[i],
+			"run_seconds": durations[i],
+			"evaluated":   results[i].Report.Evaluated,
+			"found":       results[i].Report.Found,
+			"timed_out":   results[i].Report.TimedOut,
+		}
+		if err := results[i].Err; err != nil {
+			end["error"] = err.Error()
+			errs++
+			s.Telemetry.Counter("mixpbench_harness_job_errors_total").Inc()
+		}
+		s.Telemetry.Emit("job_end", end)
+		// Queue wait depends on the pool size, so it stays event-only:
+		// the registry must snapshot byte-identically for any -workers.
+		s.Telemetry.Histogram("mixpbench_harness_job_seconds", telemetry.SecondsBuckets).Observe(durations[i])
+	}
+	s.Telemetry.Emit("campaign_end", map[string]any{"jobs": len(jobs), "errors": errs})
+}
+
+// listSchedule assigns each job, in submission order, to the worker that
+// frees earliest (ties to the lowest worker id), over the jobs' simulated
+// durations. This is the simulated cluster's clock: it is deterministic
+// for a given worker count, where the host goroutine timing is not.
+func listSchedule(durations []float64, workers int) (starts []float64, assigned []int) {
+	free := make([]float64, workers)
+	starts = make([]float64, len(durations))
+	assigned = make([]int, len(durations))
+	for i, d := range durations {
+		w := 0
+		for j := 1; j < workers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		starts[i] = free[w]
+		assigned[i] = w
+		free[w] += d
+	}
+	return starts, assigned
 }
 
 // runOne resolves and executes a single job, converting panics from
 // misdeclared benchmarks into errors so one bad entry cannot take down a
-// whole campaign.
-func runOne(job Job) (jr JobResult) {
+// whole campaign. The recovered error carries the panicking job's index
+// and stack so the failure is diagnosable from the campaign report alone.
+func runOne(idx int, job Job) (jr JobResult) {
+	jr.Index = idx
 	defer func() {
 		if r := recover(); r != nil {
-			jr.Err = fmt.Errorf("harness: job %s/%s panicked: %v",
-				job.Spec.Name, job.Spec.Analysis.Algorithm, r)
+			jr.Err = fmt.Errorf("harness: job %d (%s/%s) panicked: %v\n%s",
+				idx, job.Spec.Name, job.Spec.Analysis.Algorithm, r, debug.Stack())
 		}
 	}()
 	plugin, err := LookupAnalysis(job.Spec.Analysis.Name)
 	if err != nil {
-		return JobResult{Err: err}
+		jr.Err = err
+		return jr
 	}
-	rep, err := plugin.Analyze(job)
-	return JobResult{Report: rep, Err: err}
+	jr.Report, jr.Err = plugin.Analyze(job)
+	return jr
 }
 
 // JobsFromSpecs resolves each spec's benchmark and builds one job per

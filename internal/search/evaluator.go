@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -53,6 +54,9 @@ type Evaluator struct {
 
 	traceOn bool
 	trace   []TraceEntry
+
+	// tel receives per-evaluation metrics and events (nil = off).
+	tel *telemetry.Recorder
 }
 
 // TraceEntry records one evaluated configuration in evaluation order, the
@@ -122,9 +126,32 @@ func (e *Evaluator) SetTypeforgeExpand(on bool) { e.typeforgeExpand = on }
 // trace of a budget-length analysis holds a few thousand entries).
 func (e *Evaluator) SetTrace(on bool) { e.traceOn = on }
 
-// Trace returns the recorded evaluations in order. The caller must not
-// modify the returned slice.
-func (e *Evaluator) Trace() []TraceEntry { return e.trace }
+// SetTelemetry attaches a recorder: every subsequent evaluation updates
+// the search metrics (evaluations, cache hits, invalid builds, speedup
+// distribution, budget-fraction gauge) and emits one "evaluation" event.
+// All series carry a bench label. A nil recorder switches telemetry off.
+func (e *Evaluator) SetTelemetry(tel *telemetry.Recorder) {
+	e.tel = tel
+	if tel == nil {
+		return
+	}
+	tel.Emit("search_start", map[string]any{
+		"bench":                  e.benchmark.Name(),
+		"threshold":              e.threshold,
+		"budget_seconds":         e.budget,
+		"spent_seconds":          e.spent,
+		"reference_mean_seconds": e.reference.Measured.Mean,
+	})
+	tel.Gauge("mixpbench_search_budget_fraction", "bench", e.benchmark.Name()).Set(e.spent / e.budget)
+}
+
+// Trace returns a copy of the recorded evaluations in order. Mutating the
+// returned slice cannot corrupt the evaluator's own record.
+func (e *Evaluator) Trace() []TraceEntry {
+	out := make([]TraceEntry, len(e.trace))
+	copy(out, e.trace)
+	return out
+}
 
 // Space returns the search space.
 func (e *Evaluator) Space() *Space { return e.space }
@@ -164,9 +191,19 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	cfg, valid := e.space.Expand(set, e.typeforgeExpand)
 	key := cfg.Key()
 	if r, ok := e.cache[key]; ok {
+		e.observe(key, cfg.Singles(), r, true)
 		return r, nil
 	}
 	if e.spent >= e.budget {
+		if e.tel != nil {
+			e.tel.Counter("mixpbench_search_budget_exhausted_total", "bench", e.benchmark.Name()).Inc()
+			e.tel.Emit("budget_exhausted", map[string]any{
+				"bench":          e.benchmark.Name(),
+				"spent_seconds":  e.spent,
+				"budget_seconds": e.budget,
+				"evaluations":    e.evaluated,
+			})
+		}
 		return Result{}, ErrBudgetExhausted
 	}
 	e.evaluated++
@@ -177,6 +214,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		r := Result{Valid: false}
 		e.cache[key] = r
 		e.record(key, cfg.Singles(), r)
+		e.observe(key, cfg.Singles(), r, false)
 		return r, nil
 	}
 	res := e.runner.Run(e.benchmark, cfg)
@@ -193,7 +231,42 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	}
 	e.cache[key] = r
 	e.record(key, cfg.Singles(), r)
+	e.observe(key, cfg.Singles(), r, false)
 	return r, nil
+}
+
+// observe feeds one evaluation (paid or cache hit) into the attached
+// telemetry recorder.
+func (e *Evaluator) observe(key string, singles int, r Result, cacheHit bool) {
+	if e.tel == nil {
+		return
+	}
+	name := e.benchmark.Name()
+	if cacheHit {
+		e.tel.Counter("mixpbench_search_cache_hits_total", "bench", name).Inc()
+	} else {
+		e.tel.Counter("mixpbench_search_evaluations_total", "bench", name).Inc()
+		if !r.Valid {
+			e.tel.Counter("mixpbench_search_invalid_builds_total", "bench", name).Inc()
+		} else {
+			e.tel.Histogram("mixpbench_search_speedup", telemetry.SpeedupBuckets, "bench", name).Observe(r.Speedup)
+		}
+		e.tel.Gauge("mixpbench_search_spent_seconds", "bench", name).Set(e.spent)
+		e.tel.Gauge("mixpbench_search_budget_fraction", "bench", name).Set(e.spent / e.budget)
+	}
+	e.tel.Emit("evaluation", map[string]any{
+		"bench":          name,
+		"config":         key,
+		"singles":        singles,
+		"cache":          cacheHit,
+		"valid":          r.Valid,
+		"passed":         r.Passed,
+		"speedup":        r.Speedup,
+		"error":          r.Verdict.Error,
+		"spent_seconds":  e.spent,
+		"budget_seconds": e.budget,
+		"evaluations":    e.evaluated,
+	})
 }
 
 // record appends a trace entry when tracing is on.

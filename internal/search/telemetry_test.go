@@ -1,0 +1,198 @@
+package search
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// singleton returns the selection demoting only unit i.
+func singleton(n, i int) Set {
+	s := NewSet(n)
+	s.Add(i)
+	return s
+}
+
+// TestTraceReturnsCopy is the regression test for Trace aliasing: mutating
+// the returned slice must not corrupt the evaluator's own record or any
+// subsequent record call.
+func TestTraceReturnsCopy(t *testing.T) {
+	e := newEval(t, newFakeBench([3]float64{0, 0, 0}), ByCluster, 1e-6)
+	e.SetTrace(true)
+	n := e.Space().NumUnits()
+	if _, err := e.Evaluate(singleton(n, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := e.Trace()
+	if len(got) != 1 {
+		t.Fatalf("trace has %d entries", len(got))
+	}
+	// Corrupt the returned entry and grow the returned slice: with an
+	// aliased live slice, the append could land the next record entry in
+	// the caller's array and the field write would corrupt the record.
+	got[0].Config = "corrupted"
+	got[0].Seq = 999
+	_ = append(got, TraceEntry{Config: "stray"})
+
+	if _, err := e.Evaluate(singleton(n, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fresh := e.Trace()
+	if len(fresh) != 2 {
+		t.Fatalf("trace has %d entries after second evaluation", len(fresh))
+	}
+	if fresh[0].Config == "corrupted" || fresh[0].Seq == 999 {
+		t.Error("mutating the returned trace corrupted the evaluator's record")
+	}
+	if fresh[1].Config == "stray" {
+		t.Error("append through the returned trace leaked into the record")
+	}
+	if fresh[0].Seq != 1 || fresh[1].Seq != 2 {
+		t.Errorf("trace seqs = %d, %d, want 1, 2", fresh[0].Seq, fresh[1].Seq)
+	}
+}
+
+// TestTraceAndMetricsUnderTimeout drives an evaluator into
+// ErrBudgetExhausted mid-strategy and checks that the trace and the
+// metrics snapshot stay consistent: entries are monotone in spent time,
+// every entry but the last started under budget (so the overshoot is at
+// most one evaluation), and the counters agree with the EV metric.
+func TestTraceAndMetricsUnderTimeout(t *testing.T) {
+	b := newFakeBench([3]float64{0, 0, 0})
+	e := newEval(t, b, ByCluster, 1e-6)
+	e.SetTrace(true)
+	tel := telemetry.New(telemetry.NewMemorySink())
+	// Budget for the baseline plus just under two more builds: the third
+	// proposal must hit the wall.
+	e.SetBudget(e.Spent() + 2*DefaultBuildSeconds - 1)
+	e.SetTelemetry(tel)
+
+	n := e.Space().NumUnits()
+	var exhausted bool
+	for i := 0; i < n && !exhausted; i++ {
+		_, err := e.Evaluate(singleton(n, i))
+		switch {
+		case errors.Is(err, ErrBudgetExhausted):
+			exhausted = true
+		case err != nil:
+			t.Fatal(err)
+		}
+	}
+	if !exhausted {
+		t.Fatal("budget never exhausted; test needs a tighter budget")
+	}
+
+	trace := e.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace entries before exhaustion")
+	}
+	if len(trace) != e.Evaluated() {
+		t.Errorf("trace has %d entries, EV = %d", len(trace), e.Evaluated())
+	}
+	budget := e.Spent() // spent is frozen once exhausted
+	for i, entry := range trace {
+		if i > 0 && entry.SpentSeconds < trace[i-1].SpentSeconds {
+			t.Errorf("entry %d spent %.1f < previous %.1f", i, entry.SpentSeconds, trace[i-1].SpentSeconds)
+		}
+		if entry.Seq != i+1 {
+			t.Errorf("entry %d has seq %d", i, entry.Seq)
+		}
+	}
+	last := trace[len(trace)-1]
+	if last.SpentSeconds != budget {
+		t.Errorf("last entry spent %.2f, evaluator spent %.2f", last.SpentSeconds, budget)
+	}
+	// Every paid evaluation started strictly under budget, so the final
+	// spent figure exceeds the budget by at most one evaluation's cost.
+	if len(trace) > 1 {
+		prev := trace[len(trace)-2].SpentSeconds
+		if overshoot := last.SpentSeconds - prev; last.SpentSeconds > e.budget+overshoot {
+			t.Errorf("spent %.2f overshoots budget %.2f by more than one evaluation (%.2f)",
+				last.SpentSeconds, e.budget, overshoot)
+		}
+	}
+
+	snap := tel.Snapshot()
+	counters := map[string]float64{}
+	for _, p := range snap.Counters {
+		counters[p.Name] += p.Value
+	}
+	if got := counters["mixpbench_search_evaluations_total"]; got != float64(e.Evaluated()) {
+		t.Errorf("evaluations counter = %g, EV = %d", got, e.Evaluated())
+	}
+	if counters["mixpbench_search_budget_exhausted_total"] != 1 {
+		t.Errorf("budget_exhausted counter = %g, want 1", counters["mixpbench_search_budget_exhausted_total"])
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "mixpbench_search_spent_seconds" && g.Value != budget {
+			t.Errorf("spent gauge = %g, evaluator spent %g", g.Value, budget)
+		}
+	}
+}
+
+// TestEvaluatorTelemetryCounts checks the per-evaluation accounting:
+// cache hits and paid evaluations land in separate counters, events cover
+// both, and the budget-fraction gauge tracks spent/budget.
+func TestEvaluatorTelemetryCounts(t *testing.T) {
+	e := newEval(t, newFakeBench([3]float64{0, 1, 0}), ByCluster, 1e-6)
+	mem := telemetry.NewMemorySink()
+	e.SetTelemetry(telemetry.New(mem))
+
+	n := e.Space().NumUnits()
+	sel := singleton(n, 0)
+	if _, err := e.Evaluate(sel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(sel); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(singleton(n, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := e.tel.Snapshot()
+	find := func(name string) float64 {
+		for _, p := range snap.Counters {
+			if p.Name == name {
+				return p.Value
+			}
+		}
+		return -1
+	}
+	if got := find("mixpbench_search_evaluations_total"); got != 2 {
+		t.Errorf("evaluations = %g, want 2", got)
+	}
+	if got := find("mixpbench_search_cache_hits_total"); got != 1 {
+		t.Errorf("cache hits = %g, want 1", got)
+	}
+
+	events := mem.Events()
+	// search_start + three evaluation events (the cache hit included).
+	if len(events) != 4 {
+		t.Fatalf("%d events: %+v", len(events), events)
+	}
+	if events[0].Name != "search_start" {
+		t.Errorf("first event = %s", events[0].Name)
+	}
+	hits := 0
+	for _, ev := range events[1:] {
+		if ev.Name != "evaluation" {
+			t.Errorf("event = %s, want evaluation", ev.Name)
+		}
+		if ev.Fields["cache"] == true {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("%d cache-hit events, want 1", hits)
+	}
+
+	wantFraction := e.Spent() / e.budget
+	for _, g := range snap.Gauges {
+		if g.Name == "mixpbench_search_budget_fraction" && g.Value != wantFraction {
+			t.Errorf("budget fraction = %g, want %g", g.Value, wantFraction)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// Event is one structured record in the telemetry stream.
+type Event struct {
+	// Seq is the stream-assigned monotonic sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// Name classifies the event (e.g. "evaluation", "job_start").
+	Name string `json:"event"`
+	// Fields carries the event payload. encoding/json marshals map keys
+	// in sorted order, so serialised events are deterministic.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink consumes a stream of events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	// Emit records one event.
+	Emit(Event)
+	// Close flushes the sink and reports any write error it swallowed.
+	Close() error
+}
+
+// MemorySink buffers events in memory. The harness gives every job a
+// private MemorySink and replays the buffers in job submission order, so
+// the campaign stream is deterministic under any worker count.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty buffer sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit appends the event.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Close is a no-op.
+func (m *MemorySink) Close() error { return nil }
+
+// JSONLSink serialises each event as one JSON object per line. Non-finite
+// floats (a timed-out report's NaN speedup) are rendered as strings, since
+// JSON has no encoding for them; everything else round-trips.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one line. After the first write error the sink goes quiet
+// and Close reports the error.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	e.Fields = finiteFields(e.Fields)
+	s.err = s.enc.Encode(e)
+}
+
+// Close reports the first write error, if any.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// finiteFields replaces non-finite float64 values with their string forms
+// so the event stays marshallable. The map is copied only when needed.
+func finiteFields(fields map[string]any) map[string]any {
+	var out map[string]any
+	for k, v := range fields {
+		f, ok := v.(float64)
+		if !ok || (!math.IsNaN(f) && !math.IsInf(f, 0)) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]any, len(fields))
+			for k2, v2 := range fields {
+				out[k2] = v2
+			}
+		}
+		out[k] = formatFloat(f)
+	}
+	if out == nil {
+		return fields
+	}
+	return out
+}
+
+// Stream assigns monotonic sequence numbers and forwards events to a
+// sink. A nil *Stream or a nil sink drops everything.
+type Stream struct {
+	mu   sync.Mutex
+	seq  uint64
+	sink Sink
+}
+
+// NewStream returns a stream over sink (which may be nil).
+func NewStream(sink Sink) *Stream { return &Stream{sink: sink} }
+
+// Emit numbers and forwards one event.
+func (s *Stream) Emit(name string, fields map[string]any) {
+	if s == nil || s.sink == nil {
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	e := Event{Seq: s.seq, Name: name, Fields: fields}
+	s.sink.Emit(e)
+	s.mu.Unlock()
+}
+
+// Replay forwards already-recorded events, renumbering them into this
+// stream's sequence. The harness uses it to splice per-job buffers into
+// the campaign stream in job order.
+func (s *Stream) Replay(events []Event) {
+	if s == nil || s.sink == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, e := range events {
+		s.seq++
+		e.Seq = s.seq
+		s.sink.Emit(e)
+	}
+	s.mu.Unlock()
+}
+
+// Seq returns the number of events emitted so far.
+func (s *Stream) Seq() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

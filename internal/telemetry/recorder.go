@@ -1,0 +1,68 @@
+package telemetry
+
+import "io"
+
+// Recorder bundles a metrics registry with an event stream: the single
+// handle instrumented code (evaluator, runner, scheduler) and downstream
+// users hold. A nil *Recorder is valid and drops everything, so telemetry
+// can be threaded unconditionally through hot paths.
+type Recorder struct {
+	registry *Registry
+	stream   *Stream
+}
+
+// New returns a recorder with a fresh registry whose events go to sink.
+// A nil sink keeps metrics but drops events.
+func New(sink Sink) *Recorder {
+	return &Recorder{registry: NewRegistry(), stream: NewStream(sink)}
+}
+
+// Registry returns the underlying metrics registry (nil for a nil
+// recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.registry
+}
+
+// Stream returns the underlying event stream (nil for a nil recorder).
+func (r *Recorder) Stream() *Stream {
+	if r == nil {
+		return nil
+	}
+	return r.stream
+}
+
+// Emit sends one event down the stream.
+func (r *Recorder) Emit(name string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	r.stream.Emit(name, fields)
+}
+
+// Counter returns the named counter (see Registry.Counter).
+func (r *Recorder) Counter(name string, labels ...string) *Counter {
+	return r.Registry().Counter(name, labels...)
+}
+
+// Gauge returns the named gauge (see Registry.Gauge).
+func (r *Recorder) Gauge(name string, labels ...string) *Gauge {
+	return r.Registry().Gauge(name, labels...)
+}
+
+// Histogram returns the named histogram (see Registry.Histogram).
+func (r *Recorder) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.Registry().Histogram(name, bounds, labels...)
+}
+
+// WriteMetrics writes the registry in the text exposition format.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	return r.Registry().WriteText(w)
+}
+
+// Snapshot copies the registry's current state.
+func (r *Recorder) Snapshot() Snapshot {
+	return r.Registry().Snapshot()
+}

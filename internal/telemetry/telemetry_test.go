@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("evals_total", "bench", "fake")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %g, want 3", got)
+	}
+	if r.Counter("evals_total", "bench", "fake") != c {
+		t.Error("same name+labels did not return the same counter")
+	}
+
+	g := r.Gauge("progress")
+	g.Set(0.5)
+	g.SetMax(0.25) // smaller: must not lower
+	if got := g.Value(); got != 0.5 {
+		t.Errorf("gauge = %g, want 0.5 (SetMax lowered it)", got)
+	}
+	g.SetMax(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+
+	h := r.Histogram("speedup", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.0, 1.5, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 8 {
+		t.Errorf("histogram sum = %g, want 8", h.Sum())
+	}
+}
+
+func TestCounterDecrementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative counter delta")
+		}
+	}()
+	NewRegistry().Counter("x").Add(-1)
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("metric")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering gauge under a counter's name")
+		}
+	}()
+	r.Gauge("metric")
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	// Labels given out of order must render sorted.
+	r.Counter("b_total", "kind", "candidate", "bench", "fake").Add(4)
+	r.Counter("b_total", "kind", "reference", "bench", "fake").Inc()
+	r.Gauge("a_progress").Set(0.25)
+	h := r.Histogram("c_speedup", []float64{1, 2}, "bench", "fake")
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_progress gauge
+a_progress 0.25
+# TYPE b_total counter
+b_total{bench="fake",kind="candidate"} 4
+b_total{bench="fake",kind="reference"} 1
+# TYPE c_speedup histogram
+c_speedup_bucket{bench="fake",le="1"} 1
+c_speedup_bucket{bench="fake",le="2"} 3
+c_speedup_bucket{bench="fake",le="+Inf"} 4
+c_speedup_sum{bench="fake"} 6.5
+c_speedup_count{bench="fake"} 4
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestMergeIsDeterministicAndAdditive(t *testing.T) {
+	mk := func(evals float64, speedups ...float64) *Registry {
+		r := NewRegistry()
+		r.Counter("evals_total", "bench", "fake").Add(evals)
+		r.Gauge("budget_fraction", "bench", "fake").Set(evals / 10)
+		h := r.Histogram("speedup", SpeedupBuckets, "bench", "fake")
+		for _, s := range speedups {
+			h.Observe(s)
+		}
+		return r
+	}
+	render := func(r *Registry) string {
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		return buf.String()
+	}
+
+	a := NewRegistry()
+	a.Merge(mk(2, 1.5, 1.2))
+	a.Merge(mk(3, 0.9))
+
+	b := NewRegistry()
+	b.Merge(mk(2, 1.5, 1.2))
+	b.Merge(mk(3, 0.9))
+	if render(a) != render(b) {
+		t.Error("identical merge sequences rendered differently")
+	}
+	if got := a.Counter("evals_total", "bench", "fake").Value(); got != 5 {
+		t.Errorf("merged counter = %g, want 5", got)
+	}
+	// Gauge takes the last merged value.
+	if got := a.Gauge("budget_fraction", "bench", "fake").Value(); got != 0.3 {
+		t.Errorf("merged gauge = %g, want 0.3", got)
+	}
+	if got := a.Histogram("speedup", SpeedupBuckets, "bench", "fake").Count(); got != 3 {
+		t.Errorf("merged histogram count = %d, want 3", got)
+	}
+}
+
+func TestSnapshotCopies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Inc()
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 1 {
+		t.Fatalf("snapshot counters = %+v", snap.Counters)
+	}
+	snap.Histograms[0].Counts[0] = 99
+	if r.Snapshot().Histograms[0].Counts[0] != 1 {
+		t.Error("mutating a snapshot leaked into the registry")
+	}
+}
+
+func TestStreamSequenceAndReplay(t *testing.T) {
+	mem := NewMemorySink()
+	s := NewStream(mem)
+	s.Emit("a", nil)
+	s.Emit("b", map[string]any{"k": 1})
+	events := mem.Events()
+	if len(events) != 2 || events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+
+	// Replay into a fresh stream renumbers from its own sequence.
+	mem2 := NewMemorySink()
+	s2 := NewStream(mem2)
+	s2.Emit("campaign_start", nil)
+	s2.Replay(events)
+	got := mem2.Events()
+	if len(got) != 3 {
+		t.Fatalf("%d replayed events", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if got[1].Name != "a" || got[2].Name != "b" {
+		t.Errorf("replay reordered events: %+v", got)
+	}
+}
+
+func TestJSONLSinkEmitsValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	s := NewStream(sink)
+	s.Emit("evaluation", map[string]any{"speedup": 1.5, "config": "0101"})
+	s.Emit("timeout", map[string]any{"speedup": math.NaN(), "bound": math.Inf(1)})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("line %d seq = %d", i, e.Seq)
+		}
+	}
+	// Non-finite floats serialised as strings.
+	if !strings.Contains(lines[1], `"speedup":"NaN"`) || !strings.Contains(lines[1], `"bound":"+Inf"`) {
+		t.Errorf("non-finite floats not stringified: %s", lines[1])
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", SpeedupBuckets).Observe(1)
+	r.Emit("e", nil)
+	if err := r.WriteMetrics(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Error("nil recorder produced a snapshot")
+	}
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Merge(NewRegistry())
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New(NewMemorySink())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("n", "worker", "any").Inc()
+				r.Histogram("h", SecondsBuckets).Observe(float64(i))
+				r.Gauge("g").SetMax(float64(i))
+				r.Emit("tick", map[string]any{"i": i})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n", "worker", "any").Value(); got != 1600 {
+		t.Errorf("counter = %g, want 1600", got)
+	}
+	if got := r.Histogram("h", SecondsBuckets).Count(); got != 1600 {
+		t.Errorf("histogram count = %d, want 1600", got)
+	}
+	if got := r.Stream().Seq(); got != 1600 {
+		t.Errorf("stream seq = %d, want 1600", got)
+	}
+}

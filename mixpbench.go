@@ -29,6 +29,7 @@ package mixpbench
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/bench"
 	"repro/internal/harness"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/search"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 	"repro/internal/typedep"
 	"repro/internal/verify"
 )
@@ -76,6 +78,37 @@ type (
 	// Study is a full regeneration of the paper's evaluation.
 	Study = report.Study
 )
+
+// Telemetry types. A Telemetry recorder bundles a metrics registry
+// (counters, gauges, histograms with Prometheus-style text exposition)
+// with a structured event stream; Tune and RunHarnessWith accept one, and
+// downstream users can attach their own sinks. All timings fed into it
+// come from the simulated clock, so seeded runs are byte-reproducible.
+type (
+	// Telemetry records metrics and events for an instrumented run.
+	Telemetry = telemetry.Recorder
+	// TelemetryEvent is one structured record of the event stream.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySink consumes telemetry events (JSONL, in-memory, or a
+	// user implementation).
+	TelemetrySink = telemetry.Sink
+	// MetricsRegistry holds a run's metrics.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// MemoryEventSink buffers telemetry events in memory.
+	MemoryEventSink = telemetry.MemorySink
+)
+
+// NewTelemetry returns a recorder whose events go to sink (nil keeps
+// metrics but drops events).
+func NewTelemetry(sink TelemetrySink) *Telemetry { return telemetry.New(sink) }
+
+// NewJSONLSink returns a telemetry sink writing one JSON event per line.
+func NewJSONLSink(w io.Writer) TelemetrySink { return telemetry.NewJSONLSink(w) }
+
+// NewMemorySink returns a telemetry sink buffering events in memory.
+func NewMemorySink() *MemoryEventSink { return telemetry.NewMemorySink() }
 
 // Types needed to implement a new benchmark against the public API.
 type (
@@ -177,6 +210,13 @@ func ExtensionAlgorithms() []string {
 	return append([]string(nil), search.ExtensionNames...)
 }
 
+// CanonicalAlgorithm resolves an algorithm spelling (abbreviation or long
+// name like "ddebug") to its table abbreviation, erroring on unknown
+// names. It is the validation the CLI and harness configs share.
+func CanonicalAlgorithm(name string) (string, error) {
+	return harness.CanonicalAlgorithm(name)
+}
+
 // NewRunner returns a Runner with the calibrated default machine model,
 // the paper's ten-repetition measurement protocol, and the given workload
 // seed.
@@ -199,6 +239,9 @@ type TuneOptions struct {
 	// Trace records every configuration the analysis builds (CRAFT's
 	// per-configuration log), returned in TuneResult.Trace.
 	Trace bool
+	// Telemetry, when non-nil, receives per-evaluation metrics and
+	// events for the whole tuning run (evaluator and runner included).
+	Telemetry *Telemetry
 }
 
 // TuneResult is what Tune reports.
@@ -242,11 +285,14 @@ func Tune(b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
 		return TuneResult{}, err
 	}
 	space := search.NewSpace(b.Graph(), algo.Mode())
-	eval := search.NewEvaluator(space, bench.NewRunner(opts.Seed), b, opts.Threshold)
+	runner := bench.NewRunner(opts.Seed)
+	runner.Telemetry = opts.Telemetry
+	eval := search.NewEvaluator(space, runner, b, opts.Threshold)
 	if opts.BudgetSeconds > 0 {
 		eval.SetBudget(opts.BudgetSeconds)
 	}
 	eval.SetTrace(opts.Trace)
+	eval.SetTelemetry(opts.Telemetry)
 	out := algo.Search(eval)
 	res := TuneResult{
 		Found:     out.Found,
@@ -277,17 +323,34 @@ func ParseHarnessConfig(src string) ([]HarnessSpec, error) {
 	return harness.ParseConfig(src)
 }
 
+// HarnessOptions parameterises RunHarnessWith.
+type HarnessOptions struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// Seed is the workload seed (0 = the canonical study seed).
+	Seed int64
+	// Telemetry, when non-nil, receives the campaign's metrics and a
+	// deterministic event stream: per-job telemetry is merged in entry
+	// order, so snapshots are byte-identical under any worker count.
+	Telemetry *Telemetry
+}
+
 // RunHarness resolves and executes every entry of a harness configuration
 // on a worker pool, returning reports in entry order.
 func RunHarness(specs []HarnessSpec, workers int, seed int64) ([]HarnessReport, error) {
-	if seed == 0 {
-		seed = report.Seed
+	return RunHarnessWith(specs, HarnessOptions{Workers: workers, Seed: seed})
+}
+
+// RunHarnessWith is RunHarness with the full option set.
+func RunHarnessWith(specs []HarnessSpec, opts HarnessOptions) ([]HarnessReport, error) {
+	if opts.Seed == 0 {
+		opts.Seed = report.Seed
 	}
-	jobs, err := harness.JobsFromSpecs(specs, seed)
+	jobs, err := harness.JobsFromSpecs(specs, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	results := harness.Scheduler{Workers: workers}.Run(jobs)
+	results := harness.Scheduler{Workers: opts.Workers, Telemetry: opts.Telemetry}.Run(jobs)
 	out := make([]HarnessReport, len(results))
 	for i, r := range results {
 		if r.Err != nil {
