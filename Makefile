@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify tables
+.PHONY: build test race verify cover tables
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ race:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 tables:
 	$(GO) run ./cmd/mptables

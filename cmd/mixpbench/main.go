@@ -15,6 +15,13 @@
 // while it executes ("-" selects stdout for either). Snapshots are
 // deterministic: the same seed produces byte-identical metrics for any
 // -workers value.
+//
+// Fault tolerance (with -config): -faults injects deterministic failures
+// ("transient=0.2,crash=0.05,straggler=0.1,seed=7"), -retries caps the
+// attempts per job, -checkpoint PATH journals each completed job, and
+// -resume PATH restarts an interrupted campaign from such a journal,
+// skipping completed jobs. A campaign whose jobs failed exits with code
+// 3 after printing every report, so one bad entry cannot hide the rest.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	mixpbench "repro"
 	"repro/internal/interchange"
@@ -42,10 +50,23 @@ func main() {
 		trace       = flag.Bool("trace", false, "with -tune: print the per-configuration evaluation log")
 		metricsOut  = flag.String("metrics", "", `write a Prometheus-style metrics snapshot on exit ("-" = stdout)`)
 		eventsOut   = flag.String("events", "", `stream telemetry events as JSONL ("-" = stdout)`)
+		faultSpec   = flag.String("faults", "", `with -config: inject deterministic faults, e.g. "transient=0.2,crash=0.05,seed=7"`)
+		retries     = flag.Int("retries", 0, "with -config: max attempts per job on transient faults (0 = default 3)")
+		checkpoint  = flag.String("checkpoint", "", "with -config: journal completed jobs to this file")
+		resume      = flag.String("resume", "", "with -config: resume from a checkpoint journal, skipping completed jobs")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*workers, *threshold, *tune, *algorithm); err != nil {
+	cf := campaignFlags{
+		workers:    *workers,
+		seed:       *seed,
+		jsonOut:    *jsonOut,
+		faultSpec:  *faultSpec,
+		retries:    *retries,
+		checkpoint: *checkpoint,
+		resume:     *resume,
+	}
+	if err := validateFlags(*configPath, *threshold, *tune, *algorithm, cf); err != nil {
 		fatal(err)
 	}
 
@@ -72,11 +93,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runConfig(os.Stdout, *configPath, *workers, *seed, *jsonOut, tel); err != nil {
+		failed, err := runConfig(os.Stdout, *configPath, cf, tel)
+		if err != nil {
 			fatal(err)
 		}
 		if err := closeTel(); err != nil {
 			fatal(err)
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "mixpbench: %d entries failed: %s\n",
+				len(failed), strings.Join(failed, ", "))
+			os.Exit(exitJobErrors)
 		}
 	default:
 		flag.Usage()
@@ -84,18 +111,54 @@ func main() {
 	}
 }
 
+// exitJobErrors is the exit code for a campaign that completed but had
+// failing jobs - distinct from 1 (the campaign itself could not run) so
+// scripts can tell "some entries failed" from "nothing ran".
+const exitJobErrors = 3
+
+// campaignFlags bundles the -config mode's flags.
+type campaignFlags struct {
+	workers    int
+	seed       int64
+	jsonOut    bool
+	faultSpec  string
+	retries    int
+	checkpoint string
+	resume     string
+}
+
 // validateFlags rejects nonsense flag values with a clear error before
 // any work starts.
-func validateFlags(workers int, threshold float64, tune, algorithm string) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+func validateFlags(configPath string, threshold float64, tune, algorithm string, cf campaignFlags) error {
+	if cf.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", cf.workers)
 	}
 	if threshold < 0 {
 		return fmt.Errorf("-threshold must be >= 0, got %g", threshold)
 	}
+	if cf.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", cf.retries)
+	}
 	if tune != "" {
 		if _, err := mixpbench.CanonicalAlgorithm(algorithm); err != nil {
 			return fmt.Errorf("-algorithm: %w", err)
+		}
+	}
+	if configPath == "" {
+		for flagName, set := range map[string]bool{
+			"-faults":     cf.faultSpec != "",
+			"-retries":    cf.retries != 0,
+			"-checkpoint": cf.checkpoint != "",
+			"-resume":     cf.resume != "",
+		} {
+			if set {
+				return fmt.Errorf("%s requires -config", flagName)
+			}
+		}
+	}
+	if cf.faultSpec != "" {
+		if _, err := mixpbench.ParseFaultSpec(cf.faultSpec); err != nil {
+			return fmt.Errorf("-faults: %w", err)
 		}
 	}
 	return nil
@@ -232,29 +295,63 @@ func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64,
 	return nil
 }
 
-func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool, tel *mixpbench.Telemetry) error {
+// runConfig executes a campaign from a configuration file and prints one
+// line per entry. It returns the names of entries whose jobs failed
+// (degraded or errored); campaign-level problems come back as err.
+func runConfig(w io.Writer, path string, cf campaignFlags, tel *mixpbench.Telemetry) (failed []string, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	specs, err := mixpbench.ParseHarnessConfig(string(raw))
+	camp, err := mixpbench.ParseHarnessCampaign(string(raw))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	reports, err := mixpbench.RunHarnessWith(specs, mixpbench.HarnessOptions{
-		Workers:   workers,
-		Seed:      seed,
-		Telemetry: tel,
+	plan := camp.Faults
+	if cf.faultSpec != "" {
+		// The CLI spec replaces the config file's clause wholesale; mixing
+		// the two would make the effective plan hard to reason about.
+		if plan, err = mixpbench.ParseFaultSpec(cf.faultSpec); err != nil {
+			return nil, err
+		}
+	}
+	retry := camp.Retry
+	if cf.retries > 0 {
+		retry.MaxAttempts = cf.retries
+	}
+	results, err := mixpbench.RunCampaign(camp.Specs, mixpbench.CampaignOptions{
+		Workers:        cf.workers,
+		Seed:           cf.seed,
+		Telemetry:      tel,
+		Faults:         plan,
+		Retry:          retry,
+		CheckpointPath: cf.checkpoint,
+		ResumePath:     cf.resume,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if jsonOut {
-		return interchange.WriteReports(w, reports)
+	for i, res := range results {
+		if res.Err != nil {
+			failed = append(failed, camp.Specs[i].Name)
+		}
 	}
-	for _, r := range reports {
-		fmt.Fprintf(w, "%s [%s @ %.0e]: ", r.Benchmark, r.Algorithm, r.Threshold)
+	if cf.jsonOut {
+		reports := make([]mixpbench.HarnessReport, len(results))
+		for i, res := range results {
+			reports[i] = res.Report
+		}
+		return failed, interchange.WriteReports(w, reports)
+	}
+	for i, res := range results {
+		r := res.Report
+		spec := camp.Specs[i]
+		fmt.Fprintf(w, "%s [%s @ %.0e]: ", spec.Name, spec.Analysis.Algorithm, spec.Analysis.Threshold)
 		switch {
+		case res.Degraded:
+			fmt.Fprintf(w, "DEGRADED after %d attempts: %v\n", len(res.Attempts), res.Err)
+		case res.Err != nil:
+			fmt.Fprintf(w, "FAILED: %v\n", res.Err)
 		case r.TimedOut && !r.Found:
 			fmt.Fprintln(w, "no result within the analysis budget")
 		case !r.Found:
@@ -264,9 +361,13 @@ func runConfig(w io.Writer, path string, workers int, seed int64, jsonOut bool, 
 			if math.IsNaN(r.Quality) {
 				quality = "NaN"
 			}
-			fmt.Fprintf(w, "speedup %.3fx, quality %s, %d/%d vars single, %d configs evaluated\n",
+			fmt.Fprintf(w, "speedup %.3fx, quality %s, %d/%d vars single, %d configs evaluated",
 				r.Speedup, quality, r.Demoted, r.Variables, r.Evaluated)
+			if n := len(res.Attempts); n > 1 {
+				fmt.Fprintf(w, " (%d attempts)", n)
+			}
+			fmt.Fprintln(w)
 		}
 	}
-	return nil
+	return failed, nil
 }

@@ -69,7 +69,7 @@ func TestValidateFlags(t *testing.T) {
 		{name: "algorithm ignored without tune", algorithm: "annealing"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.workers, c.threshold, c.tune, c.algorithm)
+		err := validateFlags("", c.threshold, c.tune, c.algorithm, campaignFlags{workers: c.workers})
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", c.name, err)
@@ -151,20 +151,24 @@ kmeans:
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := runConfig(&buf, path, 1, 0, false, nil); err != nil {
+	failed, err := runConfig(&buf, path, campaignFlags{workers: 1}, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "K-means [DD @ 1e-03]") {
+	if len(failed) != 0 {
+		t.Fatalf("failed entries: %v", failed)
+	}
+	if !strings.Contains(buf.String(), "kmeans [DD @ 1e-03]") {
 		t.Errorf("text report malformed:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := runConfig(&buf, path, 1, 0, true, nil); err != nil {
+	if _, err := runConfig(&buf, path, campaignFlags{workers: 1, jsonOut: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"algorithm": "DD"`) {
 		t.Errorf("JSON report malformed:\n%s", buf.String())
 	}
-	if err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), 1, 0, false, nil); err == nil {
+	if _, err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), campaignFlags{workers: 1}, nil); err == nil {
 		t.Error("expected error for missing config file")
 	}
 }
@@ -229,7 +233,7 @@ func TestHarnessMetricsWorkerInvariant(t *testing.T) {
 	run := func(workers int) string {
 		tel := mixpbench.NewTelemetry(mixpbench.NewMemorySink())
 		var out bytes.Buffer
-		if err := runConfig(&out, path, workers, 42, false, tel); err != nil {
+		if _, err := runConfig(&out, path, campaignFlags{workers: workers, seed: 42}, tel); err != nil {
 			t.Fatal(err)
 		}
 		var metrics bytes.Buffer
@@ -253,6 +257,88 @@ func TestHarnessMetricsWorkerInvariant(t *testing.T) {
 		if !strings.Contains(one, frag) {
 			t.Errorf("campaign snapshot missing %q:\n%s", frag, one)
 		}
+	}
+}
+
+// TestRunConfigReportsFailedEntries drives the campaign error contract:
+// failing jobs do not abort the run, every entry still gets its report
+// line, and the failed entries come back so main can exit non-zero.
+func TestRunConfigReportsFailedEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.yaml")
+	if err := os.WriteFile(path, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// transient=1 with window=1 kills every attempt's first evaluation,
+	// so all three entries degrade after the retry budget.
+	failed, err := runConfig(&buf, path, campaignFlags{
+		workers: 2, seed: 42, faultSpec: "transient=1,window=1,seed=1", retries: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 3 {
+		t.Fatalf("failed = %v, want all three entries", failed)
+	}
+	out := buf.String()
+	for _, frag := range []string{"kmeans", "hydro", "iccg", "DEGRADED after 2 attempts"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("campaign output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunConfigCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.yaml")
+	if err := os.WriteFile(path, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(dir, "campaign.jsonl")
+	var want bytes.Buffer
+	if _, err := runConfig(&want, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header and first record: the journal a killed campaign
+	// leaves behind.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if err := os.WriteFile(journal, []byte(lines[0]+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := runConfig(&got, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal, resume: journal}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed reports differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got.String(), want.String())
+	}
+}
+
+func TestValidateFlagsFaultTolerance(t *testing.T) {
+	for name, cf := range map[string]campaignFlags{
+		"faults without config":     {faultSpec: "transient=0.5"},
+		"checkpoint without config": {checkpoint: "j.jsonl"},
+		"resume without config":     {resume: "j.jsonl"},
+		"retries without config":    {retries: 2},
+	} {
+		if err := validateFlags("", 0, "", "DD", cf); err == nil || !strings.Contains(err.Error(), "requires -config") {
+			t.Errorf("%s: error = %v", name, err)
+		}
+	}
+	if err := validateFlags("cfg.yaml", 0, "", "DD", campaignFlags{faultSpec: "transient=2"}); err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Errorf("invalid fault spec accepted: %v", err)
+	}
+	if err := validateFlags("cfg.yaml", 0, "", "DD", campaignFlags{retries: -1}); err == nil || !strings.Contains(err.Error(), "-retries") {
+		t.Errorf("negative retries accepted: %v", err)
+	}
+	if err := validateFlags("cfg.yaml", 0, "", "DD", campaignFlags{
+		faultSpec: "transient=0.2,seed=7", retries: 2, checkpoint: "j.jsonl", resume: "j.jsonl",
+	}); err != nil {
+		t.Errorf("valid fault-tolerance flags rejected: %v", err)
 	}
 }
 

@@ -27,6 +27,11 @@ type Job struct {
 	// plugin should thread it into whatever evaluators and runners it
 	// builds.
 	Telemetry *telemetry.Recorder
+	// FailAtEvaluation, when positive, makes the attempt die with a
+	// transient fault at that paid evaluation (the scheduler sets it from
+	// the fault injector's draw). A plugin should forward it to its
+	// evaluator; an analysis that finishes earlier outruns the fault.
+	FailAtEvaluation int
 }
 
 // Report is what an analysis returns for one job: the paper's three
@@ -133,6 +138,9 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		eval.SetBudget(job.BudgetSeconds)
 	}
 	eval.SetTelemetry(job.Telemetry)
+	if job.FailAtEvaluation > 0 {
+		eval.SetFailAt(job.FailAtEvaluation)
+	}
 	out := algo.Search(eval)
 
 	rep := Report{
@@ -147,6 +155,13 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		TimedOut:     out.TimedOut,
 		Clusters:     g.NumClusters(),
 		Variables:    g.NumVars(),
+	}
+	if out.Err != nil {
+		// The attempt died mid-search (a transient fault). Return the
+		// partial report alongside the error: its SpentSeconds is the
+		// lost work the scheduler charges to the simulated clock before
+		// retrying.
+		return rep, out.Err
 	}
 	if out.Found {
 		rep.Speedup = out.BestResult.Speedup

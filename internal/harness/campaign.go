@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// CampaignOptions configures one fault-tolerant campaign run.
+type CampaignOptions struct {
+	// Workers is the simulated node-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives the workload and analysis randomness.
+	Seed int64
+	// Telemetry receives the campaign's metrics and events (nil = off).
+	Telemetry *telemetry.Recorder
+	// Faults is the fault model; the zero plan injects nothing.
+	Faults faults.Plan
+	// Retry governs transient-failure retries; zero = DefaultRetryPolicy.
+	Retry RetryPolicy
+	// CheckpointPath, when set, journals each completed job there.
+	CheckpointPath string
+	// ResumePath, when set, loads a previous checkpoint journal and skips
+	// the jobs it records as cleanly completed. It may equal
+	// CheckpointPath, in which case the journal is extended in place.
+	ResumePath string
+}
+
+// RunCampaign executes one campaign over the specs: it builds the jobs,
+// arms the fault injector, wires checkpoint/resume, and runs the
+// scheduler. Per-job failures (including degraded jobs) live in the
+// returned results; the error return is reserved for campaign-level
+// problems - unresolvable specs, an invalid fault plan, or a journal
+// that cannot be read or written.
+func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
+	jobs, err := JobsFromSpecs(specs, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	fp := CampaignFingerprint(specs, opts.Seed, opts.Faults)
+
+	var resume map[int]JournalRecord
+	if opts.ResumePath != "" {
+		if resume, err = ReadJournal(opts.ResumePath, fp, len(jobs)); err != nil {
+			return nil, err
+		}
+	}
+	var journal *Journal
+	if opts.CheckpointPath != "" {
+		if opts.CheckpointPath == opts.ResumePath {
+			journal, err = AppendJournal(opts.CheckpointPath, fp, len(jobs))
+		} else {
+			journal, err = CreateJournal(opts.CheckpointPath, fp, len(jobs))
+			if err == nil {
+				// Carry the resumed records into the fresh journal so it
+				// alone can restart the campaign.
+				for i := 0; i < len(jobs); i++ {
+					if rec, ok := resume[i]; ok {
+						journal.Append(rec)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := Scheduler{
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Faults:    inj,
+		Retry:     opts.Retry,
+		Journal:   journal,
+		Resume:    resume,
+	}
+	results := s.Run(jobs)
+	if err := journal.Close(); err != nil {
+		return results, fmt.Errorf("harness: checkpoint journal: %w", err)
+	}
+	return results, nil
+}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/suite"
 	"repro/internal/verify"
 	"repro/internal/yamlite"
@@ -95,26 +96,150 @@ func CanonicalAlgorithm(name string) (string, error) {
 	return "", fmt.Errorf("harness: unknown algorithm %q", name)
 }
 
+// Campaign is a parsed configuration document: the benchmark entries
+// plus the campaign-wide fault model and retry policy, if the document
+// carries a faults clause.
+type Campaign struct {
+	Specs  []Spec
+	Faults faults.Plan
+	Retry  RetryPolicy
+}
+
 // ParseConfig parses a harness configuration document into its benchmark
-// entries, in document order.
+// entries, in document order. A faults clause, if present, is validated
+// and dropped; use ParseCampaign to keep it.
 func ParseConfig(src string) ([]Spec, error) {
-	doc, err := yamlite.Parse(src)
+	c, err := ParseCampaign(src)
 	if err != nil {
 		return nil, err
 	}
-	var specs []Spec
+	return c.Specs, nil
+}
+
+// ParseCampaign parses a harness configuration document. The reserved
+// top-level key "faults" configures the campaign's fault model and retry
+// policy (Listing 4 extended):
+//
+//	faults:
+//	  seed: 7
+//	  transient: 0.2
+//	  crash: 0.05
+//	  straggler: 0.1
+//	  slowdown: 4
+//	  window: 16
+//	  max_retries: 3
+//	  backoff_base: 30
+//	  backoff_factor: 2
+//	  backoff_cap: 3600
+//
+// Every other top-level key is a benchmark entry.
+func ParseCampaign(src string) (Campaign, error) {
+	var c Campaign
+	doc, err := yamlite.Parse(src)
+	if err != nil {
+		return c, err
+	}
 	for _, name := range doc.Keys() {
 		entry, err := doc.GetMap(name)
 		if err != nil {
-			return nil, err
+			return c, err
+		}
+		if name == "faults" {
+			if c.Faults, c.Retry, err = parseFaultsClause(entry); err != nil {
+				return c, fmt.Errorf("harness: faults clause: %w", err)
+			}
+			continue
 		}
 		spec, err := parseSpec(name, entry)
 		if err != nil {
-			return nil, fmt.Errorf("harness: entry %q: %w", name, err)
+			return c, fmt.Errorf("harness: entry %q: %w", name, err)
 		}
-		specs = append(specs, spec)
+		c.Specs = append(c.Specs, spec)
 	}
-	return specs, nil
+	return c, nil
+}
+
+// parseFaultsClause reads the reserved faults clause.
+func parseFaultsClause(m *yamlite.Map) (faults.Plan, RetryPolicy, error) {
+	var p faults.Plan
+	var r RetryPolicy
+	for _, key := range m.Keys() {
+		raw, _ := m.Get(key)
+		switch key {
+		case "seed", "window", "max_retries":
+			n, err := clauseInt(raw)
+			if err != nil {
+				return p, r, fmt.Errorf("%s: %w", key, err)
+			}
+			switch key {
+			case "seed":
+				p.Seed = n
+			case "window":
+				p.Window = int(n)
+			case "max_retries":
+				r.MaxAttempts = int(n)
+			}
+		case "transient", "crash", "straggler", "slowdown", "backoff_base", "backoff_factor", "backoff_cap":
+			f, err := clauseFloat(raw)
+			if err != nil {
+				return p, r, fmt.Errorf("%s: %w", key, err)
+			}
+			switch key {
+			case "transient":
+				p.Transient = f
+			case "crash":
+				p.Crash = f
+			case "straggler":
+				p.Straggler = f
+			case "slowdown":
+				p.Slowdown = f
+			case "backoff_base":
+				r.BaseSeconds = f
+			case "backoff_factor":
+				r.Factor = f
+			case "backoff_cap":
+				r.MaxSeconds = f
+			}
+		default:
+			return p, r, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, r, err
+	}
+	return p, r, nil
+}
+
+// clauseFloat coerces a yamlite scalar to float64.
+func clauseFloat(raw any) (float64, error) {
+	switch v := raw.(type) {
+	case float64:
+		return v, nil
+	case int64:
+		return float64(v), nil
+	case string:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", v)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("bad value type %T", raw)
+}
+
+// clauseInt coerces a yamlite scalar to int64.
+func clauseInt(raw any) (int64, error) {
+	switch v := raw.(type) {
+	case int64:
+		return v, nil
+	case string:
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", v)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("bad value type %T", raw)
 }
 
 func parseSpec(name string, m *yamlite.Map) (Spec, error) {
@@ -193,6 +318,12 @@ func parseSpec(name string, m *yamlite.Map) (Spec, error) {
 				s.Analysis.Threshold = f
 			default:
 				return s, fmt.Errorf("bad threshold type %T", raw)
+			}
+			// A threshold is an error bound configurations must stay
+			// under; zero or negative admits nothing and silently turns
+			// every search into a foregone failure.
+			if s.Analysis.Threshold <= 0 {
+				return s, fmt.Errorf("threshold %g must be positive", s.Analysis.Threshold)
 			}
 		}
 	}

@@ -1,0 +1,401 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/faults"
+	"repro/internal/mp"
+	"repro/internal/telemetry"
+)
+
+// The checkpoint journal is a JSONL file: a header line identifying the
+// campaign, then one fsync'd record per completed job, appended as jobs
+// finish (so record order follows completion, not submission - readers
+// key by job index). A campaign killed mid-flight leaves a journal whose
+// records are exactly the jobs that completed; resuming from it re-runs
+// only the rest and merges the recorded telemetry as if the interruption
+// never happened.
+
+// journalMagic identifies a journal header line.
+const journalMagic = "mixpbench-campaign"
+
+// journalVersion is bumped on incompatible record changes.
+const journalVersion = 1
+
+// journalHeader is the journal's first line.
+type journalHeader struct {
+	Journal string `json:"journal"`
+	Version int    `json:"version"`
+	// Fingerprint ties the journal to one campaign definition; resuming
+	// under a different config, seed, or fault plan is refused rather
+	// than silently mixing incompatible results.
+	Fingerprint string `json:"fingerprint"`
+	// Jobs is the campaign's job count.
+	Jobs int `json:"jobs"`
+}
+
+// JournalRecord is one completed job: its report, attempt history, and
+// the job's private telemetry (metrics snapshot plus event buffer), which
+// resume folds back into the campaign stream.
+type JournalRecord struct {
+	// Job is the job's index in campaign submission order.
+	Job      int       `json:"job"`
+	Entry    string    `json:"entry"`
+	Error    string    `json:"error,omitempty"`
+	Degraded bool      `json:"degraded,omitempty"`
+	Attempts []Attempt `json:"attempts,omitempty"`
+	// Report is the job's report in a JSON-safe form (NaN metrics encode
+	// as strings, the precision config as its digit key).
+	Report journalReport `json:"report"`
+	// Metrics is the job's private registry snapshot.
+	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
+	// Events is the job's private event buffer (non-finite floats
+	// stringified, as in the JSONL event sink).
+	Events []telemetry.Event `json:"events,omitempty"`
+}
+
+// jfloat is a float64 whose JSON form survives NaN and infinities by
+// falling back to Prometheus-style strings ("NaN", "+Inf", "-Inf").
+type jfloat float64
+
+// MarshalJSON encodes finite values as numbers, the rest as strings.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.Marshal(formatNonFinite(v))
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts either encoding.
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jfloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("harness: journal float %s: %w", b, err)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("harness: journal float %q: %w", s, err)
+	}
+	*f = jfloat(v)
+	return nil
+}
+
+// formatNonFinite matches the telemetry exposition's spelling of
+// non-finite values.
+func formatNonFinite(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return "NaN"
+}
+
+// journalReport is Report in JSON-safe clothing.
+type journalReport struct {
+	Benchmark    string  `json:"benchmark"`
+	Algorithm    string  `json:"algorithm"`
+	Threshold    float64 `json:"threshold"`
+	Evaluated    int     `json:"evaluated"`
+	SpentSeconds float64 `json:"spent_seconds"`
+	Speedup      jfloat  `json:"speedup"`
+	Quality      jfloat  `json:"quality"`
+	Found        bool    `json:"found"`
+	TimedOut     bool    `json:"timed_out"`
+	Demoted      int     `json:"demoted"`
+	// Config is the precision assignment as its digit key (one digit per
+	// variable; "" when the analysis converged to nothing).
+	Config    string `json:"config,omitempty"`
+	Clusters  int    `json:"clusters"`
+	Variables int    `json:"variables"`
+}
+
+// toJournalReport converts a Report for journalling.
+func toJournalReport(r Report) journalReport {
+	j := journalReport{
+		Benchmark:    r.Benchmark,
+		Algorithm:    r.Algorithm,
+		Threshold:    r.Threshold,
+		Evaluated:    r.Evaluated,
+		SpentSeconds: r.SpentSeconds,
+		Speedup:      jfloat(r.Speedup),
+		Quality:      jfloat(r.Quality),
+		Found:        r.Found,
+		TimedOut:     r.TimedOut,
+		Demoted:      r.Demoted,
+		Clusters:     r.Clusters,
+		Variables:    r.Variables,
+	}
+	if r.Config != nil {
+		j.Config = r.Config.Key()
+	}
+	return j
+}
+
+// report converts back; the precision config is rebuilt from its key.
+func (j journalReport) report() Report {
+	r := Report{
+		Benchmark:    j.Benchmark,
+		Algorithm:    j.Algorithm,
+		Threshold:    j.Threshold,
+		Evaluated:    j.Evaluated,
+		SpentSeconds: j.SpentSeconds,
+		Speedup:      float64(j.Speedup),
+		Quality:      float64(j.Quality),
+		Found:        j.Found,
+		TimedOut:     j.TimedOut,
+		Demoted:      j.Demoted,
+		Clusters:     j.Clusters,
+		Variables:    j.Variables,
+	}
+	if j.Config != "" {
+		cfg := bench.NewConfig(len(j.Config))
+		for i := 0; i < len(j.Config); i++ {
+			cfg[i] = mp.Prec(j.Config[i] - '0')
+		}
+		r.Config = cfg
+	}
+	return r
+}
+
+// result rebuilds the scheduler result a resumed record stands in for.
+func (rec JournalRecord) result(idx int) JobResult {
+	jr := JobResult{
+		Index:    idx,
+		Report:   rec.Report.report(),
+		Attempts: rec.Attempts,
+		Degraded: rec.Degraded,
+	}
+	if rec.Error != "" {
+		jr.Err = errors.New(rec.Error)
+	}
+	return jr
+}
+
+// finiteEventFields stringifies non-finite float64 event fields the way
+// the JSONL event sink does, so journalled events re-serialise to the
+// same bytes the live stream would have produced.
+func finiteEventFields(events []telemetry.Event) []telemetry.Event {
+	nonFinite := func(v any) (float64, bool) {
+		f, ok := v.(float64)
+		return f, ok && (math.IsNaN(f) || math.IsInf(f, 0))
+	}
+	out := make([]telemetry.Event, len(events))
+	for i, e := range events {
+		out[i] = e
+		for _, v := range e.Fields {
+			if _, bad := nonFinite(v); !bad {
+				continue
+			}
+			fields := make(map[string]any, len(e.Fields))
+			for k2, v2 := range e.Fields {
+				if f2, bad := nonFinite(v2); bad {
+					fields[k2] = formatNonFinite(f2)
+				} else {
+					fields[k2] = v2
+				}
+			}
+			out[i].Fields = fields
+			break
+		}
+	}
+	return out
+}
+
+// CampaignFingerprint identifies a campaign definition: the specs that
+// shape its jobs, the workload seed, and the fault plan. Resume refuses a
+// journal whose fingerprint differs, since its records would describe
+// different work.
+func CampaignFingerprint(specs []Spec, seed int64, plan faults.Plan) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d|transient=%g|crash=%g|straggler=%g|slowdown=%g|window=%d|fseed=%d",
+		seed, plan.Transient, plan.Crash, plan.Straggler, plan.Slowdown, plan.Window, plan.Seed)
+	for _, s := range specs {
+		fmt.Fprintf(h, "|%s|%s|%s|%g", s.Name, s.Bin, s.Analysis.Algorithm, s.Analysis.Threshold)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Journal appends completed-job records to a checkpoint file, fsyncing
+// each one so a killed campaign loses at most the in-flight jobs. Safe
+// for concurrent Append from scheduler workers. Write errors are held and
+// surfaced by Close, keeping the hot path non-fatal: a full disk degrades
+// checkpointing, not the campaign.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// one) with a fingerprint header for jobs jobs.
+func CreateJournal(path, fingerprint string, jobs int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: create journal: %w", err)
+	}
+	j := &Journal{f: f}
+	if err := j.writeLocked(journalHeader{
+		Journal: journalMagic, Version: journalVersion, Fingerprint: fingerprint, Jobs: jobs,
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// AppendJournal reopens an existing journal for appending, after checking
+// its header matches the campaign. This is the checkpoint==resume path: an
+// interrupted campaign keeps extending the same file.
+func AppendJournal(path, fingerprint string, jobs int) (*Journal, error) {
+	if err := checkJournalHeader(path, fingerprint, jobs); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: append journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append journals one record.
+func (j *Journal) Append(rec JournalRecord) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.writeLocked(rec)
+}
+
+// writeLocked marshals v as one line and fsyncs. Callers hold j.mu or
+// own j exclusively.
+func (j *Journal) writeLocked(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: journal encode: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("harness: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("harness: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the file and reports the first error the journal swallowed.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cerr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	return cerr
+}
+
+// checkJournalHeader validates path's header line against the campaign.
+func checkJournalHeader(path, fingerprint string, jobs int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("harness: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return fmt.Errorf("harness: journal %s: empty file", path)
+	}
+	var h journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return fmt.Errorf("harness: journal %s: bad header: %w", path, err)
+	}
+	switch {
+	case h.Journal != journalMagic:
+		return fmt.Errorf("harness: journal %s: not a campaign journal", path)
+	case h.Version != journalVersion:
+		return fmt.Errorf("harness: journal %s: version %d, want %d", path, h.Version, journalVersion)
+	case h.Fingerprint != fingerprint:
+		return fmt.Errorf("harness: journal %s: fingerprint %s does not match this campaign (%s); the config, seed, or fault plan changed",
+			path, h.Fingerprint, fingerprint)
+	case h.Jobs != jobs:
+		return fmt.Errorf("harness: journal %s: %d jobs, campaign has %d", path, h.Jobs, jobs)
+	}
+	return nil
+}
+
+// ReadJournal loads the completed-job records of a checkpoint journal,
+// keyed by job index. Only cleanly completed jobs (no error) are
+// returned: failed and degraded jobs are re-run on resume, which - faults
+// being a pure function of (seed, job, attempt) - reproduces their
+// recorded outcome if nothing changed. A torn final line (the campaign
+// was killed mid-append, before the fsync completed) is ignored; garbage
+// anywhere else is an error.
+func ReadJournal(path, fingerprint string, jobs int) (map[int]JournalRecord, error) {
+	if err := checkJournalHeader(path, fingerprint, jobs); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	sc.Scan() // header, validated above
+
+	recs := make(map[int]JournalRecord)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("harness: journal %s: bad record: %w", path, err)
+			continue
+		}
+		if rec.Job < 0 || rec.Job >= jobs {
+			return nil, fmt.Errorf("harness: journal %s: record for job %d outside campaign of %d jobs",
+				path, rec.Job, jobs)
+		}
+		if rec.Error != "" {
+			delete(recs, rec.Job) // re-run failed jobs; a later clean record may still win
+			continue
+		}
+		recs[rec.Job] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,88 @@
+package harness
+
+import "math"
+
+// RetryPolicy governs how the scheduler re-executes a job attempt that
+// died to a transient fault (a flaky evaluation, a crashed node). Backoff
+// is charged to the simulated cluster clock - the same clock job spans
+// and budget accounting run on - never to wall time, so campaigns with
+// retries stay deterministic for any worker count.
+//
+// The zero value means DefaultRetryPolicy, so existing callers that never
+// configure retries keep their behaviour: without injected faults no
+// attempt ever fails transiently and the policy is never consulted.
+type RetryPolicy struct {
+	// MaxAttempts caps executions of one job, first try included
+	// (0 = DefaultRetryPolicy's). A job that fails transiently on its
+	// final attempt is reported degraded, not retried forever.
+	MaxAttempts int
+	// BaseSeconds is the simulated wait before the second attempt
+	// (0 = default).
+	BaseSeconds float64
+	// Factor multiplies the wait after each further failure (<1 = default).
+	Factor float64
+	// MaxSeconds caps a single wait (0 = default).
+	MaxSeconds float64
+}
+
+// DefaultRetryPolicy is the harness default: up to 3 attempts with
+// exponential backoff 30s, 60s, capped at one simulated hour.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseSeconds: 30,
+	Factor:      2,
+	MaxSeconds:  3600,
+}
+
+// normalized fills zero/nonsense fields from DefaultRetryPolicy.
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetryPolicy
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseSeconds <= 0 {
+		p.BaseSeconds = d.BaseSeconds
+	}
+	if p.Factor < 1 {
+		p.Factor = d.Factor
+	}
+	if p.MaxSeconds <= 0 {
+		p.MaxSeconds = d.MaxSeconds
+	}
+	return p
+}
+
+// Backoff returns the simulated seconds to wait after failed attempt n
+// (1-based): min(Base * Factor^(n-1), Max).
+func (p RetryPolicy) Backoff(attempt int) float64 {
+	p = p.normalized()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseSeconds * math.Pow(p.Factor, float64(attempt-1))
+	if d > p.MaxSeconds {
+		d = p.MaxSeconds
+	}
+	return d
+}
+
+// Attempt records one execution attempt of a job: what fault (if any)
+// fired, how it ended, and what the attempt cost on the simulated clock.
+// The attempt history survives into the campaign report and the
+// checkpoint journal, so a degraded job is diagnosable after the fact.
+type Attempt struct {
+	// Attempt is the 1-based attempt number.
+	Attempt int `json:"attempt"`
+	// Fault names the injected fault kind that actually fired on this
+	// attempt ("" when the attempt ran undisturbed; a drawn
+	// transient/crash fault that the analysis outran is not recorded).
+	Fault string `json:"fault,omitempty"`
+	// Err is the attempt's error text ("" on success).
+	Err string `json:"error,omitempty"`
+	// SpentSeconds is the simulated analysis time the attempt consumed -
+	// lost work for a failed attempt, the job's final spend for the last.
+	SpentSeconds float64 `json:"spent_seconds"`
+	// BackoffSeconds is the simulated wait charged after this attempt
+	// before the next one (0 on the final attempt).
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+}

@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +32,23 @@ type Scheduler struct {
 	// not from host goroutine timing. Only the campaign progress gauge
 	// and completion counter update live while jobs execute.
 	Telemetry *telemetry.Recorder
+	// Faults, when non-nil, injects deterministic failures into job
+	// attempts. Every injection decision is a pure function of (fault
+	// seed, job identity, attempt number), so fault campaigns stay
+	// reproducible under any worker count.
+	Faults *faults.Injector
+	// Retry governs re-execution of attempts that die transiently; the
+	// zero value means DefaultRetryPolicy. Backoff waits are charged to
+	// the simulated cluster clock.
+	Retry RetryPolicy
+	// Journal, when non-nil, receives one fsync'd record per completed
+	// job, enabling checkpoint/resume.
+	Journal *Journal
+	// Resume maps job index to the journal record of a previous,
+	// interrupted campaign. Resumed jobs are not re-run: their results are
+	// rebuilt from the record and their journalled telemetry is merged as
+	// if the jobs had just executed.
+	Resume map[int]JournalRecord
 }
 
 // JobResult pairs a job's report with its error, positionally aligned
@@ -39,6 +59,28 @@ type JobResult struct {
 	Index  int
 	Report Report
 	Err    error
+	// Attempts is the execution history under fault injection, in order;
+	// a single clean attempt when nothing was injected.
+	Attempts []Attempt
+	// Degraded marks a job that exhausted its retry budget on transient
+	// faults. Its Err carries the last attempt's failure; the campaign
+	// continues around it.
+	Degraded bool
+}
+
+// TotalSeconds is the job's full simulated cost: every attempt's spend
+// plus the backoff waits between them. The scheduler's job spans and the
+// job-duration histogram are built from it, so lost work and waiting are
+// visible on the simulated cluster clock.
+func (r JobResult) TotalSeconds() float64 {
+	if len(r.Attempts) == 0 {
+		return r.Report.SpentSeconds
+	}
+	var t float64
+	for _, a := range r.Attempts {
+		t += a.SpentSeconds + a.BackoffSeconds
+	}
+	return t
 }
 
 // Run executes all jobs and returns their results in submission order.
@@ -61,7 +103,11 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 	var recs []*telemetry.Recorder
 	var mems []*telemetry.MemorySink
 	if s.Telemetry != nil {
-		s.Telemetry.Emit("campaign_start", map[string]any{"jobs": len(jobs), "workers": workers})
+		start := map[string]any{"jobs": len(jobs), "workers": workers}
+		if len(s.Resume) > 0 {
+			start["resumed"] = len(s.Resume)
+		}
+		s.Telemetry.Emit("campaign_start", start)
 		s.Telemetry.Counter("mixpbench_harness_jobs_total").Add(float64(len(jobs)))
 		mems = make([]*telemetry.MemorySink, len(jobs))
 		recs = make([]*telemetry.Recorder, len(jobs))
@@ -71,12 +117,33 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 		}
 	}
 
+	// Resumed jobs never enter the queue: their results - report,
+	// attempt history, and private telemetry - are rebuilt from the
+	// journal, so the merged campaign output matches an uninterrupted
+	// run's byte for byte.
+	var completed atomic.Int64
+	for i := range jobs {
+		rec, ok := s.Resume[i]
+		if !ok {
+			continue
+		}
+		results[i] = rec.result(i)
+		if s.Telemetry != nil {
+			recs[i].Registry().AddSnapshot(rec.Metrics)
+			for _, e := range rec.Events {
+				mems[i].Emit(e)
+			}
+			done := completed.Add(1)
+			s.Telemetry.Counter("mixpbench_harness_jobs_completed_total").Inc()
+			s.Telemetry.Gauge("mixpbench_harness_progress").SetMax(float64(done) / float64(len(jobs)))
+		}
+	}
+
 	type task struct {
 		idx int
 		job Job
 	}
 	queue := make(chan task)
-	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -86,7 +153,10 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 				if recs != nil {
 					t.job.Telemetry = recs[t.idx]
 				}
-				results[t.idx] = runOne(t.idx, t.job)
+				results[t.idx] = s.executeJob(t.idx, t.job)
+				if s.Journal != nil {
+					s.Journal.Append(s.record(t.idx, t.job, results[t.idx], recs, mems))
+				}
 				if s.Telemetry != nil {
 					done := completed.Add(1)
 					s.Telemetry.Counter("mixpbench_harness_jobs_completed_total").Inc()
@@ -96,6 +166,9 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 		}()
 	}
 	for i, j := range jobs {
+		if _, resumed := s.Resume[i]; resumed {
+			continue
+		}
 		queue <- task{idx: i, job: j}
 	}
 	close(queue)
@@ -113,10 +186,10 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 func (s Scheduler) flushTelemetry(jobs []Job, results []JobResult, recs []*telemetry.Recorder, mems []*telemetry.MemorySink, workers int) {
 	durations := make([]float64, len(jobs))
 	for i, r := range results {
-		durations[i] = r.Report.SpentSeconds
+		durations[i] = r.TotalSeconds()
 	}
 	starts, assigned := listSchedule(durations, workers)
-	errs := 0
+	errs, degraded := 0, 0
 	for i := range jobs {
 		spec := jobs[i].Spec
 		s.Telemetry.Emit("job_start", map[string]any{
@@ -137,6 +210,11 @@ func (s Scheduler) flushTelemetry(jobs []Job, results []JobResult, recs []*telem
 			"evaluated":   results[i].Report.Evaluated,
 			"found":       results[i].Report.Found,
 			"timed_out":   results[i].Report.TimedOut,
+			"attempts":    max(1, len(results[i].Attempts)),
+		}
+		if results[i].Degraded {
+			end["degraded"] = true
+			degraded++
 		}
 		if err := results[i].Err; err != nil {
 			end["error"] = err.Error()
@@ -148,7 +226,8 @@ func (s Scheduler) flushTelemetry(jobs []Job, results []JobResult, recs []*telem
 		// the registry must snapshot byte-identically for any -workers.
 		s.Telemetry.Histogram("mixpbench_harness_job_seconds", telemetry.SecondsBuckets).Observe(durations[i])
 	}
-	s.Telemetry.Emit("campaign_end", map[string]any{"jobs": len(jobs), "errors": errs})
+	s.Telemetry.Gauge("mixpbench_harness_degraded_jobs").Set(float64(degraded))
+	s.Telemetry.Emit("campaign_end", map[string]any{"jobs": len(jobs), "errors": errs, "degraded": degraded})
 }
 
 // listSchedule assigns each job, in submission order, to the worker that
@@ -173,6 +252,98 @@ func listSchedule(durations []float64, workers int) (starts []float64, assigned 
 	return starts, assigned
 }
 
+// jobKey names a job stably across runs, worker counts, and resume
+// boundaries; it keys the fault injector's decisions.
+func jobKey(s Spec) string {
+	return fmt.Sprintf("%s/%s/%s/%g", s.Name, s.Bin, s.Analysis.Algorithm, s.Analysis.Threshold)
+}
+
+// executeJob runs one job under the scheduler's fault plan and retry
+// policy. Each attempt draws its fault independently; an attempt that
+// dies to a transient fault is retried after an exponential backoff
+// charged to the simulated clock, up to the policy's attempt cap. A job
+// whose final attempt still fails transiently is marked degraded - its
+// structured error and attempt history land in the result, and the
+// campaign continues. Panics and plugin errors are terminal immediately:
+// retrying a deterministic bug reproduces it.
+func (s Scheduler) executeJob(idx int, job Job) JobResult {
+	policy := s.Retry.normalized()
+	key := jobKey(job.Spec)
+	var attempts []Attempt
+	for attempt := 1; ; attempt++ {
+		f := s.Faults.Draw(key, attempt)
+		job.FailAtEvaluation = 0
+		if f.Kind == faults.Transient || f.Kind == faults.Crash {
+			job.FailAtEvaluation = f.FailAfter
+		}
+		jr := runOne(idx, job)
+		if f.Kind == faults.Straggler {
+			// The slow node completes the work; it just bills more
+			// simulated time for it.
+			jr.Report.SpentSeconds *= f.Slowdown
+		}
+		a := Attempt{Attempt: attempt, SpentSeconds: jr.Report.SpentSeconds}
+		transient := errors.Is(jr.Err, search.ErrTransient)
+		fired := f.Kind == faults.Straggler || (f.Kind != faults.None && transient)
+		if fired {
+			// A drawn transient/crash fault only counts if the analysis
+			// was still running when it struck; finishing first dodges it.
+			a.Fault = f.Kind.String()
+			if job.Telemetry != nil {
+				job.Telemetry.Counter("mixpbench_harness_faults_injected_total",
+					"kind", f.Kind.String()).Inc()
+			}
+		}
+		if jr.Err != nil {
+			a.Err = jr.Err.Error()
+		}
+		if transient && attempt < policy.MaxAttempts {
+			a.BackoffSeconds = policy.Backoff(attempt)
+			attempts = append(attempts, a)
+			if job.Telemetry != nil {
+				job.Telemetry.Counter("mixpbench_harness_retries_total").Inc()
+				job.Telemetry.Emit("job_retry", map[string]any{
+					"job":             idx,
+					"entry":           job.Spec.Name,
+					"attempt":         attempt,
+					"fault":           a.Fault,
+					"error":           a.Err,
+					"lost_seconds":    a.SpentSeconds,
+					"backoff_seconds": a.BackoffSeconds,
+				})
+			}
+			continue
+		}
+		jr.Attempts = append(attempts, a)
+		if transient {
+			jr.Degraded = true
+			jr.Err = fmt.Errorf("harness: job %d (%s/%s) degraded after %d attempts: %w",
+				idx, job.Spec.Name, job.Spec.Analysis.Algorithm, attempt, jr.Err)
+		}
+		return jr
+	}
+}
+
+// record assembles the job's checkpoint-journal record, including its
+// private telemetry so resume can splice it back.
+func (s Scheduler) record(idx int, job Job, jr JobResult, recs []*telemetry.Recorder, mems []*telemetry.MemorySink) JournalRecord {
+	rec := JournalRecord{
+		Job:      idx,
+		Entry:    job.Spec.Name,
+		Degraded: jr.Degraded,
+		Attempts: jr.Attempts,
+		Report:   toJournalReport(jr.Report),
+	}
+	if jr.Err != nil {
+		rec.Error = jr.Err.Error()
+	}
+	if recs != nil {
+		rec.Metrics = recs[idx].Registry().Snapshot()
+		rec.Events = finiteEventFields(mems[idx].Events())
+	}
+	return rec
+}
+
 // runOne resolves and executes a single job, converting panics from
 // misdeclared benchmarks into errors so one bad entry cannot take down a
 // whole campaign. The recovered error carries the panicking job's index
@@ -195,15 +366,22 @@ func runOne(idx int, job Job) (jr JobResult) {
 }
 
 // JobsFromSpecs resolves each spec's benchmark and builds one job per
-// spec with the given workload seed.
+// spec with the given workload seed. Every unresolvable entry is
+// reported, not just the first, so one pass over the error fixes the
+// whole configuration.
 func JobsFromSpecs(specs []Spec, seed int64) ([]Job, error) {
 	jobs := make([]Job, 0, len(specs))
+	var errs []error
 	for _, s := range specs {
 		b, err := s.Resolve()
 		if err != nil {
-			return nil, err
+			errs = append(errs, fmt.Errorf("entry %q: %w", s.Name, err))
+			continue
 		}
 		jobs = append(jobs, Job{Spec: s, Benchmark: b, Seed: seed})
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return jobs, nil
 }

@@ -14,6 +14,13 @@ import (
 // algorithm). Strategies stop where they are and report a timeout.
 var ErrBudgetExhausted = errors.New("search: analysis time budget exhausted")
 
+// ErrTransient reports a transient evaluation failure: the node running
+// the analysis died mid-evaluation (an injected fault, or a crashed
+// worker in a future distributed backend). Unlike ErrBudgetExhausted it
+// is retryable - the attempt's work is lost, but a fresh attempt of the
+// same job may complete. The harness retries jobs whose error wraps it.
+var ErrTransient = errors.New("search: transient evaluation failure")
+
 // Result is everything a strategy learns about one configuration.
 type Result struct {
 	// Valid reports whether the configuration compiled. Variable-level
@@ -51,6 +58,10 @@ type Evaluator struct {
 	reference bench.Result
 	cache     map[string]Result
 	evaluated int
+
+	// failAt, when positive, makes paid evaluation number failAt die with
+	// ErrTransient (fault injection).
+	failAt int
 
 	traceOn bool
 	trace   []TraceEntry
@@ -117,6 +128,13 @@ func NewEvaluator(space *Space, runner *bench.Runner, b bench.Benchmark, thresho
 
 // SetBudget overrides the analysis budget (seconds of simulated time).
 func (e *Evaluator) SetBudget(seconds float64) { e.budget = seconds }
+
+// SetFailAt arranges for paid evaluation number n (1-based; cache hits
+// are free and do not count) to fail with ErrTransient, modelling a node
+// fault striking mid-analysis. The dying evaluation's build time is
+// charged as lost work. An analysis that finishes before evaluation n
+// dodges the fault. Zero disables injection.
+func (e *Evaluator) SetFailAt(n int) { e.failAt = n }
 
 // SetTypeforgeExpand switches unit selections to pull whole type-change
 // sets (used by the compositional strategies; see the package comment).
@@ -205,6 +223,21 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 			})
 		}
 		return Result{}, ErrBudgetExhausted
+	}
+	if e.failAt > 0 && e.evaluated+1 >= e.failAt {
+		// The node dies during this evaluation: its build time is lost
+		// and no result comes back.
+		e.spent += e.buildCost
+		if e.tel != nil {
+			e.tel.Counter("mixpbench_search_transient_faults_total", "bench", e.benchmark.Name()).Inc()
+			e.tel.Emit("transient_fault", map[string]any{
+				"bench":         e.benchmark.Name(),
+				"evaluation":    e.evaluated + 1,
+				"spent_seconds": e.spent,
+			})
+		}
+		return Result{}, fmt.Errorf("search: %s: node fault during evaluation %d: %w",
+			e.benchmark.Name(), e.evaluated+1, ErrTransient)
 	}
 	e.evaluated++
 	if !valid {
@@ -299,6 +332,11 @@ type Outcome struct {
 	// TimedOut reports that the analysis budget expired before the
 	// strategy terminated (the paper's empty grey cells).
 	TimedOut bool
+	// Err carries the abnormal stop condition when the strategy aborted
+	// on a non-budget error (ErrTransient from an injected node fault, a
+	// verification failure); nil on normal termination and on timeouts,
+	// which are an expected outcome, not a failure.
+	Err error
 }
 
 // Algorithm is one search strategy.
@@ -312,9 +350,10 @@ type Algorithm interface {
 	Search(e *Evaluator) Outcome
 }
 
-// finish assembles an Outcome, resolving the timeout flag from err.
+// finish assembles an Outcome, resolving the timeout flag from err and
+// surfacing any non-budget stop condition as Outcome.Err.
 func finish(name string, e *Evaluator, best Set, bestRes Result, found bool, err error) Outcome {
-	return Outcome{
+	out := Outcome{
 		Algorithm:  name,
 		Found:      found,
 		Best:       best,
@@ -322,4 +361,8 @@ func finish(name string, e *Evaluator, best Set, bestRes Result, found bool, err
 		Evaluated:  e.Evaluated(),
 		TimedOut:   errors.Is(err, ErrBudgetExhausted),
 	}
+	if err != nil && !out.TimedOut {
+		out.Err = err
+	}
+	return out
 }

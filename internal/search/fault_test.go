@@ -1,0 +1,74 @@
+package search
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSetFailAtInjectsTransient pins the fault-injection contract: paid
+// evaluation number n dies with ErrTransient, the dying build's time is
+// charged as lost work, cache hits do not arm the fault, and EV does not
+// count the evaluation that never completed.
+func TestSetFailAtInjectsTransient(t *testing.T) {
+	b := newFakeBench([3]float64{0, 0, 0})
+	e := newEval(t, b, ByCluster, 1e-8)
+	e.SetFailAt(2)
+
+	one := NewSet(3)
+	one.Add(0)
+	if _, err := e.Evaluate(one); err != nil {
+		t.Fatalf("evaluation 1 should survive: %v", err)
+	}
+	// Cache hit: free, and must not trip the fault armed for eval 2.
+	if _, err := e.Evaluate(one); err != nil {
+		t.Fatalf("cache hit tripped the fault: %v", err)
+	}
+	spent := e.Spent()
+
+	two := NewSet(3)
+	two.Add(1)
+	_, err := e.Evaluate(two)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("evaluation 2 error = %v, want ErrTransient", err)
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Error("transient fault must be distinct from budget exhaustion")
+	}
+	if e.Evaluated() != 1 {
+		t.Errorf("EV = %d, the dying evaluation must not count", e.Evaluated())
+	}
+	if e.Spent() <= spent {
+		t.Error("the dying evaluation's build time was not charged")
+	}
+}
+
+// TestStrategySurfacesTransientInOutcome checks that a strategy hit by a
+// node fault reports it via Outcome.Err instead of masking it as a
+// timeout.
+func TestStrategySurfacesTransientInOutcome(t *testing.T) {
+	b := newFakeBench([3]float64{0, 0, 0})
+	e := newEval(t, b, ByCluster, 1e-8)
+	e.SetFailAt(1)
+	out := DeltaDebug{}.Search(e)
+	if !errors.Is(out.Err, ErrTransient) {
+		t.Fatalf("Outcome.Err = %v, want ErrTransient", out.Err)
+	}
+	if out.TimedOut {
+		t.Error("transient fault reported as timeout")
+	}
+}
+
+// TestTimeoutLeavesOutcomeErrNil: budget exhaustion is an expected
+// outcome, not an error.
+func TestTimeoutLeavesOutcomeErrNil(t *testing.T) {
+	b := newFakeBench([3]float64{0, 0, 0})
+	e := newEval(t, b, ByCluster, 1e-8)
+	e.SetBudget(e.Spent())
+	out := DeltaDebug{}.Search(e)
+	if out.Err != nil {
+		t.Errorf("Outcome.Err = %v on timeout, want nil", out.Err)
+	}
+	if !out.TimedOut {
+		t.Error("budget exhaustion not reported as timeout")
+	}
+}

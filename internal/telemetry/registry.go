@@ -314,6 +314,38 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// AddSnapshot folds a snapshot's series into the registry: counters add,
+// gauges take the snapshot's value, histograms add per-bucket. Folding a
+// snapshot into a fresh registry reconstructs the snapshotted one exactly
+// (bit-identical values, same series order), which is what lets a resumed
+// campaign merge journaled per-job metrics as if the jobs had just run.
+func (r *Registry) AddSnapshot(snap Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, p := range snap.Counters {
+		r.getRendered(p.Name, p.Labels, counterKind, func(d *series) { d.c = &Counter{} }).c.Add(p.Value)
+	}
+	for _, p := range snap.Gauges {
+		r.getRendered(p.Name, p.Labels, gaugeKind, func(d *series) { d.g = &Gauge{} }).g.Set(p.Value)
+	}
+	for _, hp := range snap.Histograms {
+		bounds := append([]float64(nil), hp.Bounds...)
+		dst := r.getRendered(hp.Name, hp.Labels, histogramKind, func(d *series) {
+			d.h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		})
+		dst.h.mu.Lock()
+		for i, c := range hp.Counts {
+			if i < len(dst.h.counts) {
+				dst.h.counts[i] += c
+			}
+		}
+		dst.h.sum += hp.Sum
+		dst.h.n += hp.Count
+		dst.h.mu.Unlock()
+	}
+}
+
 // getRendered is get for a label block that is already canonical.
 func (r *Registry) getRendered(name, block, kind string, mk func(*series)) *series {
 	id := name + block
@@ -334,31 +366,32 @@ func (r *Registry) getRendered(name, block, kind string, mk func(*series)) *seri
 // Point is one counter or gauge sample in a snapshot.
 type Point struct {
 	// Name is the metric name.
-	Name string
+	Name string `json:"name"`
 	// Labels is the canonical rendered label block ("" when unlabelled).
-	Labels string
+	Labels string `json:"labels,omitempty"`
 	// Value is the sample.
-	Value float64
+	Value float64 `json:"value"`
 }
 
 // HistogramPoint is one histogram series in a snapshot.
 type HistogramPoint struct {
-	Name   string
-	Labels string
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
 	// Bounds are the bucket upper bounds; Counts has one extra entry for
 	// the +Inf bucket and is per-bucket, not cumulative.
-	Bounds []float64
-	Counts []uint64
-	Sum    float64
-	Count  uint64
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by (name,
-// labels).
+// labels). It is JSON-serialisable and restores exactly via AddSnapshot:
+// the harness's checkpoint journal rides on this round trip.
 type Snapshot struct {
-	Counters   []Point
-	Gauges     []Point
-	Histograms []HistogramPoint
+	Counters   []Point          `json:"counters,omitempty"`
+	Gauges     []Point          `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry's current state.

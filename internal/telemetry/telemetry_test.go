@@ -250,3 +250,53 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("stream seq = %d, want 1600", got)
 	}
 }
+
+// TestAddSnapshotRoundTrip locks in the checkpoint/resume contract: a
+// snapshot folded into a fresh registry - including after a JSON round
+// trip, which is how the harness journal stores it - reproduces the
+// original registry's text exposition byte for byte.
+func TestAddSnapshotRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c_total", "bench", "k").Add(7.25)
+	src.Counter("c_total", "bench", "h").Add(3)
+	src.Gauge("g").Set(0.1 + 0.2) // a value without a short decimal form
+	src.Histogram("h_seconds", SecondsBuckets, "bench", "k").Observe(0.5)
+	src.Histogram("h_seconds", SecondsBuckets, "bench", "k").Observe(1e5)
+
+	var want bytes.Buffer
+	if err := src.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewRegistry()
+	dst.AddSnapshot(snap)
+	var got bytes.Buffer
+	if err := dst.WriteText(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("restored registry differs:\n--- want ---\n%s\n--- got ---\n%s", want.String(), got.String())
+	}
+
+	// Folding into a non-empty registry accumulates counters/histograms.
+	dst.AddSnapshot(snap)
+	if v := dst.Counter("c_total", "bench", "k").Value(); v != 14.5 {
+		t.Errorf("double-folded counter = %g, want 14.5", v)
+	}
+	if n := dst.Histogram("h_seconds", SecondsBuckets, "bench", "k").Count(); n != 4 {
+		t.Errorf("double-folded histogram count = %d, want 4", n)
+	}
+
+	// Nil registry tolerates the call.
+	var nilReg *Registry
+	nilReg.AddSnapshot(snap)
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/mp"
 	"repro/internal/report"
@@ -75,6 +76,16 @@ type (
 	HarnessJob = harness.Job
 	// HarnessReport is an analysis result.
 	HarnessReport = harness.Report
+	// HarnessCampaign is a parsed configuration with its fault clause.
+	HarnessCampaign = harness.Campaign
+	// HarnessJobResult is one job's result with its attempt history.
+	HarnessJobResult = harness.JobResult
+	// HarnessAttempt is one execution attempt under fault injection.
+	HarnessAttempt = harness.Attempt
+	// FaultPlan configures the deterministic fault injector.
+	FaultPlan = faults.Plan
+	// RetryPolicy governs retry/backoff for transient job failures.
+	RetryPolicy = harness.RetryPolicy
 	// Study is a full regeneration of the paper's evaluation.
 	Study = report.Study
 )
@@ -321,6 +332,35 @@ func RunStudy(workers int, progress func(string)) *Study {
 // Listing 4 format) into benchmark entries.
 func ParseHarnessConfig(src string) ([]HarnessSpec, error) {
 	return harness.ParseConfig(src)
+}
+
+// ParseHarnessCampaign parses a YAML harness configuration keeping the
+// reserved top-level faults clause (fault rates, retry policy) alongside
+// the benchmark entries.
+func ParseHarnessCampaign(src string) (HarnessCampaign, error) {
+	return harness.ParseCampaign(src)
+}
+
+// ParseFaultSpec parses a CLI-style fault specification such as
+// "transient=0.2,crash=0.05,slowdown=4,seed=7" into a validated plan.
+func ParseFaultSpec(spec string) (FaultPlan, error) {
+	return faults.ParseSpec(spec)
+}
+
+// CampaignOptions parameterises RunCampaign: HarnessOptions plus the
+// fault model, retry policy, and checkpoint/resume paths.
+type CampaignOptions = harness.CampaignOptions
+
+// RunCampaign executes a fault-tolerant campaign over the specs and
+// returns per-job results (reports, attempt histories, degraded flags)
+// in entry order. Unlike RunHarnessWith, a failing job does not abort
+// the campaign; inspect each result's Err. The workload seed defaults to
+// the canonical study seed.
+func RunCampaign(specs []HarnessSpec, opts CampaignOptions) ([]HarnessJobResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = report.Seed
+	}
+	return harness.RunCampaign(specs, opts)
 }
 
 // HarnessOptions parameterises RunHarnessWith.
