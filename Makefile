@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify cover tables
+.PHONY: build test race verify cover tables bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,18 @@ cover:
 
 tables:
 	$(GO) run ./cmd/mptables
+
+# bench runs the performance suite 5 times with allocation stats: the tape
+# and cache micro-benchmarks plus the shared-vs-cold campaign pair
+# (BenchmarkCampaignSharedCache / BenchmarkCampaignColdCache). Compare the
+# pair to see the run cache's wall-clock effect; EXPERIMENTS.md records the
+# reference numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/mp ./internal/bench
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkTableIII|BenchmarkEvaluatorThroughput' -benchmem -count=5 .
+
+# bench-smoke compiles and runs every benchmark once (CI's guard against
+# benchmark rot; no timing value).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/mp ./internal/bench ./internal/runcache
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign' -benchtime=1x .

@@ -80,6 +80,27 @@ func BenchmarkTableIII(b *testing.B) {
 	b.ReportMetric(study.Kernel["iccg"]["CB"].Speedup, "iccg-CB-speedup")
 }
 
+// BenchmarkCampaignSharedCache measures the kernel campaign with the
+// study-wide run cache (the default): the 60 jobs execute each distinct
+// (kernel, configuration) once between them. Compare against
+// BenchmarkCampaignColdCache for the cache's wall-clock effect; both
+// produce byte-identical studies (locked by
+// harness.TestSchedulerCacheDeterministic).
+func BenchmarkCampaignSharedCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Run(report.Options{Workers: 2, KernelsOnly: true})
+	}
+}
+
+// BenchmarkCampaignColdCache measures the same kernel campaign with
+// caching disabled: every job re-executes every configuration it
+// proposes, as the pre-cache harness did.
+func BenchmarkCampaignColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Run(report.Options{Workers: 2, KernelsOnly: true, NoCache: true})
+	}
+}
+
 // BenchmarkTableIV regenerates the manual whole-program conversion study
 // and reports the two extreme applications the paper highlights.
 func BenchmarkTableIV(b *testing.B) {

@@ -46,20 +46,18 @@ func (a *app) Description() string   { return a.desc }
 func (a *app) Metric() verify.Metric { return a.metric }
 func (a *app) Graph() *typedep.Graph { return a.graph }
 
-// fillRand initialises an array with uniform values in [lo, hi).
+// fillRand initialises an array with uniform values in [lo, hi). SetEach
+// draws in index order, so the value stream is identical to an
+// element-wise Set loop.
 func fillRand(a *mp.Array, rng *rand.Rand, lo, hi float64) {
-	for i := 0; i < a.Len(); i++ {
-		a.Set(i, lo+(hi-lo)*rng.Float64())
-	}
+	a.SetEach(func(int) float64 { return lo + (hi-lo)*rng.Float64() })
 }
 
 // fillRandExact initialises an array with float32-exact values in
 // [0, scale), where scale must be a power of two: demoting such an array is
 // numerically lossless.
 func fillRandExact(a *mp.Array, rng *rand.Rand, scale float64) {
-	for i := 0; i < a.Len(); i++ {
-		a.Set(i, float64(rng.Float32())*scale)
-	}
+	a.SetEach(func(int) float64 { return float64(rng.Float32()) * scale })
 }
 
 // addAliases declares n pointer-parameter aliases of the variable owner in

@@ -12,11 +12,14 @@ package bench
 
 import (
 	"fmt"
-	"hash/fnv"
+	"math"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"repro/internal/mp"
 	"repro/internal/perfmodel"
+	"repro/internal/runcache"
 	"repro/internal/telemetry"
 	"repro/internal/typedep"
 	"repro/internal/verify"
@@ -117,11 +120,26 @@ func (c Config) Singles() int {
 
 // Key returns a compact string identity usable as a cache key.
 func (c Config) Key() string {
-	b := make([]byte, len(c))
-	for i, p := range c {
-		b[i] = '0' + byte(p)
+	if len(c) == 0 {
+		return ""
 	}
-	return string(b)
+	var b strings.Builder
+	b.Grow(len(c))
+	for _, p := range c {
+		b.WriteByte('0' + byte(p))
+	}
+	return b.String()
+}
+
+// AppendKey appends the compact key to dst and returns the extended
+// slice. Hot paths that probe a map per proposed configuration use it
+// with a reused buffer: the probe then allocates nothing (a map lookup on
+// string(buf) does not materialise the string).
+func (c Config) AppendKey(dst []byte) []byte {
+	for _, p := range c {
+		dst = append(dst, '0'+byte(p))
+	}
+	return dst
 }
 
 // AllSingle returns a configuration demoting every variable.
@@ -150,6 +168,37 @@ type Result struct {
 	Measured perfmodel.Measurement
 }
 
+// Cache is a process-wide memo store for deterministic benchmark
+// executions, shared across runners and campaign jobs. Construct with
+// NewCache and install on each Runner's Cache field; see Runner.Cache for
+// the determinism contract.
+type Cache = runcache.Cache[Result]
+
+// NewCache returns an empty run cache. tel, when non-nil, receives the
+// cache's hit/miss/inflight-wait counters and runcache_hit events; because
+// the hit/miss split between concurrent workers depends on real
+// scheduling, keep this recorder separate from any deterministic campaign
+// telemetry (see the runcache package comment).
+func NewCache(tel *telemetry.Recorder) *Cache {
+	return runcache.New(runcache.Options[Result]{Clone: cloneResult, Telemetry: tel})
+}
+
+// cloneResult deep-copies a Result's slice fields so cached values handed
+// to one caller can never be corrupted by another.
+func cloneResult(r Result) Result {
+	if r.Output.Values != nil {
+		out := make([]float64, len(r.Output.Values))
+		copy(out, r.Output.Values)
+		r.Output.Values = out
+	}
+	if r.Profile != nil {
+		prof := make([]mp.VarProfile, len(r.Profile))
+		copy(prof, r.Profile)
+		r.Profile = prof
+	}
+	return r
+}
+
 // Runner executes benchmark configurations under one machine model and
 // measurement protocol.
 type Runner struct {
@@ -164,6 +213,18 @@ type Runner struct {
 	// Telemetry, when non-nil, records per-run timings and the perfmodel
 	// cost breakdown (flops, casts, traffic) of every execution.
 	Telemetry *telemetry.Recorder
+	// Cache, when non-nil, memoises executions process-wide: a
+	// configuration already executed under the same benchmark, seed,
+	// demotion semantics, and machine model is served from the shared
+	// store instead of being interpreted again. Every run is a pure
+	// function of that key, so the served Result is byte-identical to a
+	// fresh execution - callers keep charging simulated build+run seconds
+	// per call and keep observing per-run telemetry, which is what makes
+	// budgets, EV counts, traces, and campaign snapshots invariant to the
+	// cache being on or off. Many runners (one per campaign job) share one
+	// Cache; the machine model is part of the key, so runners with
+	// different models coexist safely.
+	Cache *Cache
 }
 
 // NewRunner returns a Runner with the default machine, the paper's
@@ -181,7 +242,19 @@ func (r *Runner) Run(b Benchmark, cfg Config) Result {
 	if cfg != nil && len(cfg) != n {
 		panic(fmt.Sprintf("bench: config for %s has %d entries, want %d", b.Name(), len(cfg), n))
 	}
-	tape := mp.NewTape(n + hiddenVars(b))
+	res := r.memoised(b, runcache.Source, cfg, func() Result { return r.execute(b, cfg) })
+	kind := "candidate"
+	if cfg == nil {
+		kind = "reference"
+	}
+	r.observe(b, kind, res)
+	return res
+}
+
+// execute interprets one source-level configuration (the uncached core of
+// Run).
+func (r *Runner) execute(b Benchmark, cfg Config) Result {
+	tape := mp.NewTape(b.Graph().NumVars() + hiddenVars(b))
 	for i, p := range cfg {
 		tape.SetPrec(mp.VarID(i), p)
 	}
@@ -189,19 +262,57 @@ func (r *Runner) Run(b Benchmark, cfg Config) Result {
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
 	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), cfg)))
-	res := Result{
+	return Result{
 		Output:    out,
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
-	kind := "candidate"
-	if cfg == nil {
-		kind = "reference"
+}
+
+// memoised routes one execution through the shared cache when one is
+// installed, keyed by everything that can change the result. With no
+// cache it just executes.
+func (r *Runner) memoised(b Benchmark, sem runcache.Semantics, cfg Config, fn func() Result) Result {
+	if r.Cache == nil {
+		return fn()
 	}
-	r.observe(b, kind, res)
-	return res
+	return r.Cache.Do(runcache.Key{
+		Bench:     b.Name(),
+		Seed:      r.Seed,
+		Semantics: sem,
+		Model:     r.modelFingerprint(),
+		Config:    cfg.Key(),
+	}, fn)
+}
+
+// modelFingerprint hashes the machine model and measurement protocol into
+// the cache key, so runners with different models sharing one cache can
+// never serve each other's results. Mutating Machine or Runs mid-run is
+// safe: the next execution simply keys differently.
+func (r *Runner) modelFingerprint() uint64 {
+	h := runcache.FNVOffset64
+	mix := func(v uint64) {
+		h = (h ^ v) * runcache.FNVPrime64
+	}
+	m := &r.Machine
+	for i := 0; i < len(m.Name); i++ {
+		mix(uint64(m.Name[i]))
+	}
+	mix(math.Float64bits(m.Rate64))
+	mix(math.Float64bits(m.Rate32))
+	mix(math.Float64bits(m.Rate16))
+	mix(math.Float64bits(m.CastRate))
+	mix(math.Float64bits(m.DRAMBandwidth))
+	mix(math.Float64bits(m.RunOverhead))
+	mix(uint64(len(m.Caches)))
+	for _, c := range m.Caches {
+		mix(c.Size)
+		mix(math.Float64bits(c.Bandwidth))
+	}
+	mix(uint64(r.Runs))
+	return h
 }
 
 // observe records one execution's timing and cost breakdown.
@@ -237,7 +348,15 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 	if cfg != nil && len(cfg) != n {
 		panic(fmt.Sprintf("bench: IR config for %s has %d entries, want %d", b.Name(), len(cfg), n))
 	}
-	tape := mp.NewTape(n + hiddenVars(b))
+	res := r.memoised(b, runcache.IR, cfg, func() Result { return r.executeIR(b, cfg) })
+	r.observe(b, "ir", res)
+	return res
+}
+
+// executeIR interprets one IR-level configuration (the uncached core of
+// RunIR).
+func (r *Runner) executeIR(b Benchmark, cfg Config) Result {
+	tape := mp.NewTape(b.Graph().NumVars() + hiddenVars(b))
 	tape.SetComputeOnly(true)
 	for i, p := range cfg {
 		tape.SetPrec(mp.VarID(i), p)
@@ -246,15 +365,13 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
 	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name()+"/ir", cfg)))
-	res := Result{
+	return Result{
 		Output:    out,
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
-	r.observe(b, "ir", res)
-	return res
 }
 
 // RunManualSingle evaluates the whole-program single-precision conversion
@@ -265,28 +382,57 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 func (r *Runner) RunManualSingle(b Benchmark) Result {
 	n := b.Graph().NumVars()
 	h := hiddenVars(b)
-	tape := mp.NewTape(n + h)
-	for i := 0; i < n+h; i++ {
+	// The manual conversion is exactly a source-level run of the expanded
+	// all-single configuration over every site, hidden ones included: the
+	// tape setup, jitter stream, and hence the whole Result coincide. It
+	// therefore shares Source-semantics cache entries - for a benchmark
+	// without hidden sites, a searched all-single candidate and the manual
+	// ceiling are one execution.
+	full := AllSingle(n + h)
+	res := r.memoised(b, runcache.Source, full, func() Result { return r.executeManualSingle(b, full) })
+	r.observe(b, "manual-single", res)
+	return res
+}
+
+// executeManualSingle interprets the whole-program conversion (the
+// uncached core of RunManualSingle). full is the expanded all-single
+// configuration including hidden sites.
+func (r *Runner) executeManualSingle(b Benchmark, full Config) Result {
+	tape := mp.NewTape(len(full))
+	for i := range full {
 		tape.SetPrec(mp.VarID(i), mp.F32)
 	}
 	out := b.Run(tape, r.Seed)
 	cost := tape.Cost()
 	modelTime := r.Machine.Time(cost)
-	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), AllSingle(n+h))))
-	res := Result{
+	rng := rand.New(rand.NewSource(r.jitterSeed(b.Name(), full)))
+	return Result{
 		Output:    out,
 		Cost:      cost,
+		Profile:   tape.Profile(),
 		ModelTime: modelTime,
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
-	r.observe(b, "manual-single", res)
-	return res
 }
 
 // jitterSeed mixes the workload seed, benchmark name, and configuration
-// into one deterministic RNG seed.
+// into one deterministic RNG seed. It is a hand-rolled FNV-1a over the
+// byte stream "<seed>/<name>/<config key>" - the exact stream the
+// previous fmt.Fprintf implementation hashed, now without allocating or
+// materialising the key.
 func (r *Runner) jitterSeed(name string, cfg Config) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s/%s", r.Seed, name, cfg.Key())
-	return int64(h.Sum64())
+	h := runcache.FNVOffset64
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], r.Seed, 10) {
+		h = (h ^ uint64(b)) * runcache.FNVPrime64
+	}
+	h = (h ^ '/') * runcache.FNVPrime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * runcache.FNVPrime64
+	}
+	h = (h ^ '/') * runcache.FNVPrime64
+	for _, p := range cfg {
+		h = (h ^ uint64('0'+byte(p))) * runcache.FNVPrime64
+	}
+	return int64(h)
 }

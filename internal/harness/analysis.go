@@ -32,6 +32,15 @@ type Job struct {
 	// the fault injector's draw). A plugin should forward it to its
 	// evaluator; an analysis that finishes earlier outruns the fault.
 	FailAtEvaluation int
+	// Cache, when non-nil, is the campaign-wide run cache (the scheduler
+	// installs the shared instance here). A plugin should set it on every
+	// bench.Runner it builds: distinct jobs searching the same benchmark
+	// propose overlapping configurations, and the cache lets the whole
+	// campaign execute each distinct configuration once. Results are pure
+	// functions of their cache key and simulated time is charged on hits
+	// exactly as on misses, so reports and telemetry are unchanged by
+	// sharing.
+	Cache *bench.Cache
 }
 
 // Report is what an analysis returns for one job: the paper's three
@@ -133,6 +142,7 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 	space := search.NewSpace(g, algo.Mode())
 	runner := bench.NewRunner(job.Seed)
 	runner.Telemetry = job.Telemetry
+	runner.Cache = job.Cache
 	eval := search.NewEvaluator(space, runner, job.Benchmark, job.Spec.Analysis.Threshold)
 	if job.BudgetSeconds > 0 {
 		eval.SetBudget(job.BudgetSeconds)

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
@@ -25,6 +26,15 @@ type CampaignOptions struct {
 	// the jobs it records as cleanly completed. It may equal
 	// CheckpointPath, in which case the journal is extended in place.
 	ResumePath string
+	// Cache, when non-nil, is the shared run cache to install on the
+	// scheduler. When nil and NoCache is false, RunCampaign creates a
+	// fresh campaign-private cache, so sharing is the default.
+	Cache *bench.Cache
+	// NoCache disables run caching for this campaign: every job executes
+	// every configuration it proposes. Output is identical either way;
+	// this exists for benchmarking the cache itself and as an escape
+	// hatch.
+	NoCache bool
 }
 
 // RunCampaign executes one campaign over the specs: it builds the jobs,
@@ -71,6 +81,10 @@ func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
 		}
 	}
 
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = bench.NewCache(nil)
+	}
 	s := Scheduler{
 		Workers:   opts.Workers,
 		Telemetry: opts.Telemetry,
@@ -78,6 +92,7 @@ func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
 		Retry:     opts.Retry,
 		Journal:   journal,
 		Resume:    resume,
+		Cache:     cache,
 	}
 	results := s.Run(jobs)
 	if err := journal.Close(); err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/search"
 	"repro/internal/telemetry"
@@ -49,6 +50,14 @@ type Scheduler struct {
 	// rebuilt from the record and their journalled telemetry is merged as
 	// if the jobs had just executed.
 	Resume map[int]JournalRecord
+	// Cache, when non-nil, is shared across every job in the pool: each
+	// distinct (benchmark, seed, semantics, machine, configuration) runs
+	// once for the whole campaign instead of once per job that proposes
+	// it. Sharing never changes output - results are pure functions of the
+	// key, jobs charge simulated time for hits as for misses, and cache
+	// telemetry stays on the cache's own recorder - so campaign reports
+	// and telemetry snapshots are byte-identical with or without it.
+	Cache *bench.Cache
 }
 
 // JobResult pairs a job's report with its error, positionally aligned
@@ -153,6 +162,7 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 				if recs != nil {
 					t.job.Telemetry = recs[t.idx]
 				}
+				t.job.Cache = s.Cache
 				results[t.idx] = s.executeJob(t.idx, t.job)
 				if s.Journal != nil {
 					s.Journal.Append(s.record(t.idx, t.job, results[t.idx], recs, mems))

@@ -38,11 +38,10 @@ func (k *kernel) Graph() *typedep.Graph { return k.graph }
 // fillRand initialises an array with uniform values in [lo, hi) drawn from
 // rng. Initialisation stores through the array, so the values are narrowed
 // to the array's configured precision exactly as data held in a real float
-// buffer would be.
+// buffer would be. SetEach draws in index order, so the value stream is
+// identical to an element-wise Set loop.
 func fillRand(a *mp.Array, rng *rand.Rand, lo, hi float64) {
-	for i := 0; i < a.Len(); i++ {
-		a.Set(i, lo+(hi-lo)*rng.Float64())
-	}
+	a.SetEach(func(int) float64 { return lo + (hi-lo)*rng.Float64() })
 }
 
 // All returns one instance of every kernel, in Table I order.

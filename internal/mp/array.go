@@ -61,6 +61,43 @@ func (a *Array) Fill(x float64) {
 	}
 }
 
+// GetN copies elements [lo, lo+len(dst)) into dst, charging len(dst)
+// elements of read traffic - exactly equivalent to one Get per element,
+// in one traffic charge and one bounds check.
+func (a *Array) GetN(lo int, dst []float64) {
+	a.charge(uint64(len(dst)))
+	copy(dst, a.data[lo:lo+len(dst)])
+}
+
+// SetN stores src into elements [lo, lo+len(src)), narrowing each value
+// to the array's precision and charging len(src) elements of write
+// traffic - exactly equivalent to one Set per element.
+func (a *Array) SetN(lo int, src []float64) {
+	a.charge(uint64(len(src)))
+	p := a.tape.prec[a.v]
+	if p == F64 {
+		copy(a.data[lo:lo+len(src)], src)
+		return
+	}
+	for i, x := range src {
+		a.data[lo+i] = p.Round(x)
+	}
+}
+
+// SetEach stores f(i) into every element in index order, narrowing each
+// value to the array's precision and charging Len elements of write
+// traffic - exactly equivalent to one Set per element. It is the bulk
+// form benchmark initialisation loops use: f typically draws from a
+// seeded RNG, and the index-order guarantee keeps the value stream
+// identical to the element-wise loop it replaces.
+func (a *Array) SetEach(f func(i int) float64) {
+	a.charge(uint64(len(a.data)))
+	p := a.tape.prec[a.v]
+	for i := range a.data {
+		a.data[i] = p.Round(f(i))
+	}
+}
+
 // Snapshot returns a copy of the buffer contents without charging traffic.
 // Verification reads output buffers through Snapshot so that measuring
 // quality does not perturb the cost of the run being measured.
@@ -70,17 +107,13 @@ func (a *Array) Snapshot() []float64 {
 	return out
 }
 
-// charge records n elements of traffic at the array's current width.
+// charge records n elements of traffic at the array's current width. The
+// width switch and scale multiply are precomputed on the tape (see
+// Tape.refreshVar), leaving a single multiply and two adds on the hot
+// path of every kernel loop.
 func (a *Array) charge(n uint64) {
-	p := a.tape.storageWidth(a.v)
-	bytes := n * p.Size() * a.tape.scale
-	switch p {
-	case F32:
-		a.tape.cost.Bytes32 += bytes
-	case F16:
-		a.tape.cost.Bytes16 += bytes
-	default:
-		a.tape.cost.Bytes64 += bytes
-	}
-	a.tape.attributeBytes(a.v, bytes)
+	t := a.tape
+	bytes := n * t.byteFactor[a.v]
+	*t.byteSink[a.v] += bytes
+	t.perVar[a.v].Bytes += bytes
 }

@@ -71,9 +71,7 @@ func ReadInto(r io.Reader, stored Prec, dst *Array) error {
 	if stored != dst.Prec() {
 		dst.tape.AddCasts(uint64(dst.Len()))
 	}
-	for i, v := range vals {
-		dst.Set(i, v)
-	}
+	dst.SetN(0, vals)
 	return nil
 }
 

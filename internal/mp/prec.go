@@ -60,15 +60,23 @@ func (p Prec) Size() uint64 {
 // the value takes a round trip through float32, which applies IEEE
 // round-to-nearest-even narrowing including overflow to infinity and
 // flush of values below the float32 subnormal range.
+//
+// The F64 identity is the common case on every hot path (the original
+// program and every non-demoted variable), so it is split out where the
+// compiler can inline it; narrowing goes through roundNarrow.
 func (p Prec) Round(x float64) float64 {
-	switch p {
-	case F32:
-		return float64(float32(x))
-	case F16:
-		return roundToHalf(x)
-	default:
+	if p == F64 {
 		return x
 	}
+	return p.roundNarrow(x)
+}
+
+// roundNarrow narrows x for the non-identity precisions.
+func (p Prec) roundNarrow(x float64) float64 {
+	if p == F32 {
+		return float64(float32(x))
+	}
+	return roundToHalf(x)
 }
 
 // String implements fmt.Stringer using the paper's names for the levels.

@@ -15,12 +15,52 @@ type Tape struct {
 	scale       uint64
 	perVar      []VarProfile
 	computeOnly bool
+
+	// byteFactor[v] is storageWidth(v).Size()*scale and byteSink[v] points
+	// at the Cost counter that width accumulates into. Both are refreshed
+	// whenever precision, scale, or semantics change, so Array.charge - the
+	// hottest call of every kernel loop - is a multiply and two adds with
+	// no branching.
+	byteFactor []uint64
+	byteSink   []*uint64
 }
 
 // NewTape returns a Tape for a program with n tunable variables, all at
 // double precision (the original program).
 func NewTape(n int) *Tape {
-	return &Tape{prec: make([]Prec, n), scale: 1, perVar: make([]VarProfile, n)}
+	t := &Tape{
+		prec:       make([]Prec, n),
+		scale:      1,
+		perVar:     make([]VarProfile, n),
+		byteFactor: make([]uint64, n),
+		byteSink:   make([]*uint64, n),
+	}
+	for v := range t.byteFactor {
+		t.refreshVar(VarID(v))
+	}
+	return t
+}
+
+// refreshVar recomputes variable v's precomputed charge factors.
+func (t *Tape) refreshVar(v VarID) {
+	w := t.storageWidth(v)
+	t.byteFactor[v] = w.Size() * t.scale
+	switch w {
+	case F32:
+		t.byteSink[v] = &t.cost.Bytes32
+	case F16:
+		t.byteSink[v] = &t.cost.Bytes16
+	default:
+		t.byteSink[v] = &t.cost.Bytes64
+	}
+}
+
+// refreshAll recomputes every variable's charge factors (scale or
+// semantics changed).
+func (t *Tape) refreshAll() {
+	for v := range t.byteFactor {
+		t.refreshVar(VarID(v))
+	}
 }
 
 // SetScale sets the problem-size multiplier k (at least 1): every metered
@@ -36,6 +76,7 @@ func (t *Tape) SetScale(k uint64) {
 		panic("mp: scale must be at least 1")
 	}
 	t.scale = k
+	t.refreshAll()
 }
 
 // Scale returns the active problem-size multiplier.
@@ -53,7 +94,10 @@ func (t *Tape) Scale() uint64 { return t.scale }
 // "cannot be discovered from tools that operate on the intermediate
 // representation ... because the application memory is not changed" -
 // falls out of this switch; see BenchmarkAblationIRLevel.
-func (t *Tape) SetComputeOnly(on bool) { t.computeOnly = on }
+func (t *Tape) SetComputeOnly(on bool) {
+	t.computeOnly = on
+	t.refreshAll()
+}
 
 // ComputeOnly reports whether IR-level demotion semantics are active.
 func (t *Tape) ComputeOnly() bool { return t.computeOnly }
@@ -76,6 +120,7 @@ func (t *Tape) NumVars() int { return len(t.prec) }
 // Run method uses.
 func (t *Tape) SetPrec(v VarID, p Prec) {
 	t.prec[v] = p
+	t.refreshVar(v)
 }
 
 // Prec reports the precision the configuration assigns to variable v.

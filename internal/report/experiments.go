@@ -67,6 +67,11 @@ type Options struct {
 	KernelsOnly bool
 	// Progress, when non-nil, receives one line per completed stage.
 	Progress func(string)
+	// NoCache disables the study-wide shared run cache. The study is
+	// byte-identical either way (results are pure functions of their cache
+	// key and simulated time is charged on hits); this is the escape hatch
+	// and the baseline for benchmarking the cache.
+	NoCache bool
 }
 
 // Run regenerates the full study.
@@ -80,7 +85,14 @@ func Run(opts Options) *Study {
 	if progress == nil {
 		progress = func(string) {}
 	}
-	sched := harness.Scheduler{Workers: opts.Workers}
+	// One cache spans the whole study: the six kernel algorithms (and the
+	// five application algorithms per threshold) search the same spaces,
+	// so most configurations any one job proposes have already run.
+	var cache *bench.Cache
+	if !opts.NoCache {
+		cache = bench.NewCache(nil)
+	}
+	sched := harness.Scheduler{Workers: opts.Workers, Cache: cache}
 
 	// Table III: kernels x 6 algorithms at the kernel threshold.
 	var kernelJobs []harness.Job
@@ -105,8 +117,11 @@ func Run(opts Options) *Study {
 		return s
 	}
 
-	// Table IV: manual whole-program conversion per application.
+	// Table IV: manual whole-program conversion per application. The
+	// runner joins the study cache: a reference or manual-single run the
+	// application study also needs executes once.
 	runner := bench.NewRunner(Seed)
+	runner.Cache = cache
 	for _, a := range suite.Apps() {
 		ref := runner.Reference(a)
 		single := runner.RunManualSingle(a)

@@ -1,0 +1,266 @@
+// Package runcache is a process-wide memo store for deterministic
+// benchmark executions. The paper's evaluation is a multi-day cluster
+// campaign because every (algorithm, benchmark, threshold) job re-executes
+// configurations independently; in this reproduction every execution is a
+// pure function of (benchmark, workload seed, demotion semantics, machine
+// model, configuration), so the whole campaign can share one memo table.
+// The baseline, the all-single probe, and every single-variable candidate
+// that greedy, combinational, and delta debugging all visit are then
+// interpreted once per process instead of once per job - CRAFT's
+// within-analysis memoisation lifted to the campaign level.
+//
+// The store is sharded for concurrency and deduplicates in flight: when
+// two workers propose the same configuration at the same moment, one
+// executes while the other waits for the result (singleflight). Results
+// are returned as clones, so no caller can corrupt the shared entry.
+//
+// Determinism contract: the cache changes which executions physically run,
+// never what any caller observes. Callers charge simulated build+run time
+// per call, whether the result came from an execution or from the table,
+// so budgets, EV counts, traces, and campaign telemetry are byte-identical
+// with the cache on or off, under any worker count. The cache's own
+// counters are the one exception - the hit/miss split between workers
+// depends on real scheduling - which is why they live on the cache's own
+// recorder, never in the deterministic per-job telemetry merge.
+package runcache
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Semantics names the demotion tier an execution ran under; executions
+// with different semantics never share results.
+type Semantics uint8
+
+const (
+	// Source is source-level demotion (storage and arithmetic narrow).
+	Source Semantics = iota
+	// IR is IR-level demotion (arithmetic narrows, storage stays double).
+	IR
+)
+
+// String returns the tier name.
+func (s Semantics) String() string {
+	if s == IR {
+		return "ir"
+	}
+	return "source"
+}
+
+// Key identifies one deterministic execution. Two executions with equal
+// keys produce identical results; everything that can change a result -
+// the benchmark, the workload seed, the demotion semantics, the machine
+// model and measurement protocol, and the precision configuration - is a
+// component.
+type Key struct {
+	// Bench is the benchmark's suite-wide name.
+	Bench string
+	// Seed is the workload seed.
+	Seed int64
+	// Semantics is the demotion tier.
+	Semantics Semantics
+	// Model fingerprints the machine model and measurement protocol.
+	Model uint64
+	// Config is the configuration's compact digit key ("" = all-double).
+	Config string
+}
+
+// FNV-1a 64-bit constants, shared by the key hash and callers that build
+// Model fingerprints.
+const (
+	FNVOffset64 uint64 = 14695981039346656037
+	FNVPrime64  uint64 = 1099511628211
+)
+
+// shardCount is a power of two; benchmarks rarely need more than a few
+// shards, but contended campaign workers benefit from spreading the locks.
+const shardCount = 16
+
+// hash mixes the key into the shard index.
+func (k Key) hash() uint64 {
+	h := FNVOffset64
+	for i := 0; i < len(k.Bench); i++ {
+		h = (h ^ uint64(k.Bench[i])) * FNVPrime64
+	}
+	h = (h ^ uint64(k.Seed)) * FNVPrime64
+	h = (h ^ uint64(k.Semantics)) * FNVPrime64
+	h = (h ^ k.Model) * FNVPrime64
+	for i := 0; i < len(k.Config); i++ {
+		h = (h ^ uint64(k.Config[i])) * FNVPrime64
+	}
+	return h
+}
+
+// entry is one memoised execution. done is closed once val is final;
+// panicked marks a leader that died mid-execution (its waiters retry).
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked bool
+}
+
+// shard is one lock domain of the table.
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[Key]*entry[V]
+}
+
+// Stats is a point-in-time view of the cache's traffic.
+type Stats struct {
+	// Hits counts calls served from a completed or in-flight execution.
+	Hits uint64
+	// Misses counts calls that led the execution for their key.
+	Misses uint64
+	// InflightWaits counts hits that had to block on an execution still
+	// in flight. Unlike Hits and Misses (whose totals are a function of
+	// the campaign alone), this split depends on real worker scheduling.
+	InflightWaits uint64
+	// Entries is the number of completed results resident.
+	Entries uint64
+}
+
+// Options configures a Cache.
+type Options[V any] struct {
+	// Clone deep-copies a value; every Do call returns a clone so callers
+	// can never corrupt the shared entry. Nil means values are returned
+	// as-is (only safe for value types without reference fields).
+	Clone func(V) V
+	// Telemetry, when non-nil, receives the cache's counters
+	// (mixpbench_runcache_{hits,misses,inflight_waits}_total, labelled by
+	// bench) and one "runcache_hit" event per hit. These reflect real
+	// scheduling, so keep this recorder out of any deterministic
+	// snapshot; see the package comment.
+	Telemetry *telemetry.Recorder
+}
+
+// Cache is a concurrent, sharded memo store with singleflight
+// deduplication. The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	opts   Options[V]
+	shards [shardCount]shard[V]
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	waits   atomic.Uint64
+	entries atomic.Uint64
+}
+
+// New returns an empty cache.
+func New[V any](opts Options[V]) *Cache[V] {
+	c := &Cache[V]{opts: opts}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry[V])
+	}
+	return c
+}
+
+// Do returns the memoised value for k, executing fn to produce it on the
+// first call. Concurrent calls for the same key execute fn once: the
+// first caller leads, the rest wait for its result. The returned value is
+// a clone (when Options.Clone is set), so mutating it cannot corrupt the
+// store. A nil cache executes fn directly.
+//
+// If the leading call panics, its entry is discarded and each waiter
+// retries Do - typically reproducing the panic in its own call frame, so
+// per-job panic recovery behaves exactly as it would without the cache.
+func (c *Cache[V]) Do(k Key, fn func() V) V {
+	if c == nil {
+		return fn()
+	}
+	sh := &c.shards[k.hash()&(shardCount-1)]
+	for {
+		sh.mu.Lock()
+		e, ok := sh.entries[k]
+		if ok {
+			sh.mu.Unlock()
+			select {
+			case <-e.done:
+			default:
+				c.waits.Add(1)
+				c.count("mixpbench_runcache_inflight_waits_total", k)
+				<-e.done
+			}
+			if e.panicked {
+				// The leader died; take over (and most likely reproduce
+				// its panic under this caller's own recovery).
+				continue
+			}
+			c.hits.Add(1)
+			c.count("mixpbench_runcache_hits_total", k)
+			if tel := c.opts.Telemetry; tel != nil {
+				tel.Emit("runcache_hit", map[string]any{
+					"bench":     k.Bench,
+					"config":    k.Config,
+					"semantics": k.Semantics.String(),
+				})
+			}
+			return c.clone(e.val)
+		}
+		e = &entry[V]{done: make(chan struct{})}
+		sh.entries[k] = e
+		sh.mu.Unlock()
+
+		completed := false
+		defer func() {
+			if !completed {
+				// fn panicked: discard the entry and release any waiters
+				// into their own attempts before the panic unwinds.
+				e.panicked = true
+				sh.mu.Lock()
+				delete(sh.entries, k)
+				sh.mu.Unlock()
+				close(e.done)
+			}
+		}()
+		e.val = fn()
+		completed = true
+		close(e.done)
+		c.entries.Add(1)
+		c.misses.Add(1)
+		c.count("mixpbench_runcache_misses_total", k)
+		return c.clone(e.val)
+	}
+}
+
+// clone applies the configured deep copy.
+func (c *Cache[V]) clone(v V) V {
+	if c.opts.Clone == nil {
+		return v
+	}
+	return c.opts.Clone(v)
+}
+
+// count bumps one bench-labelled cache counter.
+func (c *Cache[V]) count(name string, k Key) {
+	if tel := c.opts.Telemetry; tel != nil {
+		tel.Counter(name, "bench", k.Bench).Inc()
+	}
+}
+
+// Stats returns the cache's traffic counters. Hits+Misses equals the
+// number of completed Do calls; Misses equals the number of distinct keys
+// executed, so both are deterministic for a given campaign. InflightWaits
+// is scheduling-dependent (see Stats).
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		InflightWaits: c.waits.Load(),
+		Entries:       c.entries.Load(),
+	}
+}
+
+// String summarises the cache for logs.
+func (c *Cache[V]) String() string {
+	s := c.Stats()
+	return "runcache{entries: " + strconv.FormatUint(s.Entries, 10) +
+		", hits: " + strconv.FormatUint(s.Hits, 10) +
+		", misses: " + strconv.FormatUint(s.Misses, 10) + "}"
+}

@@ -1,0 +1,54 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+)
+
+// TestEvaluatorCacheTransparent checks the search layer's view of the
+// shared run cache: for every strategy, an analysis whose runner shares a
+// warm campaign cache produces the same outcome, EV count, spent seconds,
+// and per-configuration trace as one executing everything itself. The
+// cache is pre-warmed by a first analysis, so the second run of each pair
+// is served almost entirely from the table.
+func TestEvaluatorCacheTransparent(t *testing.T) {
+	b := kernels.NewHydro1D()
+	for _, name := range []string{"CB", "DD", "HR", "GA"} {
+		algo, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyse := func(cache *bench.Cache) (Outcome, []TraceEntry, float64) {
+			runner := bench.NewRunner(42)
+			runner.Cache = cache
+			e := NewEvaluator(NewSpace(b.Graph(), algo.Mode()), runner, b, 1e-8)
+			e.SetTrace(true)
+			out := algo.Search(e)
+			return out, e.Trace(), e.Spent()
+		}
+
+		cache := bench.NewCache(nil)
+		analyse(cache) // warm: every later run hits the table
+		warmStats := cache.Stats()
+
+		coldOut, coldTrace, coldSpent := analyse(nil)
+		hotOut, hotTrace, hotSpent := analyse(cache)
+
+		if !reflect.DeepEqual(coldOut, hotOut) {
+			t.Errorf("%s: outcome differs with a warm shared cache:\ncold %+v\nhot  %+v", name, coldOut, hotOut)
+		}
+		if coldSpent != hotSpent {
+			t.Errorf("%s: budget accounting differs: cold spent %g, hot spent %g", name, coldSpent, hotSpent)
+		}
+		if !reflect.DeepEqual(coldTrace, hotTrace) {
+			t.Errorf("%s: evaluation trace differs with a warm shared cache", name)
+		}
+		if s := cache.Stats(); s.Misses != warmStats.Misses {
+			t.Errorf("%s: warm re-analysis executed %d new configurations, want 0",
+				name, s.Misses-warmStats.Misses)
+		}
+	}
+}

@@ -59,6 +59,13 @@ type Evaluator struct {
 	cache     map[string]Result
 	evaluated int
 
+	// keyBuf is scratch for configuration keys: a cache probe writes the
+	// key here and indexes the map with string(keyBuf), which the compiler
+	// compiles without allocating. Hits - the bulk of a long analysis -
+	// therefore cost no garbage; the string is materialised only to store
+	// a new entry or feed telemetry.
+	keyBuf []byte
+
 	// failAt, when positive, makes paid evaluation number failAt die with
 	// ErrTransient (fault injection).
 	failAt int
@@ -207,11 +214,14 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		return Result{}, fmt.Errorf("search: selection over %d units, space has %d", set.Len(), e.space.NumUnits())
 	}
 	cfg, valid := e.space.Expand(set, e.typeforgeExpand)
-	key := cfg.Key()
-	if r, ok := e.cache[key]; ok {
-		e.observe(key, cfg.Singles(), r, true)
+	e.keyBuf = cfg.AppendKey(e.keyBuf[:0])
+	if r, ok := e.cache[string(e.keyBuf)]; ok {
+		if e.tel != nil {
+			e.observe(string(e.keyBuf), cfg.Singles(), r, true)
+		}
 		return r, nil
 	}
+	key := string(e.keyBuf)
 	if e.spent >= e.budget {
 		if e.tel != nil {
 			e.tel.Counter("mixpbench_search_budget_exhausted_total", "bench", e.benchmark.Name()).Inc()

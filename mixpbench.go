@@ -36,6 +36,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mp"
 	"repro/internal/report"
+	"repro/internal/runcache"
 	"repro/internal/search"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
@@ -88,7 +89,22 @@ type (
 	RetryPolicy = harness.RetryPolicy
 	// Study is a full regeneration of the paper's evaluation.
 	Study = report.Study
+	// RunCache memoises benchmark executions process-wide. One cache can
+	// back any number of Runners and harness jobs concurrently; sharing
+	// never changes results, budgets, or telemetry (see bench.Runner.Cache
+	// for the determinism contract).
+	RunCache = bench.Cache
+	// RunCacheStats is a point-in-time view of a cache's hit/miss/wait
+	// counters and entry count.
+	RunCacheStats = runcache.Stats
 )
+
+// NewRunCache returns an empty shared run cache. tel, when non-nil,
+// receives the cache's own hit/miss/inflight-wait counters and
+// runcache_hit events; keep it separate from deterministic campaign
+// telemetry, because the hit/wait split between concurrent workers
+// depends on real scheduling.
+func NewRunCache(tel *Telemetry) *RunCache { return bench.NewCache(tel) }
 
 // Telemetry types. A Telemetry recorder bundles a metrics registry
 // (counters, gauges, histograms with Prometheus-style text exposition)
@@ -253,6 +269,11 @@ type TuneOptions struct {
 	// Telemetry, when non-nil, receives per-evaluation metrics and
 	// events for the whole tuning run (evaluator and runner included).
 	Telemetry *Telemetry
+	// Cache, when non-nil, memoises benchmark executions: repeated Tune
+	// calls over the same benchmark and seed (different algorithms, say)
+	// skip re-executing configurations they share. Results are identical
+	// with or without it.
+	Cache *RunCache
 }
 
 // TuneResult is what Tune reports.
@@ -298,6 +319,7 @@ func Tune(b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
 	space := search.NewSpace(b.Graph(), algo.Mode())
 	runner := bench.NewRunner(opts.Seed)
 	runner.Telemetry = opts.Telemetry
+	runner.Cache = opts.Cache
 	eval := search.NewEvaluator(space, runner, b, opts.Threshold)
 	if opts.BudgetSeconds > 0 {
 		eval.SetBudget(opts.BudgetSeconds)
@@ -373,6 +395,12 @@ type HarnessOptions struct {
 	// deterministic event stream: per-job telemetry is merged in entry
 	// order, so snapshots are byte-identical under any worker count.
 	Telemetry *Telemetry
+	// Cache, when non-nil, is shared by every job of the run; when nil a
+	// run-private cache is created, so configuration executions shared
+	// between jobs run once. Set NoCache to disable caching entirely.
+	Cache *RunCache
+	// NoCache disables run caching (reports are identical either way).
+	NoCache bool
 }
 
 // RunHarness resolves and executes every entry of a harness configuration
@@ -390,7 +418,11 @@ func RunHarnessWith(specs []HarnessSpec, opts HarnessOptions) ([]HarnessReport, 
 	if err != nil {
 		return nil, err
 	}
-	results := harness.Scheduler{Workers: opts.Workers, Telemetry: opts.Telemetry}.Run(jobs)
+	cache := opts.Cache
+	if cache == nil && !opts.NoCache {
+		cache = NewRunCache(nil)
+	}
+	results := harness.Scheduler{Workers: opts.Workers, Telemetry: opts.Telemetry, Cache: cache}.Run(jobs)
 	out := make([]HarnessReport, len(results))
 	for i, r := range results {
 		if r.Err != nil {
