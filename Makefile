@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify cover tables bench bench-smoke
+.PHONY: build test race verify lint cover tables bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the gate for every change: vet plus the full test suite under
-# the race detector (the telemetry determinism tests require -race to mean
-# anything).
-verify:
+# verify is the gate for every change: vet, the optional linters, and the
+# full test suite under the race detector (the telemetry determinism tests
+# require -race to mean anything).
+verify: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint runs staticcheck and govulncheck when they are installed and is a
+# no-op otherwise, so verify works on machines without the tools; CI
+# installs both and runs them unconditionally.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -22,15 +22,24 @@
 // -resume PATH restarts an interrupted campaign from such a journal,
 // skipping completed jobs. A campaign whose jobs failed exits with code
 // 3 after printing every report, so one bad entry cannot hide the rest.
+//
+// Deadlines: -timeout S bounds the whole run by S wall-clock seconds.
+// On expiry in-flight analyses stop at their next evaluation boundary
+// and report best-so-far, unstarted jobs are skipped, and the process
+// exits with code 4 after printing every report - so a checkpoint
+// journal written under -timeout resumes exactly like an interrupted
+// campaign.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	mixpbench "repro"
 	"repro/internal/interchange"
@@ -54,12 +63,14 @@ func main() {
 		retries     = flag.Int("retries", 0, "with -config: max attempts per job on transient faults (0 = default 3)")
 		checkpoint  = flag.String("checkpoint", "", "with -config: journal completed jobs to this file")
 		resume      = flag.String("resume", "", "with -config: resume from a checkpoint journal, skipping completed jobs")
+		timeout     = flag.Float64("timeout", 0, "wall-clock deadline in seconds for -config or -tune (0 = none); expiry exits with code 4")
 	)
 	flag.Parse()
 
 	cf := campaignFlags{
 		workers:    *workers,
 		seed:       *seed,
+		timeout:    *timeout,
 		jsonOut:    *jsonOut,
 		faultSpec:  *faultSpec,
 		retries:    *retries,
@@ -69,6 +80,8 @@ func main() {
 	if err := validateFlags(*configPath, *threshold, *tune, *algorithm, cf); err != nil {
 		fatal(err)
 	}
+	ctx, cancel := deadlineContext(*timeout)
+	defer cancel()
 
 	switch {
 	case *list:
@@ -82,23 +95,36 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := tuneOne(os.Stdout, *tune, *algorithm, *threshold, *seed, *trace, tel); err != nil {
+		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *trace, tel)
+		if err != nil {
 			fatal(err)
 		}
 		if err := closeTel(); err != nil {
 			fatal(err)
+		}
+		if canceled {
+			fmt.Fprintf(os.Stderr, "mixpbench: deadline of %gs expired\n", *timeout)
+			os.Exit(exitTimeout)
 		}
 	case *configPath != "":
 		tel, closeTel, err := openTelemetry(*metricsOut, *eventsOut)
 		if err != nil {
 			fatal(err)
 		}
-		failed, err := runConfig(os.Stdout, *configPath, cf, tel)
+		failed, err := runConfig(ctx, os.Stdout, *configPath, cf, tel)
 		if err != nil {
 			fatal(err)
 		}
 		if err := closeTel(); err != nil {
 			fatal(err)
+		}
+		if ctx.Err() != nil {
+			// The deadline outranks per-entry failures: canceled and
+			// skipped entries land in failed too, and exiting 3 for them
+			// would misreport an expiry as bad configuration entries.
+			fmt.Fprintf(os.Stderr, "mixpbench: deadline of %gs expired with %d entries unfinished\n",
+				*timeout, len(failed))
+			os.Exit(exitTimeout)
 		}
 		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "mixpbench: %d entries failed: %s\n",
@@ -116,10 +142,25 @@ func main() {
 // scripts can tell "some entries failed" from "nothing ran".
 const exitJobErrors = 3
 
+// exitTimeout is the exit code for a run cut short by -timeout: the
+// reports printed are genuine but incomplete (best-so-far analyses,
+// skipped entries), which is a different condition from exitJobErrors.
+const exitTimeout = 4
+
+// deadlineContext builds the run's context from -timeout (0 = no
+// deadline).
+func deadlineContext(seconds float64) (context.Context, context.CancelFunc) {
+	if seconds <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), time.Duration(seconds*float64(time.Second)))
+}
+
 // campaignFlags bundles the -config mode's flags.
 type campaignFlags struct {
 	workers    int
 	seed       int64
+	timeout    float64
 	jsonOut    bool
 	faultSpec  string
 	retries    int
@@ -138,6 +179,9 @@ func validateFlags(configPath string, threshold float64, tune, algorithm string,
 	}
 	if cf.retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", cf.retries)
+	}
+	if cf.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 seconds, got %g", cf.timeout)
 	}
 	if tune != "" {
 		if _, err := mixpbench.CanonicalAlgorithm(algorithm); err != nil {
@@ -249,12 +293,12 @@ func listBenchmarks(w io.Writer) {
 	}
 }
 
-func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool, tel *mixpbench.Telemetry) error {
+func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
 	b, err := mixpbench.Benchmark(name)
 	if err != nil {
-		return err
+		return false, err
 	}
-	res, err := mixpbench.Tune(b, mixpbench.TuneOptions{
+	res, err := mixpbench.TuneContext(ctx, b, mixpbench.TuneOptions{
 		Algorithm: algorithm,
 		Threshold: threshold,
 		Seed:      seed,
@@ -262,7 +306,7 @@ func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64,
 		Telemetry: tel,
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	if trace {
 		fmt.Fprintln(w, "evaluation log:")
@@ -284,21 +328,25 @@ func tuneOne(w io.Writer, name, algorithm string, threshold float64, seed int64,
 	if res.TimedOut {
 		fmt.Fprintln(w, "status    : analysis budget exhausted")
 	}
+	if res.Canceled {
+		fmt.Fprintln(w, "status    : deadline expired, best-so-far result")
+	}
 	if !res.Found {
 		fmt.Fprintln(w, "result    : no passing configuration found")
-		return nil
+		return res.Canceled, nil
 	}
 	fmt.Fprintf(w, "speedup   : %.3fx\n", res.Speedup)
 	fmt.Fprintf(w, "error     : %.3g (%s)\n", res.Error, b.Metric())
 	fmt.Fprintf(w, "demoted   : %d of %d variables to single precision\n",
 		res.Config.Singles(), b.Graph().NumVars())
-	return nil
+	return res.Canceled, nil
 }
 
 // runConfig executes a campaign from a configuration file and prints one
 // line per entry. It returns the names of entries whose jobs failed
-// (degraded or errored); campaign-level problems come back as err.
-func runConfig(w io.Writer, path string, cf campaignFlags, tel *mixpbench.Telemetry) (failed []string, err error) {
+// (degraded, errored, canceled, or skipped when ctx died); campaign-level
+// problems come back as err.
+func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, tel *mixpbench.Telemetry) (failed []string, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -319,7 +367,7 @@ func runConfig(w io.Writer, path string, cf campaignFlags, tel *mixpbench.Teleme
 	if cf.retries > 0 {
 		retry.MaxAttempts = cf.retries
 	}
-	results, err := mixpbench.RunCampaign(camp.Specs, mixpbench.CampaignOptions{
+	results, err := mixpbench.RunCampaignContext(ctx, camp.Specs, mixpbench.CampaignOptions{
 		Workers:        cf.workers,
 		Seed:           cf.seed,
 		Telemetry:      tel,
@@ -348,6 +396,10 @@ func runConfig(w io.Writer, path string, cf campaignFlags, tel *mixpbench.Teleme
 		spec := camp.Specs[i]
 		fmt.Fprintf(w, "%s [%s @ %.0e]: ", spec.Name, spec.Analysis.Algorithm, spec.Analysis.Threshold)
 		switch {
+		case res.Skipped:
+			fmt.Fprintln(w, "SKIPPED: deadline expired before the job started")
+		case r.Canceled:
+			fmt.Fprintf(w, "CANCELED after %d configs evaluated (deadline expired)\n", r.Evaluated)
 		case res.Degraded:
 			fmt.Fprintf(w, "DEGRADED after %d attempts: %v\n", len(res.Attempts), res.Err)
 		case res.Err != nil:

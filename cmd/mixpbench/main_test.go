@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	mixpbench "repro"
 )
@@ -38,7 +40,7 @@ func TestExportSpaceJSON(t *testing.T) {
 
 func TestTuneOneWithTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := tuneOne(&buf, "hydro-1d", "DD", 1e-8, 0, true, nil); err != nil {
+	if _, err := tuneOne(context.Background(), &buf, "hydro-1d", "DD", 1e-8, 0, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,7 +49,7 @@ func TestTuneOneWithTrace(t *testing.T) {
 			t.Errorf("tune output missing %q:\n%s", frag, out)
 		}
 	}
-	if err := tuneOne(&buf, "hydro-1d", "annealing", 1e-8, 0, false, nil); err == nil {
+	if _, err := tuneOne(context.Background(), &buf, "hydro-1d", "annealing", 1e-8, 0, false, nil); err == nil {
 		t.Error("expected error for unknown algorithm")
 	}
 }
@@ -87,7 +89,7 @@ func TestTuneOneEmitsTelemetry(t *testing.T) {
 	sink := mixpbench.NewJSONLSink(&events)
 	tel := mixpbench.NewTelemetry(sink)
 	var out bytes.Buffer
-	if err := tuneOne(&out, "hydro-1d", "DD", 1e-8, 0, false, tel); err != nil {
+	if _, err := tuneOne(context.Background(), &out, "hydro-1d", "DD", 1e-8, 0, false, tel); err != nil {
 		t.Fatal(err)
 	}
 	if err := sink.Close(); err != nil {
@@ -151,7 +153,7 @@ kmeans:
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	failed, err := runConfig(&buf, path, campaignFlags{workers: 1}, nil)
+	failed, err := runConfig(context.Background(), &buf, path, campaignFlags{workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,13 +164,13 @@ kmeans:
 		t.Errorf("text report malformed:\n%s", buf.String())
 	}
 	buf.Reset()
-	if _, err := runConfig(&buf, path, campaignFlags{workers: 1, jsonOut: true}, nil); err != nil {
+	if _, err := runConfig(context.Background(), &buf, path, campaignFlags{workers: 1, jsonOut: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"algorithm": "DD"`) {
 		t.Errorf("JSON report malformed:\n%s", buf.String())
 	}
-	if _, err := runConfig(&buf, filepath.Join(dir, "missing.yaml"), campaignFlags{workers: 1}, nil); err == nil {
+	if _, err := runConfig(context.Background(), &buf, filepath.Join(dir, "missing.yaml"), campaignFlags{workers: 1}, nil); err == nil {
 		t.Error("expected error for missing config file")
 	}
 }
@@ -233,7 +235,7 @@ func TestHarnessMetricsWorkerInvariant(t *testing.T) {
 	run := func(workers int) string {
 		tel := mixpbench.NewTelemetry(mixpbench.NewMemorySink())
 		var out bytes.Buffer
-		if _, err := runConfig(&out, path, campaignFlags{workers: workers, seed: 42}, tel); err != nil {
+		if _, err := runConfig(context.Background(), &out, path, campaignFlags{workers: workers, seed: 42}, tel); err != nil {
 			t.Fatal(err)
 		}
 		var metrics bytes.Buffer
@@ -271,7 +273,7 @@ func TestRunConfigReportsFailedEntries(t *testing.T) {
 	var buf bytes.Buffer
 	// transient=1 with window=1 kills every attempt's first evaluation,
 	// so all three entries degrade after the retry budget.
-	failed, err := runConfig(&buf, path, campaignFlags{
+	failed, err := runConfig(context.Background(), &buf, path, campaignFlags{
 		workers: 2, seed: 42, faultSpec: "transient=1,window=1,seed=1", retries: 2,
 	}, nil)
 	if err != nil {
@@ -296,7 +298,7 @@ func TestRunConfigCheckpointResume(t *testing.T) {
 	}
 	journal := filepath.Join(dir, "campaign.jsonl")
 	var want bytes.Buffer
-	if _, err := runConfig(&want, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal}, nil); err != nil {
+	if _, err := runConfig(context.Background(), &want, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Keep the header and first record: the journal a killed campaign
@@ -310,7 +312,7 @@ func TestRunConfigCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
-	if _, err := runConfig(&got, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal, resume: journal}, nil); err != nil {
+	if _, err := runConfig(context.Background(), &got, path, campaignFlags{workers: 2, seed: 42, checkpoint: journal, resume: journal}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {
@@ -351,7 +353,7 @@ func TestOpenTelemetryWritesFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := tuneOne(&out, "iccg", "GP", 1e-8, 0, false, tel); err != nil {
+	if _, err := tuneOne(context.Background(), &out, "iccg", "GP", 1e-8, 0, false, tel); err != nil {
 		t.Fatal(err)
 	}
 	if err := closeTel(); err != nil {
@@ -372,5 +374,76 @@ func TestOpenTelemetryWritesFiles(t *testing.T) {
 		if !json.Valid([]byte(line)) {
 			t.Errorf("events line %d is not valid JSON: %s", i, line)
 		}
+	}
+}
+
+func TestValidateFlagsTimeout(t *testing.T) {
+	err := validateFlags("", 0, "", "DD", campaignFlags{timeout: -1})
+	if err == nil || !strings.Contains(err.Error(), "-timeout") {
+		t.Errorf("negative timeout: error = %v, want mention of -timeout", err)
+	}
+	if err := validateFlags("", 0, "", "DD", campaignFlags{timeout: 2.5}); err != nil {
+		t.Errorf("positive timeout rejected: %v", err)
+	}
+}
+
+// TestRunConfigExpiredDeadline runs a campaign under an already-expired
+// context: every entry must come back failed as canceled or skipped
+// (never silently succeeded), which is what main turns into exit code 4.
+func TestRunConfigExpiredDeadline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.yaml")
+	cfg := `
+kmeans:
+  build_dir: 'kmeans'
+  build: ['make']
+  clean: ['make clean']
+  analysis:
+    floatsmith:
+      name: 'floatSmith'
+      extra_args:
+        algorithm: 'ddebug'
+        threshold: 1e-3
+  metric: 'MCR'
+  bin: 'kmeans'
+  copy: ['kmeans']
+  args: ''
+`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	failed, err := runConfig(ctx, &buf, path, campaignFlags{workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failed entries = %v, want the single entry", failed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SKIPPED") && !strings.Contains(out, "CANCELED") {
+		t.Errorf("report does not surface the expired deadline:\n%s", out)
+	}
+}
+
+// TestDeadlineContext checks the -timeout wiring: zero means no
+// deadline, positive values install one.
+func TestDeadlineContext(t *testing.T) {
+	ctx, cancel := deadlineContext(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("timeout 0 installed a deadline")
+	}
+	ctx2, cancel2 := deadlineContext(0.001)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Error("positive timeout installed no deadline")
+	}
+	select {
+	case <-ctx2.Done():
+	case <-time.After(5 * time.Second):
+		t.Error("1ms deadline never expired")
 	}
 }

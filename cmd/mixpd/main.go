@@ -1,0 +1,97 @@
+// Command mixpd is the campaign service: an HTTP server over the
+// engine that runs mixed-precision analysis campaigns for any number of
+// concurrent clients, all sharing one run cache. Submit a YAML harness
+// configuration (the paper's Listing 4 format), poll its status, tail
+// its telemetry as Server-Sent Events, fetch its per-job results, or
+// cancel it - each campaign runs under its own cancellation context,
+// so stopping one tenant never perturbs another.
+//
+// Usage:
+//
+//	mixpd [-addr :8177] [-workers N] [-concurrent M] [-queue D]
+//
+// Quick start:
+//
+//	mixpd -addr :8177 &
+//	curl -s -X POST --data-binary @configs/kmeans.yaml localhost:8177/campaigns
+//	curl -s localhost:8177/campaigns/c0001
+//	curl -s localhost:8177/campaigns/c0001/results
+//	curl -N localhost:8177/campaigns/c0001/events
+//
+// Backpressure: at most -concurrent campaigns run at once and -queue
+// more may wait; a submission beyond that is answered 429 so clients
+// retry instead of piling up. On SIGTERM or SIGINT the server stops
+// accepting work and drains: running and queued campaigns finish
+// (bounded by -drain-seconds, after which they are canceled), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8177", "listen address")
+		workers      = flag.Int("workers", 0, "default per-campaign worker pool size (0 = GOMAXPROCS)")
+		concurrent   = flag.Int("concurrent", 2, "campaigns running at once")
+		queue        = flag.Int("queue", 16, "campaigns allowed to wait for a slot")
+		drainSeconds = flag.Int("drain-seconds", 60, "graceful shutdown budget before in-flight campaigns are canceled")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *concurrent, *queue, *drainSeconds); err != nil {
+		fmt.Fprintln(os.Stderr, "mixpd:", err)
+		os.Exit(1)
+	}
+}
+
+// run wires the engine, the HTTP server, and the signal-driven drain.
+func run(addr string, workers, concurrent, queue, drainSeconds int) error {
+	if workers < 0 || concurrent < 0 || queue < 0 || drainSeconds < 0 {
+		return fmt.Errorf("-workers, -concurrent, -queue, and -drain-seconds must be >= 0")
+	}
+	eng := engine.New(engine.Options{
+		Workers:       workers,
+		MaxConcurrent: concurrent,
+		QueueDepth:    queue,
+	})
+	srv := &http.Server{Addr: addr, Handler: newServer(eng)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mixpd: listening on %s (concurrent=%d queue=%d)\n", addr, concurrent, queue)
+
+	select {
+	case err := <-errCh:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintln(os.Stderr, "mixpd: draining")
+
+	deadline, cancel := context.WithTimeout(context.Background(), time.Duration(drainSeconds)*time.Second)
+	defer cancel()
+	// Stop accepting connections first (SSE streams of finished
+	// campaigns end on their own), then let accepted campaigns finish.
+	if err := srv.Shutdown(deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "mixpd: http shutdown:", err)
+	}
+	if err := eng.Drain(deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "mixpd: drain deadline passed, canceling remaining campaigns")
+	}
+	eng.Close()
+	fmt.Fprintln(os.Stderr, "mixpd: bye")
+	return nil
+}

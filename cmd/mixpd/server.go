@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+)
+
+// maxCampaignBytes bounds a submitted configuration body; the paper's
+// configs are a few KB, so 1 MiB is generous without inviting abuse.
+const maxCampaignBytes = 1 << 20
+
+// newServer builds the HTTP API over one engine:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /campaigns                all statuses, submission order
+//	POST /campaigns                submit a YAML campaign (the body);
+//	                               ?name= ?seed= ?workers= optional
+//	GET  /campaigns/{id}           one status
+//	POST /campaigns/{id}/cancel    cancel (idempotent); returns status
+//	GET  /campaigns/{id}/results   finished jobs so far, job order
+//	GET  /campaigns/{id}/events    telemetry event stream over SSE
+//	GET  /campaigns/{id}/metrics   Prometheus-style text exposition
+//
+// Submission backpressure: a full queue answers 429 with Retry-After, a
+// draining server answers 503.
+func newServer(e *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Statuses())
+	})
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		submit(e, w, r)
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := e.Cancel(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := e.Status(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		recs, err := e.Results(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, recs)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := e.Status(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WriteMetrics(id, w)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		streamEvents(e, w, r)
+	})
+	return mux
+}
+
+// submit handles POST /campaigns.
+func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCampaignBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxCampaignBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{Error: fmt.Sprintf("campaign configuration exceeds %d bytes", maxCampaignBytes)})
+		return
+	}
+	opts := engine.SubmitOptions{Name: r.URL.Query().Get("name")}
+	if s := r.URL.Query().Get("seed"); s != "" {
+		if opts.Seed, err = strconv.ParseInt(s, 10, 64); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad seed: " + err.Error()})
+			return
+		}
+	}
+	if s := r.URL.Query().Get("workers"); s != "" {
+		if opts.Workers, err = strconv.Atoi(s); err != nil || opts.Workers < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad workers: must be a non-negative integer"})
+			return
+		}
+	}
+	id, err := e.Submit(string(body), opts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := e.Status(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+id)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// streamEvents serves a campaign's telemetry event log as Server-Sent
+// Events: one "event:"/"data:" frame per telemetry event, the event's
+// stream sequence number as the SSE id, and a final "done" frame when
+// the campaign finishes. A reconnecting client resumes with
+// Last-Event-ID (or ?after=N) and misses nothing: the log keeps the
+// full history.
+func streamEvents(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	log, err := e.Events(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	after := 0
+	if s := r.Header.Get("Last-Event-ID"); s != "" {
+		after, _ = strconv.Atoi(s)
+	} else if s := r.URL.Query().Get("after"); s != "" {
+		after, _ = strconv.Atoi(s)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	n := after
+	for {
+		events, closed := log.Since(n)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				data = []byte(`{"error":"unencodable event"}`)
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Name, data)
+		}
+		n += len(events)
+		flusher.Flush()
+		if closed {
+			fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		}
+		if err := log.Wait(r.Context(), n); err != nil {
+			return // client went away
+		}
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps engine errors to HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, engine.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, engine.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, engine.ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

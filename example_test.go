@@ -1,7 +1,9 @@
 package mixpbench_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	mixpbench "repro"
 )
@@ -64,6 +66,46 @@ kmeans:
 	fmt.Printf("%s: %s with %s at %.0e\n", s.Name, s.Analysis.Name, s.Analysis.Algorithm, s.Analysis.Threshold)
 	// Output:
 	// kmeans: floatSmith with DD at 1e-08
+}
+
+// ExampleNewEngine drives the campaign engine the way a service embeds
+// it: one engine, two tenants submitting the same multi-benchmark
+// campaign (configs/service-demo.yaml), one shared run cache. With
+// MaxConcurrent 1 the campaigns run back to back, so the second tenant's
+// evaluations are answered from the first tenant's cached runs.
+func ExampleNewEngine() {
+	src, err := os.ReadFile("configs/service-demo.yaml")
+	if err != nil {
+		panic(err)
+	}
+	eng := mixpbench.NewEngine(mixpbench.EngineOptions{MaxConcurrent: 1})
+	defer eng.Close()
+
+	var ids []string
+	for _, tenant := range []string{"tenant-a", "tenant-b"} {
+		id, err := eng.Submit(string(src), mixpbench.SubmitOptions{Name: tenant, Workers: 2})
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		st, err := eng.Wait(context.Background(), id)
+		if err != nil {
+			panic(err)
+		}
+		recs, err := eng.Results(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s %s %s %d/%d records=%d\n",
+			st.ID, st.Name, st.State, st.Completed, st.Jobs, len(recs))
+	}
+	fmt.Printf("shared cache hits: %v\n", eng.Cache().Stats().Hits > 0)
+	// Output:
+	// c0001 tenant-a done 3/3 records=3
+	// c0002 tenant-b done 3/3 records=3
+	// shared cache hits: true
 }
 
 // ExampleComputeMetric evaluates the verification library directly.

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -238,17 +239,32 @@ func NewRunner(seed int64) *Runner {
 // configuration identity, so results are deterministic yet distinct per
 // configuration.
 func (r *Runner) Run(b Benchmark, cfg Config) Result {
+	res, _ := r.RunContext(nil, b, cfg)
+	return res
+}
+
+// RunContext is Run under a cancellation context: a call that would block
+// on a shared cache's in-flight execution (another tenant is interpreting
+// the same configuration right now) returns the context's error as soon
+// as ctx is done instead of waiting the execution out. Executions this
+// runner leads always complete - a half-run would poison the shared entry
+// - so the error return is exclusively the waiting side's. A nil ctx
+// never cancels, making RunContext(nil, b, cfg) identical to Run.
+func (r *Runner) RunContext(ctx context.Context, b Benchmark, cfg Config) (Result, error) {
 	n := b.Graph().NumVars()
 	if cfg != nil && len(cfg) != n {
 		panic(fmt.Sprintf("bench: config for %s has %d entries, want %d", b.Name(), len(cfg), n))
 	}
-	res := r.memoised(b, runcache.Source, cfg, func() Result { return r.execute(b, cfg) })
+	res, err := r.memoised(ctx, b, runcache.Source, cfg, func() Result { return r.execute(b, cfg) })
+	if err != nil {
+		return Result{}, err
+	}
 	kind := "candidate"
 	if cfg == nil {
 		kind = "reference"
 	}
 	r.observe(b, kind, res)
-	return res
+	return res, nil
 }
 
 // execute interprets one source-level configuration (the uncached core of
@@ -273,12 +289,13 @@ func (r *Runner) execute(b Benchmark, cfg Config) Result {
 
 // memoised routes one execution through the shared cache when one is
 // installed, keyed by everything that can change the result. With no
-// cache it just executes.
-func (r *Runner) memoised(b Benchmark, sem runcache.Semantics, cfg Config, fn func() Result) Result {
+// cache it just executes; the error return is exclusively a done ctx
+// observed while waiting on another caller's in-flight execution.
+func (r *Runner) memoised(ctx context.Context, b Benchmark, sem runcache.Semantics, cfg Config, fn func() Result) (Result, error) {
 	if r.Cache == nil {
-		return fn()
+		return fn(), nil
 	}
-	return r.Cache.Do(runcache.Key{
+	return r.Cache.DoContext(ctx, runcache.Key{
 		Bench:     b.Name(),
 		Seed:      r.Seed,
 		Semantics: sem,
@@ -348,7 +365,7 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 	if cfg != nil && len(cfg) != n {
 		panic(fmt.Sprintf("bench: IR config for %s has %d entries, want %d", b.Name(), len(cfg), n))
 	}
-	res := r.memoised(b, runcache.IR, cfg, func() Result { return r.executeIR(b, cfg) })
+	res, _ := r.memoised(nil, b, runcache.IR, cfg, func() Result { return r.executeIR(b, cfg) })
 	r.observe(b, "ir", res)
 	return res
 }
@@ -389,7 +406,7 @@ func (r *Runner) RunManualSingle(b Benchmark) Result {
 	// without hidden sites, a searched all-single candidate and the manual
 	// ceiling are one execution.
 	full := AllSingle(n + h)
-	res := r.memoised(b, runcache.Source, full, func() Result { return r.executeManualSingle(b, full) })
+	res, _ := r.memoised(nil, b, runcache.Source, full, func() Result { return r.executeManualSingle(b, full) })
 	r.observe(b, "manual-single", res)
 	return res
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -17,6 +18,11 @@ import (
 type Job struct {
 	Spec      Spec
 	Benchmark bench.Benchmark
+	// Ctx, when non-nil, cancels the analysis: the evaluator checks it
+	// between runs and the strategy stops with its best-so-far, reported
+	// as a canceled outcome. The scheduler installs the campaign context
+	// here; a plugin should thread it into its evaluator via SetContext.
+	Ctx context.Context
 	// Seed drives the workload and all analysis randomness.
 	Seed int64
 	// BudgetSeconds caps the analysis (simulated seconds); zero means the
@@ -65,6 +71,10 @@ type Report struct {
 	// the paper's empty grey cell.
 	Found    bool
 	TimedOut bool
+	// Canceled marks an analysis stopped by context cancellation (user
+	// abort, service shutdown, deadline). The report still carries the
+	// best-so-far the strategy had when the context fired.
+	Canceled bool
 	// Demoted counts variables converted to single precision.
 	Demoted int
 	// Config is the converged precision assignment (nil when nothing was
@@ -147,6 +157,9 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 	if job.BudgetSeconds > 0 {
 		eval.SetBudget(job.BudgetSeconds)
 	}
+	if job.Ctx != nil {
+		eval.SetContext(job.Ctx)
+	}
 	eval.SetTelemetry(job.Telemetry)
 	if job.FailAtEvaluation > 0 {
 		eval.SetFailAt(job.FailAtEvaluation)
@@ -163,6 +176,7 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		Quality:      0,
 		Found:        out.Found,
 		TimedOut:     out.TimedOut,
+		Canceled:     out.Canceled,
 		Clusters:     g.NumClusters(),
 		Variables:    g.NumVars(),
 	}
@@ -180,9 +194,16 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		rep.Demoted = cfg.Singles()
 		rep.Config = cfg
 	}
-	if rep.TimedOut && !rep.Found {
+	if (rep.TimedOut || rep.Canceled) && !rep.Found {
 		rep.Speedup = math.NaN()
 		rep.Quality = math.NaN()
+	}
+	if out.Canceled {
+		// Cancellation is job-fatal but campaign-benign: the scheduler
+		// marks the job canceled (no retry - the context is gone) and the
+		// other tenants' jobs continue undisturbed.
+		return rep, fmt.Errorf("harness: %s/%s canceled after %d evaluations: %w",
+			job.Benchmark.Name(), algoName, out.Evaluated, context.Canceled)
 	}
 	return rep, nil
 }

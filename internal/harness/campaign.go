@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -35,6 +36,9 @@ type CampaignOptions struct {
 	// this exists for benchmarking the cache itself and as an escape
 	// hatch.
 	NoCache bool
+	// OnJobDone, when non-nil, is called once per completed job from
+	// whichever worker finished it (see Scheduler.OnJobDone).
+	OnJobDone func(idx int, r JobResult)
 }
 
 // RunCampaign executes one campaign over the specs: it builds the jobs,
@@ -44,6 +48,15 @@ type CampaignOptions struct {
 // problems - unresolvable specs, an invalid fault plan, or a journal
 // that cannot be read or written.
 func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
+	return RunCampaignContext(context.Background(), specs, opts)
+}
+
+// RunCampaignContext is RunCampaign under a cancellation context: once
+// ctx is done, in-flight jobs report canceled best-so-far analyses and
+// unstarted jobs come back Skipped (see Scheduler.RunContext). The
+// checkpoint journal records only what actually ran, so a canceled
+// campaign resumes exactly like an interrupted one.
+func RunCampaignContext(ctx context.Context, specs []Spec, opts CampaignOptions) ([]JobResult, error) {
 	jobs, err := JobsFromSpecs(specs, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -93,8 +106,9 @@ func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
 		Journal:   journal,
 		Resume:    resume,
 		Cache:     cache,
+		OnJobDone: opts.OnJobDone,
 	}
-	results := s.Run(jobs)
+	results := s.RunContext(ctx, jobs)
 	if err := journal.Close(); err != nil {
 		return results, fmt.Errorf("harness: checkpoint journal: %w", err)
 	}

@@ -15,10 +15,13 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/faults"
+	"repro/internal/search"
 	"repro/internal/suite"
 	"repro/internal/verify"
 	"repro/internal/yamlite"
@@ -85,6 +88,9 @@ var algorithmAliases = map[string]string{
 }
 
 // CanonicalAlgorithm resolves an algorithm spelling to its abbreviation.
+// An unknown spelling comes back with the full menu - abbreviations
+// (extension strategies included) and the long names the paper's configs
+// use - so a typo is fixable from the error alone.
 func CanonicalAlgorithm(name string) (string, error) {
 	if a, ok := algorithmAliases[name]; ok {
 		return a, nil
@@ -93,7 +99,13 @@ func CanonicalAlgorithm(name string) (string, error) {
 	case "CB", "CM", "DD", "HR", "HC", "GA", "GP":
 		return name, nil
 	}
-	return "", fmt.Errorf("harness: unknown algorithm %q", name)
+	longNames := make([]string, 0, len(algorithmAliases))
+	for alias := range algorithmAliases {
+		longNames = append(longNames, alias)
+	}
+	sort.Strings(longNames)
+	return "", fmt.Errorf("harness: unknown algorithm %q (valid: %s; long names: %s)",
+		name, search.ValidAlgorithmList(), strings.Join(longNames, ", "))
 }
 
 // Campaign is a parsed configuration document: the benchmark entries

@@ -118,6 +118,7 @@ type journalReport struct {
 	Quality      jfloat  `json:"quality"`
 	Found        bool    `json:"found"`
 	TimedOut     bool    `json:"timed_out"`
+	Canceled     bool    `json:"canceled,omitempty"`
 	Demoted      int     `json:"demoted"`
 	// Config is the precision assignment as its digit key (one digit per
 	// variable; "" when the analysis converged to nothing).
@@ -138,6 +139,7 @@ func toJournalReport(r Report) journalReport {
 		Quality:      jfloat(r.Quality),
 		Found:        r.Found,
 		TimedOut:     r.TimedOut,
+		Canceled:     r.Canceled,
 		Demoted:      r.Demoted,
 		Clusters:     r.Clusters,
 		Variables:    r.Variables,
@@ -160,6 +162,7 @@ func (j journalReport) report() Report {
 		Quality:      float64(j.Quality),
 		Found:        j.Found,
 		TimedOut:     j.TimedOut,
+		Canceled:     j.Canceled,
 		Demoted:      j.Demoted,
 		Clusters:     j.Clusters,
 		Variables:    j.Variables,
@@ -172,6 +175,24 @@ func (j journalReport) report() Report {
 		r.Config = cfg
 	}
 	return r
+}
+
+// ResultRecord converts one job result into its JSON-safe journal form
+// (telemetry excluded): the shape the checkpoint journal writes and the
+// campaign service serves over HTTP. entry names the configuration entry
+// the job came from.
+func ResultRecord(jr JobResult, entry string) JournalRecord {
+	rec := JournalRecord{
+		Job:      jr.Index,
+		Entry:    entry,
+		Degraded: jr.Degraded,
+		Attempts: jr.Attempts,
+		Report:   toJournalReport(jr.Report),
+	}
+	if jr.Err != nil {
+		rec.Error = jr.Err.Error()
+	}
+	return rec
 }
 
 // result rebuilds the scheduler result a resumed record stands in for.

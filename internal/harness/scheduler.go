@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -58,6 +59,12 @@ type Scheduler struct {
 	// telemetry stays on the cache's own recorder - so campaign reports
 	// and telemetry snapshots are byte-identical with or without it.
 	Cache *bench.Cache
+	// OnJobDone, when non-nil, is called once per job as it completes
+	// (resumed jobs included), with the job's index and final result.
+	// Calls come from whichever worker finished the job, concurrently and
+	// in completion order - the engine uses it for live progress; anything
+	// determinism-sensitive belongs in Telemetry, not here.
+	OnJobDone func(idx int, r JobResult)
 }
 
 // JobResult pairs a job's report with its error, positionally aligned
@@ -75,6 +82,10 @@ type JobResult struct {
 	// faults. Its Err carries the last attempt's failure; the campaign
 	// continues around it.
 	Degraded bool
+	// Skipped marks a job the campaign context canceled before it ever
+	// started: nothing ran, nothing was journalled, and Err wraps the
+	// context's cause. A resumed campaign re-runs it.
+	Skipped bool
 }
 
 // TotalSeconds is the job's full simulated cost: every attempt's spend
@@ -94,6 +105,20 @@ func (r JobResult) TotalSeconds() float64 {
 
 // Run executes all jobs and returns their results in submission order.
 func (s Scheduler) Run(jobs []Job) []JobResult {
+	return s.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run under a cancellation context. Once ctx is done,
+// in-flight jobs stop at their next evaluation boundary and report
+// canceled best-so-far analyses, jobs not yet handed to a worker are
+// marked Skipped without running, and retry loops abandon their remaining
+// attempts. Results still come back in submission order, one per job. A
+// background (or never-canceled) context leaves every result, journal
+// record, and telemetry snapshot byte-identical to Run.
+func (s Scheduler) RunContext(ctx context.Context, jobs []Job) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -146,6 +171,9 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 			s.Telemetry.Counter("mixpbench_harness_jobs_completed_total").Inc()
 			s.Telemetry.Gauge("mixpbench_harness_progress").SetMax(float64(done) / float64(len(jobs)))
 		}
+		if s.OnJobDone != nil {
+			s.OnJobDone(i, results[i])
+		}
 	}
 
 	type task struct {
@@ -162,6 +190,7 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 				if recs != nil {
 					t.job.Telemetry = recs[t.idx]
 				}
+				t.job.Ctx = ctx
 				t.job.Cache = s.Cache
 				results[t.idx] = s.executeJob(t.idx, t.job)
 				if s.Journal != nil {
@@ -172,17 +201,47 @@ func (s Scheduler) Run(jobs []Job) []JobResult {
 					s.Telemetry.Counter("mixpbench_harness_jobs_completed_total").Inc()
 					s.Telemetry.Gauge("mixpbench_harness_progress").SetMax(float64(done) / float64(len(jobs)))
 				}
+				if s.OnJobDone != nil {
+					s.OnJobDone(t.idx, results[t.idx])
+				}
 			}
 		}()
 	}
+	// Feed until the context dies; whatever has not reached a worker by
+	// then is marked skipped so the result slice stays fully populated.
+	// In-flight jobs are not interrupted here - their evaluators observe
+	// the same context and stop at the next evaluation boundary.
+	skippedFrom := -1
+feed:
 	for i, j := range jobs {
 		if _, resumed := s.Resume[i]; resumed {
 			continue
 		}
-		queue <- task{idx: i, job: j}
+		select {
+		case queue <- task{idx: i, job: j}:
+		case <-ctx.Done():
+			skippedFrom = i
+			break feed
+		}
 	}
 	close(queue)
 	wg.Wait()
+	if skippedFrom >= 0 {
+		for i := skippedFrom; i < len(jobs); i++ {
+			if _, resumed := s.Resume[i]; resumed {
+				continue
+			}
+			results[i] = JobResult{
+				Index:   i,
+				Skipped: true,
+				Err: fmt.Errorf("harness: job %d (%s/%s) skipped: %w",
+					i, jobs[i].Spec.Name, jobs[i].Spec.Analysis.Algorithm, context.Cause(ctx)),
+			}
+			if s.OnJobDone != nil {
+				s.OnJobDone(i, results[i])
+			}
+		}
+	}
 
 	if s.Telemetry != nil {
 		s.flushTelemetry(jobs, results, recs, mems, workers)
@@ -226,6 +285,14 @@ func (s Scheduler) flushTelemetry(jobs []Job, results []JobResult, recs []*telem
 			end["degraded"] = true
 			degraded++
 		}
+		// Cancellation markers only ever appear in interrupted campaigns,
+		// so uninterrupted runs keep their byte-identical streams.
+		if results[i].Skipped {
+			end["skipped"] = true
+		}
+		if results[i].Report.Canceled {
+			end["canceled"] = true
+		}
 		if err := results[i].Err; err != nil {
 			end["error"] = err.Error()
 			errs++
@@ -260,6 +327,16 @@ func listSchedule(durations []float64, workers int) (starts []float64, assigned 
 		free[w] += d
 	}
 	return starts, assigned
+}
+
+// ctxErr reports a context's cancellation, tolerating nil: retry loops
+// consult it so a dying campaign never waits out a backoff schedule for
+// a job whose context is already gone.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // jobKey names a job stably across runs, worker counts, and resume
@@ -307,7 +384,7 @@ func (s Scheduler) executeJob(idx int, job Job) JobResult {
 		if jr.Err != nil {
 			a.Err = jr.Err.Error()
 		}
-		if transient && attempt < policy.MaxAttempts {
+		if transient && attempt < policy.MaxAttempts && ctxErr(job.Ctx) == nil {
 			a.BackoffSeconds = policy.Backoff(attempt)
 			attempts = append(attempts, a)
 			if job.Telemetry != nil {
@@ -337,16 +414,8 @@ func (s Scheduler) executeJob(idx int, job Job) JobResult {
 // record assembles the job's checkpoint-journal record, including its
 // private telemetry so resume can splice it back.
 func (s Scheduler) record(idx int, job Job, jr JobResult, recs []*telemetry.Recorder, mems []*telemetry.MemorySink) JournalRecord {
-	rec := JournalRecord{
-		Job:      idx,
-		Entry:    job.Spec.Name,
-		Degraded: jr.Degraded,
-		Attempts: jr.Attempts,
-		Report:   toJournalReport(jr.Report),
-	}
-	if jr.Err != nil {
-		rec.Error = jr.Err.Error()
-	}
+	rec := ResultRecord(jr, job.Spec.Name)
+	rec.Job = idx
 	if recs != nil {
 		rec.Metrics = recs[idx].Registry().Snapshot()
 		rec.Events = finiteEventFields(mems[idx].Events())

@@ -9,6 +9,7 @@
 package report
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bench"
@@ -60,6 +61,10 @@ type ConversionRow struct {
 
 // Options parameterises a regeneration.
 type Options struct {
+	// Context, when non-nil, cancels the study: the stage in flight stops
+	// at its next evaluation boundary and Run returns the study built so
+	// far (complete stages stay intact, the interrupted stage is dropped).
+	Context context.Context
 	// Workers is the scheduler pool size (simulated cluster nodes).
 	Workers int
 	// KernelsOnly skips the application study (Tables IV and V and the
@@ -92,6 +97,10 @@ func Run(opts Options) *Study {
 	if !opts.NoCache {
 		cache = bench.NewCache(nil)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sched := harness.Scheduler{Workers: opts.Workers, Cache: cache}
 
 	// Table III: kernels x 6 algorithms at the kernel threshold.
@@ -101,7 +110,11 @@ func Run(opts Options) *Study {
 			kernelJobs = append(kernelJobs, makeJob(k, algo, KernelThreshold))
 		}
 	}
-	for i, jr := range sched.Run(kernelJobs) {
+	for i, jr := range sched.RunContext(ctx, kernelJobs) {
+		if ctx.Err() != nil {
+			progress("study canceled during kernel study")
+			return s
+		}
 		if jr.Err != nil {
 			panic("report: kernel study: " + jr.Err.Error())
 		}
@@ -123,6 +136,10 @@ func Run(opts Options) *Study {
 	runner := bench.NewRunner(Seed)
 	runner.Cache = cache
 	for _, a := range suite.Apps() {
+		if ctx.Err() != nil {
+			progress("study canceled during conversion study")
+			return s
+		}
 		ref := runner.Reference(a)
 		single := runner.RunManualSingle(a)
 		loss, err := verify.Compute(a.Metric(), ref.Output.Values, single.Output.Values)
@@ -147,7 +164,12 @@ func Run(opts Options) *Study {
 			}
 		}
 		s.App[th] = map[string]map[string]harness.Report{}
-		for i, jr := range sched.Run(jobs) {
+		for i, jr := range sched.RunContext(ctx, jobs) {
+			if ctx.Err() != nil {
+				progress("study canceled during application study")
+				delete(s.App, th)
+				return s
+			}
 			if jr.Err != nil {
 				panic("report: app study: " + jr.Err.Error())
 			}

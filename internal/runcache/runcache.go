@@ -25,6 +25,7 @@
 package runcache
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -168,11 +169,32 @@ func New[V any](opts Options[V]) *Cache[V] {
 // retries Do - typically reproducing the panic in its own call frame, so
 // per-job panic recovery behaves exactly as it would without the cache.
 func (c *Cache[V]) Do(k Key, fn func() V) V {
+	v, _ := c.DoContext(nil, k, fn)
+	return v
+}
+
+// DoContext is Do with early release of singleflight waiters: a caller
+// blocked on another caller's in-flight execution returns the context's
+// error as soon as ctx is done instead of waiting the leader out. The
+// leader itself always runs fn to completion - abandoning an execution
+// halfway would poison the entry for every other tenant - so only the
+// waiting side observes cancellation. A nil ctx never cancels.
+func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error) {
 	if c == nil {
-		return fn()
+		return fn(), nil
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
 	}
 	sh := &c.shards[k.hash()&(shardCount-1)]
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				var zero V
+				return zero, err
+			}
+		}
 		sh.mu.Lock()
 		e, ok := sh.entries[k]
 		if ok {
@@ -182,7 +204,12 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 			default:
 				c.waits.Add(1)
 				c.count("mixpbench_runcache_inflight_waits_total", k)
-				<-e.done
+				select {
+				case <-e.done:
+				case <-ctxDone:
+					var zero V
+					return zero, ctx.Err()
+				}
 			}
 			if e.panicked {
 				// The leader died; take over (and most likely reproduce
@@ -198,7 +225,7 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 					"semantics": k.Semantics.String(),
 				})
 			}
-			return c.clone(e.val)
+			return c.clone(e.val), nil
 		}
 		e = &entry[V]{done: make(chan struct{})}
 		sh.entries[k] = e
@@ -222,7 +249,7 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 		c.entries.Add(1)
 		c.misses.Add(1)
 		c.count("mixpbench_runcache_misses_total", k)
-		return c.clone(e.val)
+		return c.clone(e.val), nil
 	}
 }
 

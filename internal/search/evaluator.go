@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,6 +14,13 @@ import (
 // time budget (the paper's 24-hour wall-clock limit per application and
 // algorithm). Strategies stop where they are and report a timeout.
 var ErrBudgetExhausted = errors.New("search: analysis time budget exhausted")
+
+// ErrCanceled reports that the analysis context was canceled (a user
+// abort, a service shutdown, or a deadline). It rides the same stop-error
+// path as ErrBudgetExhausted - strategies stop where they are - but the
+// outcome is reported as Canceled, not TimedOut: the budget accounting is
+// untouched, the analysis just ends with its best-so-far.
+var ErrCanceled = errors.New("search: analysis canceled")
 
 // ErrTransient reports a transient evaluation failure: the node running
 // the analysis died mid-evaluation (an injected fault, or a crashed
@@ -46,6 +54,11 @@ type Evaluator struct {
 	benchmark bench.Benchmark
 	threshold float64
 
+	// ctx, when non-nil, is checked between runs: once it is done every
+	// further Evaluate returns ErrCanceled, so the strategy stops on its
+	// normal stop-error path with its best-so-far intact.
+	ctx context.Context
+
 	// typeforgeExpand controls whether unit selections pull whole
 	// type-change sets (see Space.Expand).
 	typeforgeExpand bool
@@ -69,6 +82,10 @@ type Evaluator struct {
 	// failAt, when positive, makes paid evaluation number failAt die with
 	// ErrTransient (fault injection).
 	failAt int
+
+	// cancelSeen dedupes the cancellation telemetry: one event per
+	// analysis no matter how many Evaluate calls observe the done context.
+	cancelSeen bool
 
 	traceOn bool
 	trace   []TraceEntry
@@ -135,6 +152,13 @@ func NewEvaluator(space *Space, runner *bench.Runner, b bench.Benchmark, thresho
 
 // SetBudget overrides the analysis budget (seconds of simulated time).
 func (e *Evaluator) SetBudget(seconds float64) { e.budget = seconds }
+
+// SetContext attaches a cancellation context. Evaluate checks it between
+// runs and returns ErrCanceled once it is done; singleflight waits on a
+// shared run cache also unblock early. A nil (or never-canceled) context
+// leaves every result, budget charge, and trace byte-identical to an
+// evaluator without one.
+func (e *Evaluator) SetContext(ctx context.Context) { e.ctx = ctx }
 
 // SetFailAt arranges for paid evaluation number n (1-based; cache hits
 // are free and do not count) to fail with ErrTransient, modelling a node
@@ -213,6 +237,9 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	if set.Len() != e.space.NumUnits() {
 		return Result{}, fmt.Errorf("search: selection over %d units, space has %d", set.Len(), e.space.NumUnits())
 	}
+	if err := e.canceled(); err != nil {
+		return Result{}, err
+	}
 	cfg, valid := e.space.Expand(set, e.typeforgeExpand)
 	e.keyBuf = cfg.AppendKey(e.keyBuf[:0])
 	if r, ok := e.cache[string(e.keyBuf)]; ok {
@@ -260,7 +287,14 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		e.observe(key, cfg.Singles(), r, false)
 		return r, nil
 	}
-	res := e.runner.Run(e.benchmark, cfg)
+	res, err := e.runner.RunContext(e.ctx, e.benchmark, cfg)
+	if err != nil {
+		// The only error path is a context canceled while waiting on a
+		// shared cache's in-flight execution: undo the EV charge (the run
+		// never completed for this analysis) and stop.
+		e.evaluated--
+		return Result{}, e.cancelError(err)
+	}
 	e.spent += e.buildCost + res.Measured.Total
 	v, err := verify.Check(e.benchmark.Metric(), e.reference.Output.Values, res.Output.Values, e.threshold)
 	if err != nil {
@@ -276,6 +310,35 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	e.record(key, cfg.Singles(), r)
 	e.observe(key, cfg.Singles(), r, false)
 	return r, nil
+}
+
+// canceled reports the attached context's cancellation as ErrCanceled
+// (nil while the analysis may continue). The first cancellation seen is
+// also surfaced to telemetry so a service can show why a search stopped.
+func (e *Evaluator) canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	if err := e.ctx.Err(); err != nil {
+		return e.cancelError(err)
+	}
+	return nil
+}
+
+// cancelError wraps a context error into the strategy stop-error path,
+// emitting one "search_canceled" event the first time.
+func (e *Evaluator) cancelError(cause error) error {
+	if e.tel != nil && !e.cancelSeen {
+		e.cancelSeen = true
+		e.tel.Counter("mixpbench_search_canceled_total", "bench", e.benchmark.Name()).Inc()
+		e.tel.Emit("search_canceled", map[string]any{
+			"bench":         e.benchmark.Name(),
+			"evaluations":   e.evaluated,
+			"spent_seconds": e.spent,
+			"cause":         cause.Error(),
+		})
+	}
+	return fmt.Errorf("search: %s: %v: %w", e.benchmark.Name(), cause, ErrCanceled)
 }
 
 // observe feeds one evaluation (paid or cache hit) into the attached
@@ -342,10 +405,14 @@ type Outcome struct {
 	// TimedOut reports that the analysis budget expired before the
 	// strategy terminated (the paper's empty grey cells).
 	TimedOut bool
+	// Canceled reports that the analysis context was canceled before the
+	// strategy terminated. Like TimedOut it is an expected outcome, not a
+	// failure: Best holds the best-so-far and Err stays nil.
+	Canceled bool
 	// Err carries the abnormal stop condition when the strategy aborted
 	// on a non-budget error (ErrTransient from an injected node fault, a
-	// verification failure); nil on normal termination and on timeouts,
-	// which are an expected outcome, not a failure.
+	// verification failure); nil on normal termination and on timeouts
+	// and cancellations, which are expected outcomes, not failures.
 	Err error
 }
 
@@ -360,8 +427,8 @@ type Algorithm interface {
 	Search(e *Evaluator) Outcome
 }
 
-// finish assembles an Outcome, resolving the timeout flag from err and
-// surfacing any non-budget stop condition as Outcome.Err.
+// finish assembles an Outcome, resolving the timeout and cancellation
+// flags from err and surfacing any other stop condition as Outcome.Err.
 func finish(name string, e *Evaluator, best Set, bestRes Result, found bool, err error) Outcome {
 	out := Outcome{
 		Algorithm:  name,
@@ -370,8 +437,9 @@ func finish(name string, e *Evaluator, best Set, bestRes Result, found bool, err
 		BestResult: bestRes,
 		Evaluated:  e.Evaluated(),
 		TimedOut:   errors.Is(err, ErrBudgetExhausted),
+		Canceled:   errors.Is(err, ErrCanceled),
 	}
-	if err != nil && !out.TimedOut {
+	if err != nil && !out.TimedOut && !out.Canceled {
 		out.Err = err
 	}
 	return out

@@ -1,6 +1,9 @@
 package search
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // AlgorithmNames lists the six strategies in the order the paper's tables
 // use: CB, CM, DD, HR, HC, GA.
@@ -29,6 +32,17 @@ func ByName(name string, seed int64) (Algorithm, error) {
 	case "GP":
 		return GreedyProfile{}, nil
 	default:
-		return nil, fmt.Errorf("search: unknown algorithm %q (have %v)", name, AlgorithmNames)
+		return nil, fmt.Errorf("search: unknown algorithm %q (valid: %s)", name, ValidAlgorithmList())
 	}
+}
+
+// ValidAlgorithmList renders every accepted strategy abbreviation - the
+// paper's six plus the extension strategies - as one comma-separated
+// string for error messages, so a typo'd name comes back with the full
+// menu instead of an echo.
+func ValidAlgorithmList() string {
+	names := make([]string, 0, len(AlgorithmNames)+len(ExtensionNames))
+	names = append(names, AlgorithmNames...)
+	names = append(names, ExtensionNames...)
+	return strings.Join(names, ", ")
 }

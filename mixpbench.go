@@ -28,10 +28,12 @@
 package mixpbench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/mp"
@@ -292,6 +294,9 @@ type TuneResult struct {
 	Evaluated int
 	// TimedOut reports budget expiry before the strategy terminated.
 	TimedOut bool
+	// Canceled reports that the tuning context was canceled before the
+	// strategy terminated; the result is the best found so far.
+	Canceled bool
 	// Trace is the per-configuration log (only when TuneOptions.Trace).
 	Trace []search.TraceEntry
 }
@@ -299,6 +304,14 @@ type TuneResult struct {
 // Tune searches b for a mixed-precision configuration that passes the
 // quality threshold and speeds the program up, using the named strategy.
 func Tune(b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
+	return TuneContext(context.Background(), b, opts)
+}
+
+// TuneContext is Tune under a cancellation context: once ctx is done the
+// strategy stops at its next evaluation boundary and the result carries
+// the best configuration found so far with Canceled set. A background
+// (or never-canceled) context leaves the result identical to Tune.
+func TuneContext(ctx context.Context, b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
 	if opts.Algorithm == "" {
 		return TuneResult{}, fmt.Errorf("mixpbench: TuneOptions.Algorithm is required (one of %v)", Algorithms())
 	}
@@ -326,11 +339,15 @@ func Tune(b BenchmarkProgram, opts TuneOptions) (TuneResult, error) {
 	}
 	eval.SetTrace(opts.Trace)
 	eval.SetTelemetry(opts.Telemetry)
+	if ctx != nil {
+		eval.SetContext(ctx)
+	}
 	out := algo.Search(eval)
 	res := TuneResult{
 		Found:     out.Found,
 		Evaluated: out.Evaluated,
 		TimedOut:  out.TimedOut,
+		Canceled:  out.Canceled,
 		Trace:     eval.Trace(),
 	}
 	if out.Found {
@@ -373,16 +390,65 @@ func ParseFaultSpec(spec string) (FaultPlan, error) {
 // fault model, retry policy, and checkpoint/resume paths.
 type CampaignOptions = harness.CampaignOptions
 
+// Campaign engine types. An Engine multiplexes any number of campaigns
+// over one process - each under its own cancellation context, telemetry
+// recorder, and event log, all sharing a single run cache - with
+// submit/status/cancel semantics and a bounded queue. The cmd/mixpd
+// server is an HTTP facade over exactly this API.
+type (
+	// Engine is the concurrent campaign service.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (queue depth, concurrency,
+	// shared cache).
+	EngineOptions = engine.Options
+	// SubmitOptions parameterises one campaign submission.
+	SubmitOptions = engine.SubmitOptions
+	// CampaignStatus is a point-in-time view of one campaign.
+	CampaignStatus = engine.Status
+	// CampaignState is a campaign's lifecycle position (queued, running,
+	// done, canceled, failed).
+	CampaignState = engine.State
+	// CampaignEventLog is a campaign's tailable telemetry event log.
+	CampaignEventLog = engine.EventLog
+	// CampaignRecord is one finished job in the JSON-safe journal shape
+	// the engine's results API and the checkpoint journal share.
+	CampaignRecord = harness.JournalRecord
+)
+
+// Engine sentinel errors, for errors.Is against Submit and lookups.
+var (
+	// ErrCampaignQueueFull rejects a submission when the engine's queue
+	// is at capacity.
+	ErrCampaignQueueFull = engine.ErrQueueFull
+	// ErrEngineDraining rejects submissions after Drain or Close began.
+	ErrEngineDraining = engine.ErrDraining
+	// ErrCampaignNotFound reports an unknown campaign ID.
+	ErrCampaignNotFound = engine.ErrNotFound
+)
+
+// NewEngine starts a campaign engine; stop it with Drain (finish
+// everything accepted) or Close (cancel everything).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
 // RunCampaign executes a fault-tolerant campaign over the specs and
 // returns per-job results (reports, attempt histories, degraded flags)
 // in entry order. Unlike RunHarnessWith, a failing job does not abort
 // the campaign; inspect each result's Err. The workload seed defaults to
 // the canonical study seed.
 func RunCampaign(specs []HarnessSpec, opts CampaignOptions) ([]HarnessJobResult, error) {
+	return RunCampaignContext(context.Background(), specs, opts)
+}
+
+// RunCampaignContext is RunCampaign under a cancellation context: once
+// ctx is done, in-flight jobs report canceled best-so-far analyses and
+// unstarted jobs come back Skipped. Both entry points are thin wrappers
+// over the campaign engine (see Engine); routing through it changes
+// nothing observable.
+func RunCampaignContext(ctx context.Context, specs []HarnessSpec, opts CampaignOptions) ([]HarnessJobResult, error) {
 	if opts.Seed == 0 {
 		opts.Seed = report.Seed
 	}
-	return harness.RunCampaign(specs, opts)
+	return engine.RunOnce(ctx, specs, opts)
 }
 
 // HarnessOptions parameterises RunHarnessWith.
@@ -409,20 +475,30 @@ func RunHarness(specs []HarnessSpec, workers int, seed int64) ([]HarnessReport, 
 	return RunHarnessWith(specs, HarnessOptions{Workers: workers, Seed: seed})
 }
 
-// RunHarnessWith is RunHarness with the full option set.
+// RunHarnessWith is RunHarness with the full option set. It is a thin
+// wrapper over the campaign engine; reports are byte-identical to
+// driving the scheduler directly.
 func RunHarnessWith(specs []HarnessSpec, opts HarnessOptions) ([]HarnessReport, error) {
+	return RunHarnessContext(context.Background(), specs, opts)
+}
+
+// RunHarnessContext is RunHarnessWith under a cancellation context. A
+// canceled run surfaces the first interrupted entry's error, like any
+// other failing entry.
+func RunHarnessContext(ctx context.Context, specs []HarnessSpec, opts HarnessOptions) ([]HarnessReport, error) {
 	if opts.Seed == 0 {
 		opts.Seed = report.Seed
 	}
-	jobs, err := harness.JobsFromSpecs(specs, opts.Seed)
+	results, err := engine.RunOnce(ctx, specs, harness.CampaignOptions{
+		Workers:   opts.Workers,
+		Seed:      opts.Seed,
+		Telemetry: opts.Telemetry,
+		Cache:     opts.Cache,
+		NoCache:   opts.NoCache,
+	})
 	if err != nil {
 		return nil, err
 	}
-	cache := opts.Cache
-	if cache == nil && !opts.NoCache {
-		cache = NewRunCache(nil)
-	}
-	results := harness.Scheduler{Workers: opts.Workers, Telemetry: opts.Telemetry, Cache: cache}.Run(jobs)
 	out := make([]HarnessReport, len(results))
 	for i, r := range results {
 		if r.Err != nil {
