@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify lint cover tables bench bench-smoke
+.PHONY: build test race verify lint lint-report cover tables bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,24 @@ verify: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# lint runs staticcheck and govulncheck when they are installed and is a
-# no-op otherwise, so verify works on machines without the tools; CI
-# installs both and runs them unconditionally.
+# lint always runs mixplint (the in-repo multichecker: typedepcheck plus
+# the determinism analyzers; see DESIGN.md "Static analysis"), then
+# staticcheck and govulncheck when they are installed — verify works on
+# machines without the external tools; CI installs both and runs them
+# unconditionally.
 lint:
+	$(GO) run ./cmd/mixplint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
+
+# lint-report writes the machine-readable mixplint report (including the
+# suppressed findings and their justifications) to artifacts/lint.json.
+lint-report:
+	@mkdir -p artifacts
+	$(GO) run ./cmd/mixplint -json ./... > artifacts/lint.json || true
+	@echo "lint-report: artifacts/lint.json"
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -1,0 +1,155 @@
+// Command mixplint is the repo's static-analysis driver: a multichecker
+// over the internal/analysis framework. It type-checks every package in
+// the module and applies
+//
+//   - typedepcheck: re-derives each benchmark port's type-dependence
+//     graph from source and diffs it against the declared one (the
+//     Typeforge analogue; runs on the port packages only);
+//   - simclock, seededrand, orderedemit, ctxfirst: the determinism
+//     invariants the campaign layers rely on (no wall-clock reads, no
+//     global RNG, no map-order-dependent emission, contexts threaded
+//     first-parameter).
+//
+// Findings are suppressed only by //mixplint:ignore or
+// //mixplint:package directives carrying a justification; a directive
+// without one is itself a finding. Exit status: 0 clean, 1 findings,
+// 2 load or usage failure.
+//
+// Usage:
+//
+//	mixplint [-json] [packages]
+//
+// Package patterns are import paths with an optional /... suffix;
+// ./... and module-relative forms are accepted. The default is the
+// whole module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/orderedemit"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/simclock"
+	"repro/internal/analysis/typedepcheck"
+)
+
+// All registered analyzers, in report order.
+var analyzers = []*analysis.Analyzer{
+	typedepcheck.Analyzer,
+	simclock.Analyzer,
+	seededrand.Analyzer,
+	orderedemit.Analyzer,
+	ctxfirst.Analyzer,
+}
+
+// portPatterns are the packages that declare typedep graphs;
+// typedepcheck interprets benchmark constructors and is pointless (and
+// slow) elsewhere.
+var portPatterns = []string{
+	"repro/internal/kernels",
+	"repro/internal/apps",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mixplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "mixplint: %v\n", err)
+		return 2
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mixplint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{m.Path + "/..."}
+	}
+	for i, p := range patterns {
+		patterns[i] = normalizePattern(m.Path, p)
+	}
+
+	rep, err := analysis.RunAnalyzers(m, analyzers, scopeFor(patterns))
+	if err != nil {
+		fmt.Fprintf(stderr, "mixplint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "mixplint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		fmt.Fprintf(stderr, "mixplint: %d packages, %d analyzers, %d findings, %d suppressed\n",
+			rep.Packages, len(rep.Analyzers), len(rep.Findings), len(rep.Suppressed))
+	}
+	if len(rep.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// normalizePattern maps ./-relative patterns onto module import paths:
+// "./..." becomes "<module>/...", "./cmd/mixpd" becomes
+// "<module>/cmd/mixpd", and "." the module root package.
+func normalizePattern(modPath, p string) string {
+	switch {
+	case p == "." || p == "./":
+		return modPath
+	case p == "...":
+		return modPath + "/..."
+	case strings.HasPrefix(p, "./"):
+		return modPath + "/" + strings.TrimPrefix(p, "./")
+	default:
+		return p
+	}
+}
+
+// scopeFor restricts analyzers to the requested patterns, and
+// typedepcheck further to the port packages.
+func scopeFor(patterns []string) analysis.Scope {
+	return func(a *analysis.Analyzer, pkgPath string) bool {
+		ok := false
+		for _, p := range patterns {
+			if analysis.MatchPattern(p, pkgPath) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		if a.Name == "typedepcheck" {
+			for _, p := range portPatterns {
+				if analysis.MatchPattern(p, pkgPath) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestNormalizePattern(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{".", "repro"},
+		{"./...", "repro/..."},
+		{"...", "repro/..."},
+		{"./cmd/mixpd", "repro/cmd/mixpd"},
+		{"./internal/...", "repro/internal/..."},
+		{"repro/internal/kernels", "repro/internal/kernels"},
+	}
+	for _, c := range cases {
+		if got := normalizePattern("repro", c.in); got != c.want {
+			t.Errorf("normalizePattern(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScopeRestrictsTypedepcheck(t *testing.T) {
+	scope := scopeFor([]string{"repro/..."})
+	var tdc, clock *analysis.Analyzer
+	for _, a := range analyzers {
+		switch a.Name {
+		case "typedepcheck":
+			tdc = a
+		case "simclock":
+			clock = a
+		}
+	}
+	if tdc == nil || clock == nil {
+		t.Fatal("expected analyzers not registered")
+	}
+	if !scope(tdc, "repro/internal/kernels") || !scope(tdc, "repro/internal/apps") {
+		t.Error("typedepcheck must cover the port packages")
+	}
+	if scope(tdc, "repro/internal/harness") {
+		t.Error("typedepcheck must not run outside the port packages")
+	}
+	if !scope(clock, "repro/internal/harness") {
+		t.Error("determinism analyzers must cover the whole module")
+	}
+	narrow := scopeFor([]string{"repro/internal/engine"})
+	if narrow(clock, "repro/internal/harness") {
+		t.Error("explicit patterns must restrict the scope")
+	}
+}
+
+// TestModuleIsClean runs the full multichecker over the repository: the
+// build must stay at zero unsuppressed findings, and every suppression
+// must carry a justification.
+func TestModuleIsClean(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "mixplint*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if code := run([]string{"-json"}, out, os.Stderr); code != 0 {
+		t.Fatalf("mixplint exited %d, want 0", code)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep analysis.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("module has %d unsuppressed findings: %+v", len(rep.Findings), rep.Findings)
+	}
+	for _, f := range rep.Suppressed {
+		if f.Justification == "" {
+			t.Errorf("%s:%d: suppressed without justification", f.File, f.Line)
+		}
+	}
+	if len(rep.Analyzers) != len(analyzers) {
+		t.Errorf("report lists %d analyzers, want %d", len(rep.Analyzers), len(analyzers))
+	}
+}

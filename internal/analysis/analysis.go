@@ -1,0 +1,89 @@
+// Package analysis is a self-contained static-analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built on the standard library
+// only (go/parser, go/types, and the gc export-data importer) so the repo
+// keeps its zero-dependency go.mod. It exists to machine-check invariants
+// the ports and the harness otherwise enforce by convention: the
+// type-dependence graphs every benchmark declares (see typedepcheck,
+// the Typeforge analogue from the paper's §II-C) and the determinism
+// rules the campaign layers rely on (simclock, seededrand, orderedemit,
+// ctxfirst). cmd/mixplint is the multichecker driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools type of
+// the same name so the analyzers read like stock go/analysis code and
+// could be ported to the real framework without structural change.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, suppression
+	// directives ("//mixplint:ignore <name> -- why"), and -json output.
+	Name string
+
+	// Doc is a one-paragraph description; the first line is the summary
+	// shown by `mixplint -help`.
+	Doc string
+
+	// Run applies the check to one package and reports findings through
+	// pass.Report. A non-nil error aborts the whole mixplint run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Dir       string // package directory on disk
+	PkgPath   string // import path ("repro/internal/harness")
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// NewPass builds a pass over pkg that reports through report; the
+// driver and analysistest both construct passes this way.
+func NewPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Dir:       pkg.Dir,
+		PkgPath:   pkg.PkgPath,
+		report:    report,
+	}
+}
+
+// Report emits a diagnostic. Suppression directives are applied by the
+// driver, not here, so analyzers stay oblivious to the mechanism.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	p.report(d)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest. Fixtures live in
+// testdata/src/<name> next to the analyzer's test and are type-checked
+// against the real module's export data, so they can import repro
+// packages (internal/mp, internal/typedep, ...) like genuine ports.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	loadMod  *analysis.Module
+	loadErr  error
+)
+
+// module loads the repo once per test binary; go list output and the
+// build cache make repeat loads cheap, but parsing every package per
+// subtest is still worth avoiding.
+func module() (*analysis.Module, error) {
+	loadOnce.Do(func() {
+		root, err := analysis.FindModuleRoot(".")
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loadMod, loadErr = analysis.Load(root)
+	})
+	return loadMod, loadErr
+}
+
+// Run applies the analyzer to testdata/src/<name> and fails the test
+// unless the diagnostics and the fixture's // want comments agree
+// exactly: every diagnostic must match a want regexp on its line, and
+// every want must be matched by some diagnostic.
+func Run(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	m, err := module()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.LoadDir(dir, "testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, err := RunPackage(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		if !wants.consume(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// RunPackage applies the analyzer to an already-loaded package and
+// returns its raw diagnostics (no want matching, no suppression).
+func RunPackage(a *analysis.Analyzer, pkg *analysis.Package) ([]analysis.Diagnostic, error) {
+	var out []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg, func(d analysis.Diagnostic) { out = append(out, d) })
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// wantSet tracks expected diagnostics per "file:line" key.
+type wantSet map[string][]*wantEntry
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+	key     string
+}
+
+// wantRE matches one expectation: a double-quoted pattern (with
+// escapes) or a backquoted raw pattern.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// parseWants collects `// want "re" "re"...` comments from the fixture.
+func parseWants(t *testing.T, pkg *analysis.Package) wantSet {
+	t.Helper()
+	ws := make(wantSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment (no quoted pattern): %s", key, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[2]
+					if m[1] != "" || m[2] == "" {
+						pat = strings.ReplaceAll(m[1], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+						continue
+					}
+					ws[key] = append(ws[key], &wantEntry{re: re, key: key})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func cutWant(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	return strings.CutPrefix(text, "want ")
+}
+
+// consume marks the first unmatched want on the line that matches msg.
+func (ws wantSet) consume(key, msg string) bool {
+	for _, w := range ws[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, entries := range ws {
+		for _, w := range entries {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", w.key, w.re)
+			}
+		}
+	}
+}

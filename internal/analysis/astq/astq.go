@@ -1,0 +1,66 @@
+// Package astq holds small AST/type query helpers shared by the
+// mixplint analyzers.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFunc resolves a call of the form pkg.Func where pkg is the package
+// with the given import path, returning the function name. Methods and
+// locally-shadowed identifiers do not match.
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// EnclosingFuncs returns every function declaration and literal in the
+// file paired with its body, for analyzers that reason per-function.
+func EnclosingFuncs(f *ast.File) []FuncNode {
+	var out []FuncNode
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, FuncNode{Type: fn.Type, Body: fn.Body, Decl: fn})
+			}
+		case *ast.FuncLit:
+			out = append(out, FuncNode{Type: fn.Type, Body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// FuncNode is one function-shaped node: a declaration (Decl non-nil) or
+// a literal.
+type FuncNode struct {
+	Type *ast.FuncType
+	Body *ast.BlockStmt
+	Decl *ast.FuncDecl
+}

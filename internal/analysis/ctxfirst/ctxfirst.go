@@ -1,0 +1,185 @@
+// Package ctxfirst defines an analyzer enforcing the repo's context
+// conventions, established when the engine layer made cancellation
+// first-class: context.Context is always the first parameter, is never
+// stored in a struct (storage detaches a value's lifetime from the call
+// that created it and is how stale deadlines leak between campaigns),
+// and is never silently re-minted mid-call-chain with
+// context.Background()/TODO() when a caller already supplied one. The
+// idiomatic nil-guard `if ctx == nil { ctx = context.Background() }` in
+// compatibility wrappers stays legal.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter, propagated, never stored or re-minted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkStructFields(pass, f)
+		for _, fn := range astq.EnclosingFuncs(f) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkStructFields flags context.Context stored in struct types.
+func checkStructFields(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if isContext(pass.TypesInfo, field.Type) {
+				pass.Reportf(field.Pos(), "context.Context stored in a struct; pass it as the first parameter of the methods that need it")
+			}
+		}
+		return true
+	})
+}
+
+type param struct {
+	index int
+	name  string
+	pos   token.Pos
+	obj   types.Object
+}
+
+// checkFunc enforces the parameter-position and no-re-minting rules for
+// one function declaration or literal. Nested literals are checked on
+// their own visit, so their bodies are skipped here.
+func checkFunc(pass *analysis.Pass, fn astq.FuncNode) {
+	ctxParams := contextParams(pass.TypesInfo, fn.Type)
+	for _, p := range ctxParams {
+		if p.index != 0 {
+			pass.Reportf(p.pos, "context.Context must be the first parameter (found at position %d)", p.index+1)
+		}
+		if p.name == "_" {
+			pass.Reportf(p.pos, "context parameter is dropped (named _); propagate it or remove it from the signature")
+		}
+	}
+	if len(ctxParams) == 0 || fn.Body == nil {
+		return
+	}
+	// A function that already receives a context must not mint a fresh
+	// root one, except inside the `if ctx == nil` compatibility guard.
+	guarded := nilGuardRanges(pass.TypesInfo, fn.Body, ctxParams)
+	walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := astq.PkgFunc(pass.TypesInfo, call, "context")
+		if !ok || (name != "Background" && name != "TODO") {
+			return
+		}
+		for _, r := range guarded {
+			if call.Pos() >= r[0] && call.End() <= r[1] {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(), "context.%s inside a function that already receives a context; propagate the caller's context", name)
+	})
+}
+
+// contextParams returns the context.Context parameters of ft with their
+// flat positional index; an unnamed context parameter counts as
+// dropped and is named "_".
+func contextParams(info *types.Info, ft *ast.FuncType) []param {
+	var out []param
+	if ft.Params == nil {
+		return nil
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContext(info, field.Type) {
+			if len(field.Names) == 0 {
+				out = append(out, param{index: idx, name: "_", pos: field.Pos()})
+			}
+			for i, name := range field.Names {
+				out = append(out, param{index: idx + i, name: name.Name, pos: name.Pos(), obj: info.Defs[name]})
+			}
+		}
+		idx += width
+	}
+	return out
+}
+
+// nilGuardRanges finds `if ctx == nil { ... }` (or `nil == ctx`) blocks
+// guarding one of the context parameters and returns their position
+// ranges, inside which Background/TODO are allowed.
+func nilGuardRanges(info *types.Info, body *ast.BlockStmt, params []param) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			return true
+		}
+		ident := asIdent(bin.X)
+		if ident == nil {
+			ident = asIdent(bin.Y)
+		}
+		if ident == nil {
+			return true
+		}
+		obj := info.Uses[ident]
+		for _, p := range params {
+			if p.obj != nil && obj == p.obj {
+				out = append(out, [2]token.Pos{ifStmt.Body.Pos(), ifStmt.Body.End()})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func asIdent(e ast.Expr) *ast.Ident {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return ident
+}
+
+// walkSkippingFuncLits visits every node in body except the bodies of
+// nested function literals (they are analyzed as their own functions).
+func walkSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func isContext(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return astq.IsNamed(tv.Type, "context", "Context")
+}

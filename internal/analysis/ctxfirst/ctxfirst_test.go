@@ -1,0 +1,11 @@
+package ctxfirst
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxfirst(t *testing.T) {
+	analysistest.Run(t, Analyzer, "ctxconv")
+}

@@ -1,0 +1,37 @@
+// Package ctxconv is the ctxfirst fixture.
+package ctxconv
+
+import "context"
+
+func badPosition(n int, ctx context.Context) { _ = n; _ = ctx } // want `context.Context must be the first parameter \(found at position 2\)`
+
+func badDropped(_ context.Context, n int) { _ = n } // want `context parameter is dropped`
+
+type badHolder struct {
+	ctx context.Context // want `context.Context stored in a struct`
+}
+
+func badRemint(ctx context.Context) context.Context {
+	return context.Background() // want `context.Background inside a function that already receives a context`
+}
+
+func badLit() func(context.Context) {
+	return func(ctx context.Context) {
+		_ = context.TODO() // want `context.TODO inside a function that already receives a context`
+	}
+}
+
+func good(ctx context.Context, n int) { _ = ctx; _ = n }
+
+func goodGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+func goodRoot() context.Context {
+	// No incoming context: minting a root one here is the job of
+	// top-level entry points.
+	return context.Background()
+}

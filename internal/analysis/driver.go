@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is one diagnostic resolved to a file position, as emitted
+// by `mixplint -json`.
+type Finding struct {
+	File          string `json:"file"` // relative to the module root
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// A Report is the result of one mixplint run over a module.
+type Report struct {
+	Module      string         `json:"module"`
+	Packages    int            `json:"packages"`
+	Analyzers   []string       `json:"analyzers"`
+	Findings    []Finding      `json:"findings"`   // unsuppressed: these fail the build
+	Suppressed  []Finding      `json:"suppressed"` // carry mandatory justifications
+	PerAnalyzer map[string]int `json:"per_analyzer"`
+}
+
+// Scope decides whether an analyzer applies to a package; a nil Scope
+// applies every analyzer everywhere.
+type Scope func(a *Analyzer, pkgPath string) bool
+
+// RunAnalyzers applies each in-scope analyzer to each module package,
+// resolves suppression directives, and returns the combined report.
+// Malformed directives surface as findings under the "directive" name
+// so a suppression without a justification cannot silence anything.
+func RunAnalyzers(m *Module, analyzers []*Analyzer, scope Scope) (*Report, error) {
+	rep := &Report{
+		Module:      m.Path,
+		Packages:    len(m.Packages),
+		Findings:    []Finding{},
+		Suppressed:  []Finding{},
+		PerAnalyzer: make(map[string]int),
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, pkg := range m.Packages {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if scope != nil && !scope(a, pkg.PkgPath) {
+				continue
+			}
+			ds, err := runOne(a, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			diags = append(diags, ds...)
+		}
+		dirs, bad := ParseDirectives(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		for _, d := range diags {
+			f := m.resolve(pkg, d)
+			if just, ok := suppressedBy(dirs, pkg.Fset, d); ok {
+				f.Suppressed = true
+				f.Justification = just
+				rep.Suppressed = append(rep.Suppressed, f)
+				continue
+			}
+			rep.Findings = append(rep.Findings, f)
+			rep.PerAnalyzer[d.Analyzer]++
+		}
+	}
+	sortFindings(rep.Findings)
+	sortFindings(rep.Suppressed)
+	return rep, nil
+}
+
+// runOne applies a single analyzer to a single package.
+func runOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	pass := NewPass(a, pkg, func(d Diagnostic) { out = append(out, d) })
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// suppressedBy finds an applicable suppression directive in the
+// diagnostic's package and returns its justification. Malformed
+// directives ("directive" findings) can never be suppressed.
+func suppressedBy(dirs []Directive, fset *token.FileSet, d Diagnostic) (string, bool) {
+	if d.Analyzer == "directive" {
+		return "", false
+	}
+	pos := fset.Position(d.Pos)
+	for i := range dirs {
+		dir := &dirs[i]
+		if dir.Kind == "ignore" && fset.Position(dir.Pos).Filename != pos.Filename {
+			continue
+		}
+		if dir.suppresses(d.Analyzer, pos.Line) {
+			return dir.Justification, true
+		}
+	}
+	return "", false
+}
+
+// resolve converts a diagnostic to a root-relative finding.
+func (m *Module) resolve(pkg *Package, d Diagnostic) Finding {
+	pos := pkg.Fset.Position(d.Pos)
+	file := pos.Filename
+	if rel, err := filepath.Rel(m.Root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{
+		File:     file,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// JSON renders the report for `mixplint -json` / make lint-report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testPkg type-checks one synthetic file (no imports) into a Package.
+func testPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		PkgPath:   "fixture",
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+}
+
+// flagIdent reports every identifier named "banned".
+var flagIdent = &Analyzer{
+	Name: "flagident",
+	Doc:  "test analyzer: flags identifiers named banned",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "banned" {
+					pass.Reportf(id.Pos(), "identifier banned is banned")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runDriver(t *testing.T, src string) *Report {
+	t.Helper()
+	m := &Module{Path: "fixture", Fset: token.NewFileSet()}
+	pkg := testPkg(t, src)
+	m.Fset = pkg.Fset
+	m.Packages = []*Package{pkg}
+	rep, err := RunAnalyzers(m, []*Analyzer{flagIdent}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSuppressionRequiresJustification(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:ignore flagident
+var banned = 1
+`)
+	// The directive is malformed (no justification), so the finding
+	// stands AND the directive itself is reported.
+	if len(rep.Findings) != 2 {
+		t.Fatalf("want 2 findings (diagnostic + malformed directive), got %+v", rep.Findings)
+	}
+	var sawDirective, sawFlag bool
+	for _, f := range rep.Findings {
+		switch f.Analyzer {
+		case "directive":
+			sawDirective = true
+			if !strings.Contains(f.Message, "justification") {
+				t.Errorf("directive finding should mention justification: %s", f.Message)
+			}
+		case "flagident":
+			sawFlag = true
+		}
+	}
+	if !sawDirective || !sawFlag {
+		t.Errorf("missing expected findings: %+v", rep.Findings)
+	}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:ignore flagident -- fixture needs this name
+var banned = 1
+
+var banned2 = banned
+`)
+	// Line 4 is suppressed; the use on line 6 is not.
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want 1 unsuppressed finding, got %+v", rep.Findings)
+	}
+	if rep.Findings[0].Line != 6 {
+		t.Errorf("unsuppressed finding should be on line 6, got %+v", rep.Findings[0])
+	}
+	if len(rep.Suppressed) != 1 {
+		t.Fatalf("want 1 suppressed finding, got %+v", rep.Suppressed)
+	}
+	if rep.Suppressed[0].Justification != "fixture needs this name" {
+		t.Errorf("justification not carried: %+v", rep.Suppressed[0])
+	}
+}
+
+func TestTrailingIgnoreDirective(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+var banned = 1 //mixplint:ignore flagident -- same-line form
+`)
+	if len(rep.Findings) != 0 || len(rep.Suppressed) != 1 {
+		t.Fatalf("trailing directive should suppress: findings=%+v suppressed=%+v", rep.Findings, rep.Suppressed)
+	}
+}
+
+func TestPackageDirective(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:package flagident -- whole fixture exercises the name
+var banned = 1
+
+var banned2 = banned
+`)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("package directive should suppress all: %+v", rep.Findings)
+	}
+	if len(rep.Suppressed) != 2 {
+		t.Fatalf("want 2 suppressed findings, got %+v", rep.Suppressed)
+	}
+}
+
+func TestUnknownDirectiveReported(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:silence flagident -- no such kind
+var x = 1
+`)
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "directive" {
+		t.Fatalf("unknown directive should be reported: %+v", rep.Findings)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"repro/internal/harness", "repro/internal/harness", true},
+		{"repro/internal/harness", "repro/internal/harness/sub", false},
+		{"repro/internal/...", "repro/internal/harness", true},
+		{"repro/internal/...", "repro/internal", true},
+		{"repro/internal/...", "repro/cmd/mixplint", false},
+		{"repro/...", "repro", true},
+	}
+	for _, c := range cases {
+		if got := MatchPattern(c.pattern, c.path); got != c.want {
+			t.Errorf("MatchPattern(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked, in-module package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Module is the loaded repo: every in-module package plus the export
+// map that lets testdata packages type-check against real repo imports.
+type Module struct {
+	Root     string // directory containing go.mod
+	Path     string // module path from go.mod ("repro")
+	Fset     *token.FileSet
+	Packages []*Package // in-module, sorted by import path
+
+	exports  map[string]string // import path -> export data file
+	importer types.ImporterFrom
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load type-checks every in-module package (tests excluded). It shells
+// out to `go list -deps -export` once, which compiles the module into
+// the build cache and yields export data for every dependency; each
+// in-module package is then re-parsed from source (with comments, so
+// suppression directives survive) and type-checked against that export
+// data. This works offline with an empty module cache, which is why the
+// framework avoids golang.org/x/tools: the repo's go.mod stays
+// dependency-free.
+func Load(root string) (*Module, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-e",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Error", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+
+	m := &Module{
+		Root:    root,
+		Path:    modPath,
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	var local []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s does not build: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			m.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && (p.ImportPath == modPath || strings.HasPrefix(p.ImportPath, modPath+"/")) {
+			pp := p
+			local = append(local, &pp)
+		}
+	}
+	m.importer = importer.ForCompiler(m.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := m.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+
+	sort.Slice(local, func(i, j int) bool { return local[i].ImportPath < local[j].ImportPath })
+	for _, lp := range local {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := m.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		m.Packages = append(m.Packages, pkg)
+	}
+	return m, nil
+}
+
+// LoadDir parses and type-checks an out-of-tree directory (an
+// analysistest testdata package) against the module's export data, so
+// fixtures can import real repo packages like repro/internal/mp.
+func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return m.check(importPath, dir, files)
+}
+
+// check parses the given files and type-checks them as one package.
+func (m *Module) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: m.importer}
+	tpkg, err := conf.Check(importPath, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		PkgPath:   importPath,
+		Dir:       dir,
+		GoFiles:   filenames,
+		Fset:      m.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// modulePath reads the module directive from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// MatchPattern reports whether a package path matches a go-style
+// pattern: either an exact path or a prefix ending in "/..." ("p/..."
+// also matches "p" itself, like the go tool).
+func MatchPattern(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return pattern == path
+}

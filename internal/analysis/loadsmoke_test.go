@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("module %s: %d packages", m.Path, len(m.Packages))
+	for _, p := range m.Packages {
+		if p.Types == nil {
+			t.Errorf("%s: nil types", p.PkgPath)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package orderedemit defines an analyzer that catches nondeterministic
+// map iteration feeding ordered outputs. Go randomizes map range order
+// on purpose; the repo's results, journal records, and telemetry
+// snapshots are all byte-compared across runs and worker counts, so a
+// map range may only feed them through an intervening sort. The
+// analyzer flags two shapes inside `for ... range <map>`:
+//
+//   - a direct emit: calling a writer/encoder/telemetry method (Emit,
+//     Record, Encode, Write, Fprintf, ...) or sending on a channel,
+//     where no later sort can recover the order;
+//   - collecting into a slice with append and never passing that slice
+//     to sort.* / slices.Sort* later in the same function.
+//
+// The collect-then-sort idiom used throughout the harness passes.
+package orderedemit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// emitNames are method names that irrevocably order their output.
+var emitNames = map[string]bool{
+	"Emit": true, "Record": true, "Encode": true,
+	"Write": true, "WriteString": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sortNames are function or method names that establish an order.
+var sortNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "orderedemit",
+	Doc:  "forbid map iteration feeding ordered outputs without an intervening sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range astq.EnclosingFuncs(f) {
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn astq.FuncNode) {
+	if fn.Body == nil {
+		return
+	}
+	// sorted collects every object passed to a sort call anywhere in
+	// the function; appends inside map ranges must hit one of these.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := identObj(pass.TypesInfo, arg); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypesInfo, rng.X) {
+			return true
+		}
+		checkMapRange(pass, rng, sorted)
+		return true
+	})
+}
+
+// checkMapRange inspects one `for ... range <map>` body.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration publishes nondeterministic order; collect and sort first")
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && emitNames[name] {
+				pass.Reportf(n.Pos(), "%s call inside map iteration emits in nondeterministic order; collect into a slice and sort before emitting", name)
+			}
+		case *ast.AssignStmt:
+			reportUnsortedAppend(pass, n, sorted)
+		}
+		return true
+	})
+}
+
+// reportUnsortedAppend flags `s = append(s, ...)` when s never reaches
+// a sort call in the enclosing function.
+func reportUnsortedAppend(pass *analysis.Pass, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" || pass.TypesInfo.Uses[fun] != types.Universe.Lookup("append") {
+			continue
+		}
+		obj := identObj(pass.TypesInfo, as.Lhs[i])
+		if obj == nil || sorted[obj] {
+			continue
+		}
+		pass.Reportf(call.Pos(), "slice %s collects map keys or values but is never sorted in this function; map order is nondeterministic", obj.Name())
+	}
+}
+
+// isSortCall matches sort.* and slices.Sort* package calls plus .Sort()
+// methods (sort.Interface implementations).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	for _, pkg := range []string{"sort", "slices"} {
+		if name, ok := astq.PkgFunc(info, call, pkg); ok && sortNames[name] {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sort" {
+		return true
+	}
+	return false
+}
+
+// calleeName extracts the method or function name of a call.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	case *ast.Ident:
+		return fun.Name, true
+	}
+	return "", false
+}
+
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[ident]
+}

@@ -1,0 +1,11 @@
+package orderedemit
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestOrderedemit(t *testing.T) {
+	analysistest.Run(t, Analyzer, "emitorder")
+}

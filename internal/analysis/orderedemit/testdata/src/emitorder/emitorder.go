@@ -1,0 +1,61 @@
+// Package emitorder is the orderedemit fixture: map ranges feeding
+// ordered outputs are flagged unless a sort intervenes.
+package emitorder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys collects map keys or values but is never sorted`
+	}
+	return keys
+}
+
+func badEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf call inside map iteration`
+	}
+}
+
+func badSend(ch chan<- string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodSliceRange(w io.Writer, xs []string) {
+	// Ranging over a slice is ordered; emitting inside is fine.
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

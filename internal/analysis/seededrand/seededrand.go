@@ -1,0 +1,48 @@
+// Package seededrand defines an analyzer that bans the global math/rand
+// source. Every random draw in the repo must flow from an explicit seed
+// through a rand.New(rand.NewSource(seed)) generator — that is how the
+// fault injector stays a pure function of (seed, job, attempt) and how
+// fillRand gives each benchmark reproducible inputs. Package-level
+// rand.Intn/Float64/... read shared, time-seeded state and break all of
+// that silently.
+package seededrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// allowed lists the package-level functions that do not touch the
+// global source: constructors and pure helpers. Everything else
+// exported at package level draws from (or reseeds) shared state.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the global math/rand source; all randomness flows from an explicit seed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := astq.PkgFunc(pass.TypesInfo, call, path); ok && !allowed[name] {
+					pass.Reportf(call.Pos(), "rand.%s uses the global math/rand source; construct a generator from an explicit seed with rand.New(rand.NewSource(seed))", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, Analyzer, "randsrc")
+}

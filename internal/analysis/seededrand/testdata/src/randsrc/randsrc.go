@@ -1,0 +1,17 @@
+// Package randsrc is the seededrand fixture: global-source draws are
+// flagged, explicitly seeded generators are not.
+package randsrc
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand.Intn uses the global math/rand source`
+	_ = rand.Float64()                 // want `rand.Float64 uses the global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the global math/rand source`
+	_ = rand.Perm(4)                   // want `rand.Perm uses the global math/rand source`
+}
+
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() + float64(r.Intn(10))
+}

@@ -1,0 +1,53 @@
+// Package simclock defines an analyzer that bans wall-clock reads in
+// the repo's deterministic packages. The harness, search, engine,
+// faults, and runcache layers all charge time to a simulated cluster
+// clock so campaign results are byte-identical at any worker count; a
+// single time.Now() in those paths silently breaks that guarantee (and
+// every determinism test that relies on it) without failing any test
+// until the schedule happens to shift.
+package simclock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+// banned lists the time package functions that observe or depend on the
+// wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date, ParseDuration) stay legal: they are
+// deterministic given their inputs.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time in deterministic packages (use the simulated clock)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := astq.PkgFunc(pass.TypesInfo, call, "time"); ok && banned[name] {
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; deterministic paths must charge the simulated clock instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package simclock
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, Analyzer, "clock")
+}

@@ -1,0 +1,27 @@
+// Package clock is the simclock fixture: wall-clock reads are flagged,
+// deterministic time arithmetic is not.
+package clock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)    // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})     // want `time.Since reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+}
+
+func good() {
+	d := 3 * time.Second
+	_ = d
+	_ = time.Unix(0, 0)
+	_, _ = time.ParseDuration("1s")
+	_ = time.Duration(42)
+}
+
+// shadow proves method calls with banned names do not match.
+type shadow struct{}
+
+func (shadow) Now() int { return 0 }
+
+func goodMethod(s shadow) int { return s.Now() }

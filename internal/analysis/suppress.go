@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression and annotation directives are line comments of the form
+//
+//	//mixplint:ignore <analyzer> -- <justification>
+//	//mixplint:package <analyzer> -- <justification>
+//	//mixplint:alias -- <justification>
+//
+// "ignore" suppresses findings of one analyzer on the directive's own
+// line or the line directly below it (so it works both as a trailing
+// comment and as a comment above the offending line). "package"
+// suppresses an analyzer for the whole package containing the file.
+// "alias" is not a suppression: typedepcheck reads it as an axiom that
+// the Connect call on that line encodes a dependence visible only in
+// the original C source (see that analyzer's doc).
+//
+// The justification after " -- " is mandatory for every kind; a
+// directive without one is itself reported as a finding, so the
+// suppression inventory stays reviewable.
+
+// A Directive is one parsed mixplint comment.
+type Directive struct {
+	Kind          string // "ignore", "package", or "alias"
+	Analyzer      string // target analyzer for ignore/package
+	Justification string
+	Pos           token.Pos
+	Line          int // source line of the comment itself
+}
+
+const directivePrefix = "//mixplint:"
+
+// ParseDirectives extracts every mixplint directive from the files and
+// reports malformed ones as diagnostics under the "directive" name.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d, msg := parseDirective(rest)
+				if msg != "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  msg,
+					})
+					continue
+				}
+				d.Pos = c.Pos()
+				d.Line = fset.Position(c.Pos()).Line
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// parseDirective parses the text after "//mixplint:". It returns a
+// non-empty message describing the problem for malformed directives.
+func parseDirective(text string) (Directive, string) {
+	head, just, found := strings.Cut(text, "--")
+	just = strings.TrimSpace(just)
+	fields := strings.Fields(head)
+	if len(fields) == 0 {
+		return Directive{}, "empty mixplint directive"
+	}
+	d := Directive{Kind: fields[0], Justification: just}
+	switch d.Kind {
+	case "ignore", "package":
+		if len(fields) != 2 {
+			return Directive{}, "mixplint:" + d.Kind + " needs exactly one analyzer name"
+		}
+		d.Analyzer = fields[1]
+	case "alias":
+		if len(fields) != 1 {
+			return Directive{}, "mixplint:alias takes no arguments before the justification"
+		}
+	default:
+		return Directive{}, "unknown mixplint directive " + d.Kind + " (want ignore, package, or alias)"
+	}
+	if !found || just == "" {
+		return Directive{}, "mixplint:" + d.Kind + ` requires a justification after " -- "`
+	}
+	return d, ""
+}
+
+// suppresses reports whether directive d suppresses a finding from the
+// named analyzer at the given line of the same file.
+func (d *Directive) suppresses(analyzer string, line int) bool {
+	switch d.Kind {
+	case "package":
+		return d.Analyzer == analyzer
+	case "ignore":
+		return d.Analyzer == analyzer && (line == d.Line || line == d.Line+1)
+	}
+	return false
+}
+
+// AliasAt returns the justification of an alias directive whose comment
+// sits on the given line (or the line above it), and whether one exists.
+// typedepcheck uses this to accept declared edges whose evidence lives
+// only in the original C source.
+func AliasAt(dirs []Directive, file string, line int, fset *token.FileSet) (string, bool) {
+	for i := range dirs {
+		d := &dirs[i]
+		if d.Kind != "alias" {
+			continue
+		}
+		if fset.Position(d.Pos).Filename != file {
+			continue
+		}
+		if line == d.Line || line == d.Line+1 {
+			return d.Justification, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,404 @@
+package typedepcheck
+
+// Call evaluation for the constructor interpreter: typedep.Graph
+// operations are intrinsics recorded into the abstract graph; fmt and
+// builtins get concrete implementations; same-package functions,
+// methods, and closures are interpreted recursively.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func (in *interp) evalCall(call *ast.CallExpr, e *env) (value, error) {
+	// Builtins first: len, append, make, cap, panic.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := in.info.Uses[id].(*types.Builtin); isBuiltin {
+			return in.evalBuiltin(id.Name, call, e)
+		}
+	}
+	// Type conversions: T(x).
+	if tv, ok := in.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return nil, fmt.Errorf("bad conversion at %d", call.Pos())
+		}
+		v, err := in.evalExpr(call.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		return convert(tv.Type, v)
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		// Package-qualified calls: typedep.NewGraph, fmt.Sprintf.
+		if obj, ok := in.info.Uses[sel.Sel].(*types.Func); ok && obj.Type().(*types.Signature).Recv() == nil {
+			if obj.Pkg() != nil && obj.Pkg() != in.pkg {
+				return in.evalForeignCall(obj, call, e)
+			}
+		}
+		// Method calls: resolve the receiver value.
+		if selection, ok := in.info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recv, err := in.evalExpr(sel.X, e)
+			if err != nil {
+				return nil, err
+			}
+			if g, ok := recv.(*graphVal); ok {
+				return in.evalGraphMethod(g, sel.Sel.Name, call, e)
+			}
+			fn, ok := selection.Obj().(*types.Func)
+			if !ok {
+				return nil, fmt.Errorf("unresolved method at %d", call.Pos())
+			}
+			decl := in.funcDecl(fn)
+			if decl == nil {
+				return nil, fmt.Errorf("method %s has no source in this package (at %d)", fn.Name(), call.Pos())
+			}
+			args, err := in.evalArgs(call, e)
+			if err != nil {
+				return nil, err
+			}
+			return in.callDecl(decl, recv, args, call)
+		}
+	}
+
+	// Plain identifier calls: closures and package functions.
+	fnVal, err := in.evalExpr(call.Fun, e)
+	if err != nil {
+		return nil, err
+	}
+	args, err := in.evalArgs(call, e)
+	if err != nil {
+		return nil, err
+	}
+	switch fn := fnVal.(type) {
+	case *closureVal:
+		return in.callClosure(fn, args, call)
+	case *funcVal:
+		return in.callDecl(fn.decl, fn.recv, args, call)
+	}
+	return nil, fmt.Errorf("call of non-function %T at %d", fnVal, call.Pos())
+}
+
+// evalArgs evaluates the argument list, spreading a trailing slice for
+// f(xs...) calls.
+func (in *interp) evalArgs(call *ast.CallExpr, e *env) ([]value, error) {
+	var args []value
+	for i, a := range call.Args {
+		v, err := in.evalExpr(a, e)
+		if err != nil {
+			return nil, err
+		}
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			sv, ok := v.(*sliceVal)
+			if !ok {
+				return nil, fmt.Errorf("spread of non-slice at %d", a.Pos())
+			}
+			args = append(args, sv.elems...)
+			continue
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+func (in *interp) evalBuiltin(name string, call *ast.CallExpr, e *env) (value, error) {
+	switch name {
+	case "len":
+		v, err := in.evalExpr(call.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		switch v := v.(type) {
+		case *sliceVal:
+			return int64(len(v.elems)), nil
+		case string:
+			return int64(len(v)), nil
+		case *mapVal:
+			return int64(len(v.entries)), nil
+		}
+		return nil, fmt.Errorf("len of %T at %d", v, call.Pos())
+	case "append":
+		args, err := in.evalArgs(call, e)
+		if err != nil {
+			return nil, err
+		}
+		base, ok := args[0].(*sliceVal)
+		if !ok {
+			if args[0] == nil {
+				base = &sliceVal{}
+			} else {
+				return nil, fmt.Errorf("append to %T at %d", args[0], call.Pos())
+			}
+		}
+		out := &sliceVal{elems: append(append([]value{}, base.elems...), args[1:]...)}
+		return out, nil
+	case "make":
+		tv := in.info.Types[call.Args[0]]
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			return &mapVal{entries: make(map[string]value)}, nil
+		case *types.Slice:
+			n := int64(0)
+			if len(call.Args) > 1 {
+				v, err := in.evalExpr(call.Args[1], e)
+				if err != nil {
+					return nil, err
+				}
+				n, _ = v.(int64)
+			}
+			return &sliceVal{elems: make([]value, n)}, nil
+		}
+		return nil, fmt.Errorf("unsupported make at %d", call.Pos())
+	case "cap":
+		v, err := in.evalExpr(call.Args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		if sv, ok := v.(*sliceVal); ok {
+			return int64(len(sv.elems)), nil
+		}
+		return nil, fmt.Errorf("cap of %T at %d", v, call.Pos())
+	case "panic":
+		msg := "panic"
+		if len(call.Args) == 1 {
+			if v, err := in.evalExpr(call.Args[0], e); err == nil {
+				msg = fmt.Sprintf("panic: %v", render(v))
+			}
+		}
+		return nil, fmt.Errorf("constructor reaches %s at %d", msg, call.Pos())
+	}
+	return nil, fmt.Errorf("unsupported builtin %s at %d", name, call.Pos())
+}
+
+// evalForeignCall handles the few cross-package functions constructors
+// use: typedep.NewGraph and fmt.Sprintf/Errorf.
+func (in *interp) evalForeignCall(fn *types.Func, call *ast.CallExpr, e *env) (value, error) {
+	key := fn.Pkg().Path() + "." + fn.Name()
+	switch key {
+	case "repro/internal/typedep.NewGraph":
+		return newGraphVal(), nil
+	case "fmt.Sprintf", "fmt.Errorf":
+		args, err := in.evalArgs(call, e)
+		if err != nil {
+			return nil, err
+		}
+		format, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("non-constant format string at %d", call.Pos())
+		}
+		rest := make([]any, len(args)-1)
+		for i, a := range args[1:] {
+			switch a := a.(type) {
+			case int64, string, bool, float64:
+				rest[i] = a
+			case varID:
+				rest[i] = int(a)
+			default:
+				rest[i] = render(a)
+			}
+		}
+		return fmt.Sprintf(format, rest...), nil
+	}
+	return nil, fmt.Errorf("call to unmodelled function %s at %d", key, call.Pos())
+}
+
+// evalGraphMethod implements the typedep.Graph intrinsics.
+func (in *interp) evalGraphMethod(g *graphVal, name string, call *ast.CallExpr, e *env) (value, error) {
+	args, err := in.evalArgs(call, e)
+	if err != nil {
+		return nil, err
+	}
+	asID := func(v value) (int, error) {
+		id, ok := v.(varID)
+		if !ok {
+			return 0, fmt.Errorf("non-VarID argument %T to Graph.%s at %d", v, name, call.Pos())
+		}
+		if int(id) < 0 || int(id) >= len(g.vars) {
+			return 0, fmt.Errorf("VarID %d out of range in Graph.%s at %d", int(id), name, call.Pos())
+		}
+		return int(id), nil
+	}
+	switch name {
+	case "Add":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("Graph.Add arity at %d", call.Pos())
+		}
+		vname, ok1 := args[0].(string)
+		unit, ok2 := args[1].(string)
+		kind, ok3 := args[2].(int64)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("non-constant Graph.Add arguments at %d", call.Pos())
+		}
+		id, err := g.add(vname, unit, kind, call.Pos())
+		if err != nil {
+			return nil, fmt.Errorf("%v at %d", err, call.Pos())
+		}
+		return id, nil
+	case "Connect", "ConnectAll":
+		ids := make([]int, len(args))
+		for i, a := range args {
+			id, err := asID(a)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = id
+		}
+		if name == "Connect" && len(ids) != 2 {
+			return nil, fmt.Errorf("Graph.Connect arity at %d", call.Pos())
+		}
+		if len(ids) >= 2 {
+			g.records = append(g.records, connectRec{pos: call.Pos(), ids: ids})
+		}
+		return nil, nil
+	case "Lookup":
+		vname, ok1 := args[0].(string)
+		unit, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("non-constant Graph.Lookup arguments at %d", call.Pos())
+		}
+		id, found := g.index[unit+"::"+vname]
+		return tupleVal{elems: []value{varID(id), found}}, nil
+	case "NumVars":
+		return int64(len(g.vars)), nil
+	case "NumClusters":
+		return int64(g.numClusters()), nil
+	}
+	return nil, fmt.Errorf("unmodelled Graph method %s at %d", name, call.Pos())
+}
+
+// callClosure interprets a function literal with its captured env.
+func (in *interp) callClosure(c *closureVal, args []value, call *ast.CallExpr) (value, error) {
+	e := newEnv(c.env)
+	if err := in.bindParams(c.lit.Type, args, e, call); err != nil {
+		return nil, err
+	}
+	return in.finishCall(c.lit.Body, e)
+}
+
+// callDecl interprets a package function or method declaration.
+func (in *interp) callDecl(decl *ast.FuncDecl, recv value, args []value, call *ast.CallExpr) (value, error) {
+	e := newEnv(nil)
+	if decl.Recv != nil {
+		if len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+			e.define(in.info.Defs[decl.Recv.List[0].Names[0]], recv)
+		}
+	}
+	if err := in.bindParams(decl.Type, args, e, call); err != nil {
+		return nil, err
+	}
+	return in.finishCall(decl.Body, e)
+}
+
+func (in *interp) finishCall(body *ast.BlockStmt, e *env) (value, error) {
+	rets, err := in.callBody(body, e)
+	if err != nil {
+		return nil, err
+	}
+	switch len(rets) {
+	case 0:
+		return nil, nil
+	case 1:
+		return rets[0], nil
+	}
+	return tupleVal{elems: rets}, nil
+}
+
+// bindParams maps evaluated arguments onto parameter objects, packing
+// variadic tails into a slice.
+func (in *interp) bindParams(ft *ast.FuncType, args []value, e *env, call *ast.CallExpr) error {
+	var params []*ast.Ident
+	variadic := false
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if _, isEllipsis := field.Type.(*ast.Ellipsis); isEllipsis {
+				variadic = true
+			}
+			params = append(params, field.Names...)
+		}
+	}
+	if variadic {
+		if len(params) == 0 {
+			return fmt.Errorf("unsupported variadic signature at %d", call.Pos())
+		}
+		fixed := len(params) - 1
+		if len(args) < fixed {
+			return fmt.Errorf("argument count mismatch at %d", call.Pos())
+		}
+		for i := 0; i < fixed; i++ {
+			e.define(in.info.Defs[params[i]], args[i])
+		}
+		e.define(in.info.Defs[params[fixed]], &sliceVal{elems: append([]value{}, args[fixed:]...)})
+		return nil
+	}
+	if len(args) != len(params) {
+		return fmt.Errorf("argument count mismatch at %d (want %d, got %d)", call.Pos(), len(params), len(args))
+	}
+	for i, p := range params {
+		e.define(in.info.Defs[p], args[i])
+	}
+	return nil
+}
+
+// convert implements the conversions constructors use.
+func convert(t types.Type, v value) (value, error) {
+	// Named numeric types (mp.VarID, typedep.Kind) keep their abstract
+	// representation.
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/mp" && obj.Name() == "VarID" {
+			switch v := v.(type) {
+			case int64:
+				return varID(v), nil
+			case varID:
+				return v, nil
+			}
+			return nil, fmt.Errorf("cannot convert %T to mp.VarID", v)
+		}
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		// Identity conversions of non-basic types (interface wrapping).
+		return v, nil
+	}
+	info := basic.Info()
+	switch {
+	case info&types.IsInteger != 0:
+		switch v := v.(type) {
+		case int64:
+			return v, nil
+		case float64:
+			return int64(v), nil
+		case varID:
+			return int64(v), nil
+		}
+	case info&types.IsFloat != 0:
+		if f, ok := toFloat(v); ok {
+			return f, nil
+		}
+	case info&types.IsString != 0:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case info&types.IsBoolean != 0:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("unsupported conversion of %T to %v", v, t)
+}
+
+// render pretty-prints an abstract value for error messages.
+func render(v value) string {
+	switch v := v.(type) {
+	case string:
+		return v
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case varID:
+		return fmt.Sprintf("VarID(%d)", int(v))
+	case nil:
+		return "nil"
+	}
+	return fmt.Sprintf("%T", v)
+}

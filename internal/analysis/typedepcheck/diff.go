@@ -1,0 +1,183 @@
+package typedepcheck
+
+// The diff: declared partition (constructor evidence) versus inferred
+// partition (Run-body evidence), per the P1-P4 rules documented on the
+// package.
+
+import (
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/typedep"
+)
+
+func checkPort(pass *analysis.Pass, p *port, dirs []analysis.Directive) {
+	facts := analyzeRun(pass, p)
+	for _, d := range facts.diags {
+		pass.Report(d)
+	}
+
+	g := p.graph
+	n := len(g.vars)
+	declRoots := partition(n, g.edges())
+
+	// Webbed: the declared cluster carries a Param-kind variable. Param
+	// webs transliterate C call-site bindings (the aliasing Typeforge
+	// reads off the C AST), so element-flow evidence neither confirms
+	// nor refutes them.
+	paramCluster := make(map[int]bool)
+	hasParam := false
+	for id, v := range g.vars {
+		if typedep.Kind(v.kind) == typedep.Param {
+			paramCluster[declRoots[id]] = true
+			hasParam = true
+		}
+	}
+	webbed := func(id int) bool { return paramCluster[declRoots[id]] }
+
+	// Classify each declared record: P1 (param member) or P4 (alias
+	// annotation) records are axioms; the rest need Run-body witnesses.
+	type pending struct{ rec *connectRec }
+	var axioms [][2]int
+	var unproven []pending
+	for i := range g.records {
+		rec := &g.records[i]
+		if len(rec.ids) < 2 {
+			continue
+		}
+		isAxiom := false
+		for _, id := range rec.ids {
+			if id >= 0 && id < n && typedep.Kind(g.vars[id].kind) == typedep.Param {
+				isAxiom = true
+				break
+			}
+		}
+		if !isAxiom {
+			pos := pass.Position(rec.pos)
+			if _, ok := analysis.AliasAt(dirs, pos.Filename, pos.Line, pass.Fset); ok {
+				isAxiom = true
+			}
+		}
+		if isAxiom {
+			for i := 1; i < len(rec.ids); i++ {
+				axioms = append(axioms, [2]int{rec.ids[0], rec.ids[i]})
+			}
+		} else {
+			unproven = append(unproven, pending{rec: rec})
+		}
+	}
+
+	// P2/P3 evidence from the Run analysis. Hidden ids and webbed
+	// variables drop out here.
+	type pair struct{ a, b int }
+	inferredAt := make(map[pair]token.Pos)
+	keep := func(id int) bool { return id >= 0 && id < n && !webbed(id) }
+	addPair := func(a, b int, pos token.Pos) {
+		if a > b {
+			a, b = b, a
+		}
+		if _, ok := inferredAt[pair{a, b}]; !ok {
+			inferredAt[pair{a, b}] = pos
+		}
+	}
+	for _, ev := range facts.events {
+		var arrs []int
+		for _, id := range ev.ids.sorted() {
+			if keep(id) && typedep.Kind(g.vars[id].kind) == typedep.ArrayVar {
+				arrs = append(arrs, id)
+			}
+		}
+		for i := 0; i < len(arrs); i++ {
+			for j := i + 1; j < len(arrs); j++ {
+				addPair(arrs[i], arrs[j], ev.pos)
+			}
+		}
+	}
+	for _, fe := range facts.fills {
+		if !keep(fe.scalar) {
+			continue
+		}
+		for _, arr := range fe.arrays.sorted() {
+			if keep(arr) && typedep.Kind(g.vars[arr].kind) == typedep.ArrayVar {
+				addPair(fe.scalar, arr, fe.pos)
+			}
+		}
+	}
+
+	// Inferred partition = Run evidence + axiom edges.
+	var inferredPairs [][2]int
+	for pr := range inferredAt {
+		inferredPairs = append(inferredPairs, [2]int{pr.a, pr.b})
+	}
+	sort.Slice(inferredPairs, func(i, j int) bool {
+		if inferredPairs[i][0] != inferredPairs[j][0] {
+			return inferredPairs[i][0] < inferredPairs[j][0]
+		}
+		return inferredPairs[i][1] < inferredPairs[j][1]
+	})
+	inferredPairs = append(inferredPairs, axioms...)
+	infRoots := partition(n, inferredPairs)
+
+	// Spurious direction: a declared, non-axiom record whose endpoints
+	// the inferred partition does not connect.
+	for _, pd := range unproven {
+		rec := pd.rec
+		for i := 1; i < len(rec.ids); i++ {
+			a, b := rec.ids[0], rec.ids[i]
+			if a < 0 || a >= n || b < 0 || b >= n {
+				continue
+			}
+			if infRoots[a] != infRoots[b] {
+				pass.Reportf(rec.pos,
+					"declared edge %s -- %s is unwitnessed: no Run dataflow connects them (annotate with //mixplint:alias if the dependence exists only in the original C source)",
+					nameOf(g, a), nameOf(g, b))
+			}
+		}
+	}
+
+	// Missing direction: an inferred dependence that crosses declared
+	// cluster boundaries. Report each pair once, at its first witness.
+	type miss struct {
+		a, b int
+		pos  token.Pos
+	}
+	var missing []miss
+	for pr, pos := range inferredAt {
+		if declRoots[pr.a] != declRoots[pr.b] {
+			missing = append(missing, miss{pr.a, pr.b, pos})
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		if missing[i].pos != missing[j].pos {
+			return missing[i].pos < missing[j].pos
+		}
+		return missing[i].a < missing[j].a
+	})
+	for _, m := range missing {
+		pass.Reportf(m.pos,
+			"missing edge: Run dataflow connects %s and %s but the declared graph keeps them in separate clusters",
+			nameOf(g, m.a), nameOf(g, m.b))
+	}
+
+	// Coverage: kernels (no parameter web) must exercise every declared
+	// tunable; an idle variable is dead weight in the search space.
+	if !hasParam {
+		for id := range g.vars {
+			if !facts.used[id] {
+				pos := p.ctorPos
+				if id < len(g.addPos) {
+					pos = g.addPos[id]
+				}
+				pass.Reportf(pos,
+					"declared variable %s is never exercised by Run",
+					nameOf(g, id))
+			}
+		}
+	}
+}
+
+func nameOf(g *graphVal, id int) string {
+	v := g.vars[id]
+	return v.unit + "::" + v.name
+}

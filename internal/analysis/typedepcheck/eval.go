@@ -1,0 +1,1156 @@
+package typedepcheck
+
+// This file is the constructor interpreter: a small abstract evaluator
+// that executes a port's New* function symbolically, with the
+// typedep.Graph operations modelled as intrinsics, to recover the
+// declared variable inventory and dependence edges exactly as the
+// runtime would build them — including ports that declare variables in
+// loops over name tables, through helpers like addAliases, or via
+// closures. Anything it cannot evaluate is an error surfaced as a
+// "constructor not statically analyzable" diagnostic rather than a
+// silent gap.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ---- value domain ----
+
+type value any
+
+// varID is a graph variable handle (the abstract mp.VarID).
+type varID int
+
+// varMeta mirrors typedep.Variable.
+type varMeta struct {
+	name, unit string
+	kind       int64 // typedep.Kind constant value
+}
+
+// connectRec records one Connect/ConnectAll call: its position (for
+// alias annotations and diagnostics) and the ids it united.
+type connectRec struct {
+	pos token.Pos
+	ids []int
+}
+
+// graphVal is the abstract typedep.Graph under construction.
+type graphVal struct {
+	vars    []varMeta
+	index   map[string]int // unit+"::"+name -> id
+	addPos  []token.Pos    // g.Add call position per id
+	records []connectRec
+}
+
+func newGraphVal() *graphVal {
+	return &graphVal{index: make(map[string]int)}
+}
+
+func (g *graphVal) add(name, unit string, kind int64, pos token.Pos) (varID, error) {
+	key := unit + "::" + name
+	if _, dup := g.index[key]; dup {
+		return 0, fmt.Errorf("duplicate variable %s", key)
+	}
+	id := len(g.vars)
+	g.vars = append(g.vars, varMeta{name: name, unit: unit, kind: kind})
+	g.addPos = append(g.addPos, pos)
+	g.index[key] = id
+	return varID(id), nil
+}
+
+// edges returns every pair united by the records.
+func (g *graphVal) edges() [][2]int {
+	var out [][2]int
+	for _, r := range g.records {
+		for i := 1; i < len(r.ids); i++ {
+			out = append(out, [2]int{r.ids[0], r.ids[i]})
+		}
+	}
+	return out
+}
+
+// partition union-finds n elements over the given pairs and returns a
+// root id per element.
+func partition(n int, pairs [][2]int) []int {
+	root := make([]int, n)
+	for i := range root {
+		root[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for root[x] != x {
+			x = root[x]
+		}
+		return x
+	}
+	for _, p := range pairs {
+		a, b := find(p[0]), find(p[1])
+		if a != b {
+			if b < a {
+				a, b = b, a
+			}
+			root[b] = a
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}
+
+func (g *graphVal) numClusters() int {
+	roots := partition(len(g.vars), g.edges())
+	seen := make(map[int]bool)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	return len(seen)
+}
+
+// structVal is a mutable struct instance; pointers to structs share it.
+type structVal struct {
+	typ    types.Type // the named struct type (or struct literal type)
+	fields map[string]value
+}
+
+// sliceVal backs slices and arrays.
+type sliceVal struct{ elems []value }
+
+// mapVal backs string- and int-keyed maps.
+type mapVal struct{ entries map[string]value }
+
+func mapKey(k value) (string, error) {
+	switch k := k.(type) {
+	case string:
+		return "s:" + k, nil
+	case int64:
+		return fmt.Sprintf("i:%d", k), nil
+	case varID:
+		return fmt.Sprintf("v:%d", int(k)), nil
+	}
+	return "", fmt.Errorf("unsupported map key %T", k)
+}
+
+// closureVal is a function literal plus its captured environment.
+type closureVal struct {
+	lit *ast.FuncLit
+	env *env
+}
+
+// funcVal is a package-level function or method awaiting a receiver.
+type funcVal struct {
+	decl *ast.FuncDecl
+	recv value // bound receiver for method values, else nil
+}
+
+// tupleVal carries multi-returns (graph.Lookup).
+type tupleVal struct{ elems []value }
+
+// ---- environment ----
+
+type env struct {
+	parent *env
+	vars   map[types.Object]*cell
+}
+
+type cell struct{ v value }
+
+func newEnv(parent *env) *env {
+	return &env{parent: parent, vars: make(map[types.Object]*cell)}
+}
+
+func (e *env) lookup(obj types.Object) (*cell, bool) {
+	for s := e; s != nil; s = s.parent {
+		if c, ok := s.vars[obj]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) define(obj types.Object, v value) {
+	e.vars[obj] = &cell{v: v}
+}
+
+// ---- interpreter ----
+
+// interp evaluates constructor-shaped code for one package.
+type interp struct {
+	info    *types.Info
+	files   []*ast.File
+	pkg     *types.Package
+	steps   int
+	globals map[types.Object]value // package-level vars (name tables), lazily evaluated
+}
+
+const maxSteps = 2_000_000
+
+func newInterp(info *types.Info, files []*ast.File, pkg *types.Package) *interp {
+	return &interp{info: info, files: files, pkg: pkg, globals: make(map[types.Object]value)}
+}
+
+func (in *interp) step() error {
+	in.steps++
+	if in.steps > maxSteps {
+		return fmt.Errorf("evaluation exceeded %d steps", maxSteps)
+	}
+	return nil
+}
+
+// control models statement-level control flow.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+type stmtResult struct {
+	ctl control
+	ret []value
+}
+
+// callFunction evaluates a function body with the given env.
+func (in *interp) callBody(body *ast.BlockStmt, e *env) ([]value, error) {
+	res, err := in.execBlock(body, e)
+	if err != nil {
+		return nil, err
+	}
+	if res.ctl == ctlReturn {
+		return res.ret, nil
+	}
+	return nil, nil
+}
+
+func (in *interp) execBlock(b *ast.BlockStmt, e *env) (stmtResult, error) {
+	inner := newEnv(e)
+	for _, s := range b.List {
+		res, err := in.execStmt(s, inner)
+		if err != nil {
+			return stmtResult{}, err
+		}
+		if res.ctl != ctlNone {
+			return res, nil
+		}
+	}
+	return stmtResult{}, nil
+}
+
+func (in *interp) execStmt(s ast.Stmt, e *env) (stmtResult, error) {
+	if err := in.step(); err != nil {
+		return stmtResult{}, err
+	}
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return stmtResult{}, fmt.Errorf("unsupported declaration at %d", s.Pos())
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue // type or const specs need no env entries (consts fold)
+			}
+			for i, name := range vs.Names {
+				var v value
+				if i < len(vs.Values) {
+					var err error
+					v, err = in.evalExpr(vs.Values[i], e)
+					if err != nil {
+						return stmtResult{}, err
+					}
+				}
+				e.define(in.info.Defs[name], v)
+			}
+		}
+		return stmtResult{}, nil
+	case *ast.AssignStmt:
+		return stmtResult{}, in.execAssign(s, e)
+	case *ast.ExprStmt:
+		_, err := in.evalExpr(s.X, e)
+		return stmtResult{}, err
+	case *ast.IncDecStmt:
+		v, err := in.evalExpr(s.X, e)
+		if err != nil {
+			return stmtResult{}, err
+		}
+		n, ok := v.(int64)
+		if !ok {
+			return stmtResult{}, fmt.Errorf("inc/dec of non-integer at %d", s.Pos())
+		}
+		if s.Tok == token.INC {
+			n++
+		} else {
+			n--
+		}
+		return stmtResult{}, in.assignTo(s.X, n, e)
+	case *ast.IfStmt:
+		inner := newEnv(e)
+		if s.Init != nil {
+			if res, err := in.execStmt(s.Init, inner); err != nil || res.ctl != ctlNone {
+				return res, err
+			}
+		}
+		cond, err := in.evalExpr(s.Cond, inner)
+		if err != nil {
+			return stmtResult{}, err
+		}
+		b, ok := cond.(bool)
+		if !ok {
+			return stmtResult{}, fmt.Errorf("non-boolean if condition at %d", s.Pos())
+		}
+		if b {
+			return in.execBlock(s.Body, inner)
+		}
+		if s.Else != nil {
+			switch el := s.Else.(type) {
+			case *ast.BlockStmt:
+				return in.execBlock(el, inner)
+			default:
+				return in.execStmt(s.Else, inner)
+			}
+		}
+		return stmtResult{}, nil
+	case *ast.ForStmt:
+		inner := newEnv(e)
+		if s.Init != nil {
+			if res, err := in.execStmt(s.Init, inner); err != nil || res.ctl != ctlNone {
+				return res, err
+			}
+		}
+		for {
+			if err := in.step(); err != nil {
+				return stmtResult{}, err
+			}
+			if s.Cond != nil {
+				cond, err := in.evalExpr(s.Cond, inner)
+				if err != nil {
+					return stmtResult{}, err
+				}
+				b, ok := cond.(bool)
+				if !ok {
+					return stmtResult{}, fmt.Errorf("non-boolean loop condition at %d", s.Pos())
+				}
+				if !b {
+					break
+				}
+			}
+			res, err := in.execBlock(s.Body, inner)
+			if err != nil {
+				return stmtResult{}, err
+			}
+			if res.ctl == ctlReturn {
+				return res, nil
+			}
+			if res.ctl == ctlBreak {
+				break
+			}
+			if s.Post != nil {
+				if res, err := in.execStmt(s.Post, inner); err != nil || res.ctl != ctlNone {
+					return res, err
+				}
+			}
+		}
+		return stmtResult{}, nil
+	case *ast.RangeStmt:
+		return in.execRange(s, e)
+	case *ast.ReturnStmt:
+		var vals []value
+		for _, r := range s.Results {
+			v, err := in.evalExpr(r, e)
+			if err != nil {
+				return stmtResult{}, err
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 1 {
+			if t, ok := vals[0].(tupleVal); ok {
+				vals = t.elems
+			}
+		}
+		return stmtResult{ctl: ctlReturn, ret: vals}, nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return stmtResult{ctl: ctlBreak}, nil
+		case token.CONTINUE:
+			return stmtResult{ctl: ctlContinue}, nil
+		}
+		return stmtResult{}, fmt.Errorf("unsupported branch %s at %d", s.Tok, s.Pos())
+	case *ast.BlockStmt:
+		return in.execBlock(s, e)
+	case *ast.EmptyStmt:
+		return stmtResult{}, nil
+	}
+	return stmtResult{}, fmt.Errorf("unsupported statement %T at %d", s, s.Pos())
+}
+
+func (in *interp) execRange(s *ast.RangeStmt, e *env) (stmtResult, error) {
+	x, err := in.evalExpr(s.X, e)
+	if err != nil {
+		return stmtResult{}, err
+	}
+	inner := newEnv(e)
+	bind := func(keyObj, valObj types.Object, k, v value) {
+		if keyObj != nil {
+			if c, ok := inner.lookup(keyObj); ok {
+				c.v = k
+			} else {
+				inner.define(keyObj, k)
+			}
+		}
+		if valObj != nil {
+			if c, ok := inner.lookup(valObj); ok {
+				c.v = v
+			} else {
+				inner.define(valObj, v)
+			}
+		}
+	}
+	var keyObj, valObj types.Object
+	if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = in.info.Defs[id]
+	}
+	if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+		valObj = in.info.Defs[id]
+	}
+	runBody := func(k, v value) (stmtResult, error) {
+		if err := in.step(); err != nil {
+			return stmtResult{}, err
+		}
+		bind(keyObj, valObj, k, v)
+		res, err := in.execBlock(s.Body, inner)
+		if err != nil {
+			return stmtResult{}, err
+		}
+		return res, nil
+	}
+	switch x := x.(type) {
+	case *sliceVal:
+		for i, v := range x.elems {
+			res, err := runBody(int64(i), v)
+			if err != nil {
+				return stmtResult{}, err
+			}
+			if res.ctl == ctlReturn {
+				return res, nil
+			}
+			if res.ctl == ctlBreak {
+				return stmtResult{}, nil
+			}
+		}
+		return stmtResult{}, nil
+	case int64: // go 1.22 range-over-int
+		for i := int64(0); i < x; i++ {
+			res, err := runBody(i, nil)
+			if err != nil {
+				return stmtResult{}, err
+			}
+			if res.ctl == ctlReturn {
+				return res, nil
+			}
+			if res.ctl == ctlBreak {
+				return stmtResult{}, nil
+			}
+		}
+		return stmtResult{}, nil
+	case *mapVal:
+		keys := make([]string, 0, len(x.entries))
+		for k := range x.entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			res, err := runBody(k[2:], x.entries[k])
+			if err != nil {
+				return stmtResult{}, err
+			}
+			if res.ctl == ctlReturn {
+				return res, nil
+			}
+			if res.ctl == ctlBreak {
+				return stmtResult{}, nil
+			}
+		}
+		return stmtResult{}, nil
+	}
+	return stmtResult{}, fmt.Errorf("unsupported range over %T at %d", x, s.Pos())
+}
+
+func (in *interp) execAssign(s *ast.AssignStmt, e *env) error {
+	// Compound ops: x op= y.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return fmt.Errorf("unsupported compound assign at %d", s.Pos())
+		}
+		cur, err := in.evalExpr(s.Lhs[0], e)
+		if err != nil {
+			return err
+		}
+		rhs, err := in.evalExpr(s.Rhs[0], e)
+		if err != nil {
+			return err
+		}
+		op, ok := compoundOps[s.Tok]
+		if !ok {
+			return fmt.Errorf("unsupported assign op %s at %d", s.Tok, s.Pos())
+		}
+		v, err := binaryOp(op, cur, rhs)
+		if err != nil {
+			return err
+		}
+		return in.assignTo(s.Lhs[0], v, e)
+	}
+
+	var vals []value
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Comma-ok map read: v, ok := m[k].
+		if idx, ok := s.Rhs[0].(*ast.IndexExpr); ok && len(s.Lhs) == 2 {
+			if base, err := in.evalExpr(idx.X, e); err == nil {
+				if mv, isMap := base.(*mapVal); isMap {
+					kVal, err := in.evalExpr(idx.Index, e)
+					if err != nil {
+						return err
+					}
+					k, err := mapKey(kVal)
+					if err != nil {
+						return err
+					}
+					v, present := mv.entries[k]
+					return in.assignVals(s, []value{v, present}, e)
+				}
+			}
+		}
+		v, err := in.evalExpr(s.Rhs[0], e)
+		if err != nil {
+			return err
+		}
+		t, ok := v.(tupleVal)
+		if !ok || len(t.elems) != len(s.Lhs) {
+			return fmt.Errorf("multi-assign arity mismatch at %d", s.Pos())
+		}
+		vals = t.elems
+	} else {
+		for _, r := range s.Rhs {
+			v, err := in.evalExpr(r, e)
+			if err != nil {
+				return err
+			}
+			if t, ok := v.(tupleVal); ok && len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+				v = t.elems[0]
+			}
+			vals = append(vals, v)
+		}
+	}
+	return in.assignVals(s, vals, e)
+}
+
+// assignVals distributes evaluated values across the assignment's
+// targets, defining new locals for := targets.
+func (in *interp) assignVals(s *ast.AssignStmt, vals []value, e *env) error {
+	for i, lhs := range s.Lhs {
+		if s.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := in.info.Defs[id]; obj != nil {
+					e.define(obj, vals[i])
+					continue
+				}
+			}
+		}
+		if err := in.assignTo(lhs, vals[i], e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assignTo writes v through an lvalue expression.
+func (in *interp) assignTo(lhs ast.Expr, v value, e *env) error {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return nil
+		}
+		obj := in.info.Uses[lhs]
+		if obj == nil {
+			obj = in.info.Defs[lhs]
+		}
+		if c, ok := e.lookup(obj); ok {
+			c.v = v
+			return nil
+		}
+		e.define(obj, v)
+		return nil
+	case *ast.SelectorExpr:
+		base, err := in.evalExpr(lhs.X, e)
+		if err != nil {
+			return err
+		}
+		sv, path, err := in.fieldPath(base, lhs)
+		if err != nil {
+			return err
+		}
+		// Navigate to the second-to-last struct, then set the field.
+		for i := 0; i < len(path)-1; i++ {
+			next, ok := sv.fields[path[i]].(*structVal)
+			if !ok {
+				return fmt.Errorf("field %s is not a struct", path[i])
+			}
+			sv = next
+		}
+		sv.fields[path[len(path)-1]] = v
+		return nil
+	case *ast.IndexExpr:
+		base, err := in.evalExpr(lhs.X, e)
+		if err != nil {
+			return err
+		}
+		idx, err := in.evalExpr(lhs.Index, e)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			// Writing into a zero-valued array field (k.coeff[i] = ...):
+			// materialize the backing store on first use.
+			sv := &sliceVal{}
+			if err := in.assignTo(lhs.X, sv, e); err != nil {
+				return err
+			}
+			base = sv
+		}
+		switch b := base.(type) {
+		case *sliceVal:
+			i, ok := idx.(int64)
+			if !ok || i < 0 {
+				return fmt.Errorf("bad slice index at %d", lhs.Pos())
+			}
+			for int64(len(b.elems)) <= i {
+				b.elems = append(b.elems, nil)
+			}
+			b.elems[i] = v
+			return nil
+		case *mapVal:
+			k, err := mapKey(idx)
+			if err != nil {
+				return err
+			}
+			b.entries[k] = v
+			return nil
+		case nil:
+			return fmt.Errorf("index into nil value at %d", lhs.Pos())
+		}
+		return fmt.Errorf("unsupported index target %T at %d", base, lhs.Pos())
+	case *ast.StarExpr:
+		return in.assignTo(lhs.X, v, e)
+	}
+	return fmt.Errorf("unsupported assignment target %T at %d", lhs, lhs.Pos())
+}
+
+// fieldPath resolves a selector on a struct value to the field-name
+// path (through embedded fields) using the type checker's selection.
+func (in *interp) fieldPath(base value, sel *ast.SelectorExpr) (*structVal, []string, error) {
+	sv, ok := base.(*structVal)
+	if !ok {
+		return nil, nil, fmt.Errorf("selector on non-struct %T at %d", base, sel.Pos())
+	}
+	selection, ok := in.info.Selections[sel]
+	if !ok {
+		return nil, nil, fmt.Errorf("no selection info at %d", sel.Pos())
+	}
+	st, err := underlyingStruct(sv.typ)
+	if err != nil {
+		return nil, nil, err
+	}
+	var path []string
+	for _, idx := range selection.Index() {
+		f := st.Field(idx)
+		path = append(path, f.Name())
+		if next, err2 := underlyingStruct(f.Type()); err2 == nil {
+			st = next
+		}
+	}
+	return sv, path, nil
+}
+
+func underlyingStruct(t types.Type) (*types.Struct, error) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			t = u.Underlying()
+		case *types.Struct:
+			return u, nil
+		default:
+			return nil, fmt.Errorf("not a struct type: %v", t)
+		}
+	}
+}
+
+var compoundOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD,
+	token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL,
+	token.QUO_ASSIGN: token.QUO,
+	token.REM_ASSIGN: token.REM,
+}
+
+// ---- expressions ----
+
+func (in *interp) evalExpr(x ast.Expr, e *env) (value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	// The type checker already folded constants (literals, consts,
+	// typedep.Kind values, sizes): use them first.
+	if tv, ok := in.info.Types[x]; ok && tv.Value != nil {
+		return constValue(tv.Value)
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return nil, nil
+		}
+		obj := in.info.Uses[x]
+		if obj == nil {
+			obj = in.info.Defs[x]
+		}
+		if obj == nil {
+			return nil, fmt.Errorf("unresolved identifier %s at %d", x.Name, x.Pos())
+		}
+		if c, ok := e.lookup(obj); ok {
+			return c.v, nil
+		}
+		// Package-level var (a name table) or function.
+		return in.globalValue(obj, x)
+	case *ast.ParenExpr:
+		return in.evalExpr(x.X, e)
+	case *ast.SelectorExpr:
+		base, err := in.evalExpr(x.X, e)
+		if err != nil {
+			return nil, err
+		}
+		sv, path, err := in.fieldPath(base, x)
+		if err != nil {
+			return nil, err
+		}
+		var cur value = sv
+		for _, name := range path {
+			s, ok := cur.(*structVal)
+			if !ok {
+				return nil, fmt.Errorf("field path through non-struct at %d", x.Pos())
+			}
+			cur = s.fields[name]
+		}
+		return cur, nil
+	case *ast.StarExpr:
+		return in.evalExpr(x.X, e)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return in.evalExpr(x.X, e)
+		case token.SUB:
+			v, err := in.evalExpr(x.X, e)
+			if err != nil {
+				return nil, err
+			}
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("unary - on %T at %d", v, x.Pos())
+		case token.NOT:
+			v, err := in.evalExpr(x.X, e)
+			if err != nil {
+				return nil, err
+			}
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("unary ! on %T at %d", v, x.Pos())
+			}
+			return !b, nil
+		}
+		return nil, fmt.Errorf("unsupported unary op %s at %d", x.Op, x.Pos())
+	case *ast.BinaryExpr:
+		l, err := in.evalExpr(x.X, e)
+		if err != nil {
+			return nil, err
+		}
+		// Short-circuit logic.
+		if x.Op == token.LAND || x.Op == token.LOR {
+			lb, ok := l.(bool)
+			if !ok {
+				return nil, fmt.Errorf("non-boolean operand at %d", x.Pos())
+			}
+			if (x.Op == token.LAND && !lb) || (x.Op == token.LOR && lb) {
+				return lb, nil
+			}
+			return in.evalExpr(x.Y, e)
+		}
+		r, err := in.evalExpr(x.Y, e)
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp(x.Op, l, r)
+	case *ast.CompositeLit:
+		return in.evalComposite(x, e)
+	case *ast.IndexExpr:
+		base, err := in.evalExpr(x.X, e)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.evalExpr(x.Index, e)
+		if err != nil {
+			return nil, err
+		}
+		switch b := base.(type) {
+		case *sliceVal:
+			i, ok := idx.(int64)
+			if !ok || i < 0 || i >= int64(len(b.elems)) {
+				return nil, fmt.Errorf("slice index out of range at %d", x.Pos())
+			}
+			return b.elems[i], nil
+		case *mapVal:
+			k, err := mapKey(idx)
+			if err != nil {
+				return nil, err
+			}
+			// Comma-ok destructuring is handled in execAssign; the
+			// plain read returns the value (nil for a missing key).
+			return b.entries[k], nil
+		case string:
+			i, ok := idx.(int64)
+			if !ok || i < 0 || i >= int64(len(b)) {
+				return nil, fmt.Errorf("string index out of range at %d", x.Pos())
+			}
+			return int64(b[i]), nil
+		}
+		return nil, fmt.Errorf("unsupported index base %T at %d", base, x.Pos())
+	case *ast.SliceExpr:
+		base, err := in.evalExpr(x.X, e)
+		if err != nil {
+			return nil, err
+		}
+		sv, ok := base.(*sliceVal)
+		if !ok {
+			return nil, fmt.Errorf("slice of %T at %d", base, x.Pos())
+		}
+		lo, hi := int64(0), int64(len(sv.elems))
+		if x.Low != nil {
+			v, err := in.evalExpr(x.Low, e)
+			if err != nil {
+				return nil, err
+			}
+			lo, _ = v.(int64)
+		}
+		if x.High != nil {
+			v, err := in.evalExpr(x.High, e)
+			if err != nil {
+				return nil, err
+			}
+			hi, _ = v.(int64)
+		}
+		if lo < 0 || hi > int64(len(sv.elems)) || lo > hi {
+			return nil, fmt.Errorf("slice bounds out of range at %d", x.Pos())
+		}
+		return &sliceVal{elems: sv.elems[lo:hi]}, nil
+	case *ast.CallExpr:
+		return in.evalCall(x, e)
+	case *ast.FuncLit:
+		return &closureVal{lit: x, env: e}, nil
+	}
+	return nil, fmt.Errorf("unsupported expression %T at %d", x, x.Pos())
+}
+
+func (in *interp) evalComposite(x *ast.CompositeLit, e *env) (value, error) {
+	tv, ok := in.info.Types[x]
+	if !ok {
+		return nil, fmt.Errorf("untyped composite literal at %d", x.Pos())
+	}
+	t := tv.Type
+	switch t.Underlying().(type) {
+	case *types.Struct:
+		sv := &structVal{typ: t, fields: make(map[string]value)}
+		st, err := underlyingStruct(t)
+		if err != nil {
+			return nil, err
+		}
+		for i, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					return nil, fmt.Errorf("non-ident struct key at %d", kv.Pos())
+				}
+				v, err := in.evalExpr(kv.Value, e)
+				if err != nil {
+					return nil, err
+				}
+				sv.fields[key.Name] = v
+			} else {
+				v, err := in.evalExpr(elt, e)
+				if err != nil {
+					return nil, err
+				}
+				sv.fields[st.Field(i).Name()] = v
+			}
+		}
+		return sv, nil
+	case *types.Slice, *types.Array:
+		sv := &sliceVal{}
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				idxV, err := in.evalExpr(kv.Key, e)
+				if err != nil {
+					return nil, err
+				}
+				i, ok := idxV.(int64)
+				if !ok {
+					return nil, fmt.Errorf("bad array literal index at %d", kv.Pos())
+				}
+				v, err := in.evalExpr(kv.Value, e)
+				if err != nil {
+					return nil, err
+				}
+				for int64(len(sv.elems)) <= i {
+					sv.elems = append(sv.elems, nil)
+				}
+				sv.elems[i] = v
+				continue
+			}
+			v, err := in.evalExpr(elt, e)
+			if err != nil {
+				return nil, err
+			}
+			sv.elems = append(sv.elems, v)
+		}
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			for int64(len(sv.elems)) < arr.Len() {
+				sv.elems = append(sv.elems, nil)
+			}
+		}
+		return sv, nil
+	case *types.Map:
+		mv := &mapVal{entries: make(map[string]value)}
+		for _, elt := range x.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return nil, fmt.Errorf("map literal without key at %d", elt.Pos())
+			}
+			kVal, err := in.evalExpr(kv.Key, e)
+			if err != nil {
+				return nil, err
+			}
+			k, err := mapKey(kVal)
+			if err != nil {
+				return nil, err
+			}
+			v, err := in.evalExpr(kv.Value, e)
+			if err != nil {
+				return nil, err
+			}
+			mv.entries[k] = v
+		}
+		return mv, nil
+	}
+	return nil, fmt.Errorf("unsupported composite literal type %v at %d", t, x.Pos())
+}
+
+// globalValue resolves package-level objects: name-table vars evaluate
+// their initializer once; functions become callable values.
+func (in *interp) globalValue(obj types.Object, id *ast.Ident) (value, error) {
+	if v, ok := in.globals[obj]; ok {
+		return v, nil
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		for _, f := range in.files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if in.info.Defs[name] != obj {
+							continue
+						}
+						if i >= len(vs.Values) {
+							return nil, fmt.Errorf("package var %s has no initializer", obj.Name())
+						}
+						v, err := in.evalExpr(vs.Values[i], newEnv(nil))
+						if err != nil {
+							return nil, err
+						}
+						in.globals[obj] = v
+						return v, nil
+					}
+				}
+			}
+		}
+		return nil, fmt.Errorf("no initializer found for package var %s", obj.Name())
+	case *types.Func:
+		if decl := in.funcDecl(obj); decl != nil {
+			v := &funcVal{decl: decl}
+			in.globals[obj] = v
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("unsupported package-level reference %s at %d", id.Name, id.Pos())
+}
+
+// funcDecl finds the AST declaration of a package function or method.
+func (in *interp) funcDecl(obj *types.Func) *ast.FuncDecl {
+	for _, f := range in.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if in.info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func constValue(v constant.Value) (value, error) {
+	switch v.Kind() {
+	case constant.Int:
+		n, ok := constant.Int64Val(v)
+		if !ok {
+			return nil, fmt.Errorf("integer constant overflow")
+		}
+		return n, nil
+	case constant.String:
+		return constant.StringVal(v), nil
+	case constant.Bool:
+		return constant.BoolVal(v), nil
+	case constant.Float:
+		f, _ := constant.Float64Val(v)
+		return f, nil
+	}
+	return nil, fmt.Errorf("unsupported constant kind %v", v.Kind())
+}
+
+func binaryOp(op token.Token, l, r value) (value, error) {
+	if li, ok := l.(int64); ok {
+		if ri, ok := r.(int64); ok {
+			switch op {
+			case token.ADD:
+				return li + ri, nil
+			case token.SUB:
+				return li - ri, nil
+			case token.MUL:
+				return li * ri, nil
+			case token.QUO:
+				if ri == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				return li / ri, nil
+			case token.REM:
+				if ri == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				return li % ri, nil
+			case token.LSS:
+				return li < ri, nil
+			case token.LEQ:
+				return li <= ri, nil
+			case token.GTR:
+				return li > ri, nil
+			case token.GEQ:
+				return li >= ri, nil
+			case token.EQL:
+				return li == ri, nil
+			case token.NEQ:
+				return li != ri, nil
+			}
+		}
+	}
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			switch op {
+			case token.ADD:
+				return ls + rs, nil
+			case token.EQL:
+				return ls == rs, nil
+			case token.NEQ:
+				return ls != rs, nil
+			case token.LSS:
+				return ls < rs, nil
+			}
+		}
+	}
+	if lb, ok := l.(bool); ok {
+		if rb, ok := r.(bool); ok {
+			switch op {
+			case token.EQL:
+				return lb == rb, nil
+			case token.NEQ:
+				return lb != rb, nil
+			}
+		}
+	}
+	if lv, ok := l.(varID); ok {
+		if rv, ok := r.(varID); ok {
+			switch op {
+			case token.EQL:
+				return lv == rv, nil
+			case token.NEQ:
+				return lv != rv, nil
+			}
+		}
+	}
+	if lf, lok := toFloat(l); lok {
+		if rf, rok := toFloat(r); rok {
+			switch op {
+			case token.ADD:
+				return lf + rf, nil
+			case token.SUB:
+				return lf - rf, nil
+			case token.MUL:
+				return lf * rf, nil
+			case token.QUO:
+				return lf / rf, nil
+			case token.LSS:
+				return lf < rf, nil
+			case token.LEQ:
+				return lf <= rf, nil
+			case token.GTR:
+				return lf > rf, nil
+			case token.GEQ:
+				return lf >= rf, nil
+			case token.EQL:
+				return lf == rf, nil
+			case token.NEQ:
+				return lf != rf, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unsupported binary %s on %T and %T", op, l, r)
+}
+
+func toFloat(v value) (float64, bool) {
+	switch v := v.(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	}
+	return 0, false
+}

@@ -1,0 +1,31 @@
+package typedepcheck
+
+// FromGraph renders a live typedep.Graph in the same Inventory shape
+// the static analyzer derives from source. The suite's golden-file test
+// uses it so that the runtime declarations and the statically inferred
+// ones are locked to one artifact.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/typedep"
+)
+
+func FromGraph(bench string, g *typedep.Graph) Inventory {
+	inv := Inventory{Bench: bench, TV: g.NumVars(), TC: g.NumClusters()}
+	for _, v := range g.Vars() {
+		inv.Vars = append(inv.Vars, fmt.Sprintf("%s::%s %s", v.Unit, v.Name, v.Kind))
+	}
+	for _, c := range g.Clusters() {
+		members := make([]string, 0, len(c.Members))
+		for _, id := range c.Members {
+			v := g.Var(id)
+			members = append(members, fmt.Sprintf("%s::%s", v.Unit, v.Name))
+		}
+		sort.Strings(members)
+		inv.Clusters = append(inv.Clusters, members)
+	}
+	sort.Slice(inv.Clusters, func(i, j int) bool { return inv.Clusters[i][0] < inv.Clusters[j][0] })
+	return inv
+}

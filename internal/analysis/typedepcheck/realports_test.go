@@ -1,0 +1,130 @@
+package typedepcheck
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden inventory file")
+
+// goldenPath is the single inventory artifact shared with the runtime
+// side (internal/suite's golden test reads the same file).
+const goldenPath = "../../suite/testdata/inventory.json"
+
+func loadRepo(t *testing.T) *analysis.Module {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func portPackage(t *testing.T, m *analysis.Module, path string) *analysis.Package {
+	t.Helper()
+	for _, p := range m.Packages {
+		if p.PkgPath == path {
+			return p
+		}
+	}
+	t.Fatalf("package %s not loaded", path)
+	return nil
+}
+
+// TestRealPortsClean runs typedepcheck over the actual benchmark
+// packages: every declared graph must be fully witnessed under P1-P4
+// and every kernel variable exercised, with zero raw diagnostics.
+func TestRealPortsClean(t *testing.T) {
+	m := loadRepo(t)
+	for _, path := range []string{"repro/internal/kernels", "repro/internal/apps"} {
+		pkg := portPackage(t, m, path)
+		diags, err := analysistest.RunPackage(Analyzer, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", path, pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}
+
+// TestGoldenInventoryStatic locks the statically inferred inventory of
+// all 17 ports - full variable lists and cluster partitions, hence the
+// paper's Table II TV/TC counts - to the shared golden file.
+func TestGoldenInventoryStatic(t *testing.T) {
+	m := loadRepo(t)
+	var got []Inventory
+	for _, path := range []string{"repro/internal/kernels", "repro/internal/apps"} {
+		pkg := portPackage(t, m, path)
+		invs, err := Inventories(pkg.TypesInfo, pkg.Files, pkg.Types)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got = append(got, invs...)
+	}
+	sortInventories(got)
+	if len(got) != 17 {
+		t.Fatalf("derived %d inventories, want 17", len(got))
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.FromSlash(goldenPath), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.FromSlash(goldenPath))
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	var want []Inventory
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	compareInventories(t, got, want)
+}
+
+func sortInventories(invs []Inventory) {
+	for i := 1; i < len(invs); i++ {
+		for j := i; j > 0 && invs[j].Bench < invs[j-1].Bench; j-- {
+			invs[j], invs[j-1] = invs[j-1], invs[j]
+		}
+	}
+}
+
+func compareInventories(t *testing.T, got, want []Inventory) {
+	t.Helper()
+	byName := make(map[string]Inventory)
+	for _, inv := range want {
+		byName[inv.Bench] = inv
+	}
+	for _, g := range got {
+		w, ok := byName[g.Bench]
+		if !ok {
+			t.Errorf("%s: not in golden file", g.Bench)
+			continue
+		}
+		delete(byName, g.Bench)
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: inventory diverged from golden\n got: %+v\nwant: %+v", g.Bench, g, w)
+		}
+	}
+	for name := range byName {
+		t.Errorf("%s: in golden file but not derived", name)
+	}
+}

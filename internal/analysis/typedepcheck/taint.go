@@ -1,0 +1,567 @@
+package typedepcheck
+
+// Run-body dataflow: a flow-insensitive taint analysis over a port's
+// Run method (plus the closures and same-package helpers it calls) that
+// gathers the evidence the partition diff consumes:
+//
+//   - which declared variables Run exercises (NewArray/Value/Assign/
+//     Prec/Var sites);
+//   - co-location events: the sets of arrays whose elements meet in one
+//     store's or one tape-Assign's dataflow, including flow through
+//     local float temporaries (P2 evidence);
+//   - fill bindings: arr.Fill(x) where x is the untouched tracked value
+//     of one scalar (P3 evidence);
+//   - per-site kind violations (NewArray on a non-array id, Assign into
+//     a non-scalar id) and Assign source lists that disagree with the
+//     actual dataflow of the assigned expression.
+//
+// Local VarID expressions (fields like k.vW, locals bound from
+// b.lookup("xD1"), elements of k.coeff) are resolved with the same
+// interpreter that evaluated the constructor, seeded with the
+// constructed port instance, so the two stages can never disagree about
+// which id a site touches.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astq"
+)
+
+type intset map[int]bool
+
+func (s intset) add(ids ...int) {
+	for _, id := range ids {
+		s[id] = true
+	}
+}
+
+func (s intset) addSet(o intset) bool {
+	grew := false
+	for id := range o {
+		if !s[id] {
+			s[id] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+func (s intset) sorted() []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// eres is the abstract result of one expression.
+type eres struct {
+	arrays  intset       // ids of mp.Array objects the expr denotes
+	taints  intset       // ids whose tracked values flow into the value
+	vids    intset       // possible mp.VarID values
+	dynamic bool         // vids not statically resolvable
+	lit     *ast.FuncLit // function-literal values
+}
+
+func newERes() eres {
+	return eres{arrays: intset{}, taints: intset{}, vids: intset{}}
+}
+
+func (r *eres) merge(o eres) {
+	r.arrays.addSet(o.arrays)
+	r.taints.addSet(o.taints)
+	r.vids.addSet(o.vids)
+	r.dynamic = r.dynamic || o.dynamic
+	if o.lit != nil {
+		r.lit = o.lit
+	}
+}
+
+// binding is the accumulated abstract state of one local object.
+type binding struct {
+	eres
+}
+
+// event is one co-location observation: tracked ids meeting in one
+// store or tape-assign dataflow.
+type event struct {
+	ids intset
+	pos token.Pos
+}
+
+// fillEvent is P3 evidence: arr.Fill(scalar value).
+type fillEvent struct {
+	scalar int
+	arrays intset
+	pos    token.Pos
+}
+
+// runFacts is everything the diff needs from the Run analysis.
+type runFacts struct {
+	used   intset
+	events []event
+	fills  []fillEvent
+	diags  []analysis.Diagnostic
+}
+
+type runAnalyzer struct {
+	pass    *analysis.Pass
+	p       *port
+	in      *interp
+	recvObj types.Object
+	env     map[types.Object]*binding
+	facts   *runFacts
+	record  bool
+	active  map[*ast.BlockStmt]bool // recursion guard
+}
+
+// analyzeRun performs the fixpoint walk over Run and returns the facts.
+func analyzeRun(pass *analysis.Pass, p *port) *runFacts {
+	ra := &runAnalyzer{
+		pass:  pass,
+		p:     p,
+		in:    newInterp(pass.TypesInfo, pass.Files, pass.Pkg),
+		env:   make(map[types.Object]*binding),
+		facts: &runFacts{used: intset{}},
+	}
+	if recv := p.runDecl.Recv; recv != nil && len(recv.List) == 1 && len(recv.List[0].Names) == 1 {
+		ra.recvObj = pass.TypesInfo.Defs[recv.List[0].Names[0]]
+	}
+	// Flow-insensitive fixpoint: closure parameters and loop-carried
+	// temporaries stabilize within a few passes; the final recording
+	// pass then emits events and diagnostics once.
+	for i := 0; i < 3; i++ {
+		ra.active = make(map[*ast.BlockStmt]bool)
+		ra.walkBody(p.runDecl.Body)
+	}
+	ra.record = true
+	ra.active = make(map[*ast.BlockStmt]bool)
+	ra.walkBody(p.runDecl.Body)
+	return ra.facts
+}
+
+func (ra *runAnalyzer) bindingOf(obj types.Object) *binding {
+	b, ok := ra.env[obj]
+	if !ok {
+		b = &binding{eres: newERes()}
+		ra.env[obj] = b
+	}
+	return b
+}
+
+func (ra *runAnalyzer) reportf(pos token.Pos, format string, args ...any) {
+	if !ra.record {
+		return
+	}
+	ra.facts.diags = append(ra.facts.diags, analysis.Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (ra *runAnalyzer) use(ids intset) {
+	for id := range ids {
+		if id >= 0 && id < len(ra.p.graph.vars) {
+			ra.facts.used[id] = true
+		}
+	}
+}
+
+func (ra *runAnalyzer) addEvent(pos token.Pos, ids intset) {
+	if !ra.record || len(ids) < 2 {
+		return
+	}
+	cp := intset{}
+	cp.addSet(ids)
+	ra.facts.events = append(ra.facts.events, event{ids: cp, pos: pos})
+}
+
+// resolveVIDs statically resolves an mp.VarID-typed expression to the
+// set of ids it may hold.
+func (ra *runAnalyzer) resolveVIDs(e ast.Expr) (intset, bool) {
+	if id, ok := e.(*ast.Ident); ok {
+		obj := ra.pass.TypesInfo.Uses[id]
+		if b, ok := ra.env[obj]; ok && (len(b.vids) > 0 || b.dynamic) {
+			return b.vids, b.dynamic
+		}
+	}
+	// a.Var() resolves to the array binding's ids.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Var" && ra.isArrayExpr(sel.X) {
+			r := ra.walkExpr(sel.X)
+			return r.arrays, false
+		}
+	}
+	env := newEnv(nil)
+	if ra.recvObj != nil {
+		env.define(ra.recvObj, ra.p.instance)
+	}
+	for obj, b := range ra.env {
+		if len(b.vids) == 1 && !b.dynamic {
+			env.define(obj, varID(b.vids.sorted()[0]))
+		}
+	}
+	v, err := ra.in.evalExpr(e, env)
+	if err != nil {
+		return intset{}, true
+	}
+	out := intset{}
+	collectVarIDs(v, out, 0)
+	if len(out) == 0 {
+		return out, true
+	}
+	return out, false
+}
+
+func collectVarIDs(v value, out intset, depth int) {
+	if depth > 4 {
+		return
+	}
+	switch v := v.(type) {
+	case varID:
+		out.add(int(v))
+	case *sliceVal:
+		for _, el := range v.elems {
+			collectVarIDs(el, out, depth+1)
+		}
+	}
+}
+
+func (ra *runAnalyzer) isArrayExpr(e ast.Expr) bool {
+	tv, ok := ra.pass.TypesInfo.Types[e]
+	return ok && astq.IsNamed(tv.Type, "repro/internal/mp", "Array")
+}
+
+func (ra *runAnalyzer) isTapeExpr(e ast.Expr) bool {
+	tv, ok := ra.pass.TypesInfo.Types[e]
+	return ok && astq.IsNamed(tv.Type, "repro/internal/mp", "Tape")
+}
+
+// ---- statement walk ----
+
+func (ra *runAnalyzer) walkBody(b *ast.BlockStmt) {
+	if b == nil || ra.active[b] {
+		return
+	}
+	ra.active[b] = true
+	defer delete(ra.active, b)
+	for _, s := range b.List {
+		ra.walkStmt(s)
+	}
+}
+
+func (ra *runAnalyzer) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		ra.walkAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							r := ra.walkExpr(vs.Values[i])
+							ra.mergeInto(name, r)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		ra.walkExpr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ra.walkStmt(s.Init)
+		}
+		ra.walkExpr(s.Cond)
+		ra.walkBody(s.Body)
+		if s.Else != nil {
+			ra.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ra.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			ra.walkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			ra.walkStmt(s.Post)
+		}
+		ra.walkBody(s.Body)
+	case *ast.RangeStmt:
+		ra.walkRange(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ra.walkExpr(r)
+		}
+	case *ast.BlockStmt:
+		ra.walkBody(s)
+	case *ast.IncDecStmt:
+		ra.walkExpr(s.X)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			ra.walkExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					ra.walkExpr(e)
+				}
+				for _, st := range cc.Body {
+					ra.walkStmt(st)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		ra.walkExpr(s.Call)
+	}
+}
+
+// mergeInto accumulates an expression result into an ident's binding.
+func (ra *runAnalyzer) mergeInto(lhs ast.Expr, r eres) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := ra.pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			obj = ra.pass.TypesInfo.Uses[lhs]
+		}
+		if obj == nil {
+			return
+		}
+		ra.bindingOf(obj).merge(r)
+	case *ast.IndexExpr:
+		// c[i] = v: taint the backing collection's binding.
+		ra.walkExpr(lhs.Index)
+		ra.mergeInto(lhs.X, r)
+	case *ast.SelectorExpr:
+		// Field writes in Run are not part of any port's shape; walk
+		// for completeness.
+		ra.walkExpr(lhs.X)
+	}
+}
+
+func (ra *runAnalyzer) walkAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Rhs {
+			r := ra.walkExpr(s.Rhs[i])
+			ra.mergeInto(s.Lhs[i], r)
+		}
+		return
+	}
+	// Multi-assign from one call: distribute the union.
+	var r eres
+	if len(s.Rhs) == 1 {
+		r = ra.walkExpr(s.Rhs[0])
+	}
+	for _, lhs := range s.Lhs {
+		ra.mergeInto(lhs, r)
+	}
+}
+
+func (ra *runAnalyzer) walkRange(s *ast.RangeStmt) {
+	r := ra.walkExpr(s.X)
+	// Ranging over a VarID collection binds the element var to the ids;
+	// ranging over anything tracked propagates taints.
+	if s.Value != nil {
+		ra.mergeInto(s.Value, eres{arrays: intset{}, taints: r.taints, vids: r.vids, dynamic: r.dynamic})
+	}
+	if s.Key != nil {
+		ra.mergeInto(s.Key, newERes())
+	}
+	ra.walkBody(s.Body)
+}
+
+// ---- expression walk ----
+
+func (ra *runAnalyzer) walkExpr(e ast.Expr) eres {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := ra.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return newERes()
+		}
+		if b, ok := ra.env[obj]; ok {
+			out := newERes()
+			out.merge(b.eres)
+			return out
+		}
+		return newERes()
+	case *ast.ParenExpr:
+		return ra.walkExpr(e.X)
+	case *ast.StarExpr:
+		return ra.walkExpr(e.X)
+	case *ast.UnaryExpr:
+		return ra.walkExpr(e.X)
+	case *ast.BinaryExpr:
+		out := ra.walkExpr(e.X)
+		out.merge(ra.walkExpr(e.Y))
+		return out
+	case *ast.SelectorExpr:
+		return ra.walkSelector(e)
+	case *ast.IndexExpr:
+		out := ra.walkExpr(e.X)
+		out.merge(ra.walkExpr(e.Index))
+		return out
+	case *ast.CompositeLit:
+		out := newERes()
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				out.merge(ra.walkExpr(kv.Value))
+				continue
+			}
+			out.merge(ra.walkExpr(elt))
+		}
+		return out
+	case *ast.CallExpr:
+		return ra.walkCall(e)
+	case *ast.FuncLit:
+		out := newERes()
+		out.lit = e
+		return out
+	case *ast.SliceExpr:
+		return ra.walkExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return ra.walkExpr(e.X)
+	}
+	return newERes()
+}
+
+// walkSelector handles field reads: VarID(-collection) fields resolve
+// through the port instance; everything else walks the base.
+func (ra *runAnalyzer) walkSelector(e *ast.SelectorExpr) eres {
+	out := newERes()
+	if sel, ok := ra.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+		ids, dynamic := ra.resolveVIDs(e)
+		if len(ids) > 0 || !dynamic {
+			out.vids.addSet(ids)
+			out.dynamic = dynamic
+			return out
+		}
+	}
+	out.merge(ra.walkExpr(e.X))
+	return out
+}
+
+func (ra *runAnalyzer) walkCall(call *ast.CallExpr) eres {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if ra.isTapeExpr(sel.X) {
+			return ra.walkTapeCall(call, sel)
+		}
+		if ra.isArrayExpr(sel.X) {
+			return ra.walkArrayCall(call, sel)
+		}
+		// Package-qualified or foreign-method call (math.Exp, rng.*,
+		// mp.ReadInto): taints flow through from the arguments.
+		if fn, ok := ra.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != ra.pass.Pkg {
+			return ra.walkArgsUnion(call)
+		}
+		// Same-package method (b.lookup): resolve like a helper.
+		if fn, ok := ra.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			return ra.walkHelperCall(call, fn)
+		}
+		return ra.walkArgsUnion(call)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		obj := ra.pass.TypesInfo.Uses[id]
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return ra.walkArgsUnion(call)
+		}
+		if tv, ok := ra.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return ra.walkArgsUnion(call) // conversion
+		}
+		// Closure held in a local.
+		if b, ok := ra.env[obj]; ok && b.lit != nil {
+			return ra.callClosure(b.lit, call)
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			return ra.walkHelperCall(call, fn)
+		}
+	}
+	return ra.walkArgsUnion(call)
+}
+
+func (ra *runAnalyzer) walkArgsUnion(call *ast.CallExpr) eres {
+	out := newERes()
+	for _, a := range call.Args {
+		out.merge(ra.walkExpr(a))
+	}
+	// A value computed from tracked inputs stays tracked through
+	// foreign calls (math.Exp etc.); array-ness does not.
+	out.taints.addSet(out.arrays)
+	out.arrays = intset{}
+	out.lit = nil
+	return out
+}
+
+// walkHelperCall analyzes a same-package function (fillRand) or method
+// (blackscholes.lookup): parameters accumulate argument state, the body
+// is walked, and VarID-returning helpers resolve via the interpreter.
+func (ra *runAnalyzer) walkHelperCall(call *ast.CallExpr, fn *types.Func) eres {
+	decl := ra.in.funcDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return ra.walkArgsUnion(call)
+	}
+	ra.bindCallParams(decl.Type, call)
+	ra.walkBody(decl.Body)
+	out := newERes()
+	// VarID-typed results (b.lookup) resolve statically.
+	if tv, ok := ra.pass.TypesInfo.Types[call]; ok && astq.IsNamed(tv.Type, "repro/internal/mp", "VarID") {
+		ids, dynamic := ra.resolveVIDs(call)
+		out.vids.addSet(ids)
+		out.dynamic = dynamic
+		ra.use(ids)
+	}
+	return out
+}
+
+func (ra *runAnalyzer) callClosure(lit *ast.FuncLit, call *ast.CallExpr) eres {
+	ra.bindCallParams(lit.Type, call)
+	ra.walkBody(lit.Body)
+	out := newERes()
+	// Propagate taints from the closure's return expressions.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				rr := ra.walkExpr(r)
+				out.taints.addSet(rr.taints)
+				out.taints.addSet(rr.arrays)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bindCallParams merges argument state into the callee's parameter
+// bindings (union over all call sites; the fixpoint loop stabilizes).
+func (ra *runAnalyzer) bindCallParams(ft *ast.FuncType, call *ast.CallExpr) {
+	if ft.Params == nil {
+		return
+	}
+	var params []*ast.Ident
+	for _, f := range ft.Params.List {
+		params = append(params, f.Names...)
+	}
+	for i, arg := range call.Args {
+		r := ra.walkExpr(arg)
+		if i < len(params) {
+			obj := ra.pass.TypesInfo.Defs[params[i]]
+			if obj != nil {
+				ra.bindingOf(obj).merge(r)
+			}
+		}
+	}
+}

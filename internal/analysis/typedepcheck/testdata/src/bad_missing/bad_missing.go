@@ -1,0 +1,41 @@
+// Package bad_missing is a typedepcheck fixture with a missing edge:
+// Run's dataflow connects two arrays the declared graph keeps apart.
+package bad_missing
+
+import (
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+type badMissing struct {
+	name  string
+	graph *typedep.Graph
+
+	vA, vB, vC mp.VarID
+}
+
+// NewBadMissing declares a and b as independent clusters even though
+// Run streams a's elements into b, and c's through a local temporary
+// into a.
+func NewBadMissing() *badMissing {
+	g := typedep.NewGraph()
+	k := &badMissing{name: "bad-missing", graph: g}
+	k.vA = g.Add("a", "loop", typedep.ArrayVar)
+	k.vB = g.Add("b", "loop", typedep.ArrayVar)
+	k.vC = g.Add("c", "loop", typedep.ArrayVar)
+	return k
+}
+
+func (k *badMissing) Run(t *mp.Tape, seed int64) []float64 {
+	a := t.NewArray(k.vA, 8)
+	b := t.NewArray(k.vB, 8)
+	c := t.NewArray(k.vC, 8)
+	c.Fill(0.25)
+	for i := 0; i < 8; i++ {
+		b.Set(i, a.Get(i)*2) // want `missing edge: Run dataflow connects loop::a and loop::b`
+		tmp := c.Get(i)
+		tmp += 1
+		a.Set(i, tmp) // want `missing edge: Run dataflow connects loop::a and loop::c`
+	}
+	return b.Snapshot()
+}

@@ -1,0 +1,45 @@
+// Package bad_spurious is a typedepcheck fixture with a spurious edge
+// (declared but unwitnessed), an idle declared variable, an Assign
+// whose source list disagrees with its dataflow, and kind mismatches.
+package bad_spurious
+
+import (
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+type badSpurious struct {
+	name  string
+	graph *typedep.Graph
+
+	vA, vB, vIdle, vS, vT mp.VarID
+}
+
+// NewBadSpurious connects a and b although Run never lets their
+// elements meet, and declares idle without ever exercising it.
+func NewBadSpurious() *badSpurious {
+	g := typedep.NewGraph()
+	k := &badSpurious{name: "bad-spurious", graph: g}
+	k.vA = g.Add("a", "loop", typedep.ArrayVar)
+	k.vB = g.Add("b", "loop", typedep.ArrayVar)
+	k.vIdle = g.Add("idle", "loop", typedep.Scalar) // want `declared variable loop::idle is never exercised by Run`
+	k.vS = g.Add("s", "loop", typedep.Scalar)
+	k.vT = g.Add("t", "loop", typedep.Scalar)
+	g.Connect(k.vA, k.vB) // want `declared edge loop::a -- loop::b is unwitnessed`
+	// Scalar-scalar edges have no element co-location to witness them;
+	// without an alias axiom they are spurious too.
+	g.Connect(k.vS, k.vT) // want `declared edge loop::s -- loop::t is unwitnessed`
+	return k
+}
+
+func (k *badSpurious) Run(t *mp.Tape, seed int64) []float64 {
+	a := t.NewArray(k.vA, 8)
+	b := t.NewArray(k.vB, 8)
+	a.Fill(1.0)
+	b.Fill(2.0)
+	s := t.Assign(k.vS, a.Get(0), 0, k.vT) // want `Assign lists source loop::t but the assigned expression does not read it`
+	_ = t.Assign(k.vT, s, 0, k.vT)         // want `Assign source loop::t is the destination itself`
+	_ = t.NewArray(k.vS, 4)                // want `NewArray uses loop::s declared as scalar, want array`
+	_ = t.Assign(k.vA, 1.0, 0)             // want `Assign destination uses loop::a declared as array, want scalar`
+	return b.Snapshot()
+}

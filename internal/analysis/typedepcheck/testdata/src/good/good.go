@@ -1,0 +1,71 @@
+// Package good is a typedepcheck fixture whose declared graphs are
+// fully witnessed: P2 (array co-location), P3 (fill binding), P4
+// (alias axiom) in the kernel port, P1 (parameter web) in the app port.
+package good
+
+import (
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+type kernelGood struct {
+	name  string
+	graph *typedep.Graph
+
+	vA, vB, vS, vQ, vR mp.VarID
+}
+
+// NewKernelGood declares a kernel-shaped port: no parameter web, so
+// every edge needs Run-body evidence or an alias axiom, and every
+// variable must be exercised.
+func NewKernelGood() *kernelGood {
+	g := typedep.NewGraph()
+	k := &kernelGood{name: "kernel-good", graph: g}
+	k.vA = g.Add("a", "loop", typedep.ArrayVar)
+	k.vB = g.Add("b", "loop", typedep.ArrayVar)
+	k.vS = g.Add("s", "loop", typedep.Scalar)
+	g.ConnectAll(k.vA, k.vB, k.vS)
+	k.vQ = g.Add("q", "setup", typedep.Scalar)
+	k.vR = g.Add("r", "setup", typedep.Scalar)
+	//mixplint:alias -- q and r are coupled only in the original C setup routine
+	g.Connect(k.vQ, k.vR)
+	return k
+}
+
+func (k *kernelGood) Run(t *mp.Tape, seed int64) []float64 {
+	a := t.NewArray(k.vA, 8)
+	b := t.NewArray(k.vB, 8)
+	s := t.Value(k.vS, 0.5)
+	a.Fill(s) // P3: binds s to a
+	q := t.Value(k.vQ, 0.25)
+	r := t.Value(k.vR, 0.125)
+	for i := 0; i < 8; i++ {
+		b.Set(i, a.Get(i)*q+r) // P2: a and b meet in one store
+	}
+	return b.Snapshot()
+}
+
+type appGood struct {
+	name  string
+	graph *typedep.Graph
+
+	vW mp.VarID
+}
+
+// NewAppGood declares an app-shaped port: the array is webbed to a
+// call-site parameter, so its edges are self-witnessing (P1) and the
+// unused-variable rule does not apply.
+func NewAppGood() *appGood {
+	g := typedep.NewGraph()
+	a := &appGood{name: "app-good", graph: g}
+	a.vW = g.Add("w", "main", typedep.ArrayVar)
+	p := g.Add("w_p0", "kernel", typedep.Param)
+	g.Connect(a.vW, p)
+	return a
+}
+
+func (a *appGood) Run(t *mp.Tape, seed int64) []float64 {
+	w := t.NewArray(a.vW, 4)
+	w.Fill(1.0)
+	return w.Snapshot()
+}

@@ -1,0 +1,298 @@
+// Package typedepcheck is mixplint's headline analyzer: Typeforge in
+// Go (paper §II-C). Every benchmark port hand-declares the
+// type-dependence graph Typeforge extracted from the original C source;
+// this analyzer re-derives it from the port's own Go code and reports
+// any disagreement, so the Table II inventories are machine-checked
+// rather than trusted.
+//
+// It works in two stages. First, an abstract interpreter executes the
+// port's constructor (the function calling typedep.NewGraph) to recover
+// the declared inventory: every g.Add tunable site with name, unit and
+// kind, and every Connect/ConnectAll edge with its source position —
+// including declarations made in loops over name tables or through
+// helpers like addAliases. Second, a flow-insensitive dataflow analysis
+// of the port's Run method gathers the evidence that forces shared
+// precision, and the two are diffed:
+//
+//   - P1 (parameter web): a declared edge with a Param-kind endpoint is
+//     self-witnessing — it transliterates a C call-site binding, which
+//     is exactly the aliasing Typeforge derives from the C AST.
+//   - P2 (array co-location): two web-free arrays whose elements meet
+//     in one statement's dataflow (including through local float
+//     temporaries) must share a cluster: the values flow through the
+//     same expressions and stores.
+//   - P3 (fill binding): arr.Fill(x) where x is the unmodified tracked
+//     value of a web-free scalar binds the scalar to the array.
+//   - P4 (alias axiom): a `//mixplint:alias -- why` comment on a
+//     Connect line imports a dependence fact that exists only in the
+//     original C source (pointer out-params, struct spills) and that
+//     no Go-side evidence can witness; the justification is mandatory.
+//
+// A declared edge with no witness under P1-P4 is reported as
+// unwitnessed (spurious); a P2/P3 inference that crosses declared
+// cluster boundaries is reported as a missing edge. The analyzer also
+// checks per-site kind consistency (NewArray needs an ArrayVar id,
+// Assign destinations must be Scalars), that statically-known Assign
+// source lists are a subset of the actual dataflow, and — for ports
+// without parameter webs, i.e. the kernels — that every declared
+// tunable is actually exercised by Run.
+package typedepcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/typedep"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "typedepcheck",
+	Doc:  "diff each port's declared typedep.Graph against the dependence partition inferred from its source",
+	Run:  run,
+}
+
+// port is one discovered benchmark port.
+type port struct {
+	bench    string // benchmark name ("gen-lin-recur")
+	ctorName string
+	ctorPos  token.Pos
+	graph    *graphVal
+	instance *structVal
+	named    *types.Named
+	runDecl  *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	ports, diags := evalPorts(pass.TypesInfo, pass.Files, pass.Pkg)
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	dirs, _ := analysis.ParseDirectives(pass.Fset, pass.Files)
+	for _, p := range ports {
+		checkPort(pass, p, dirs)
+	}
+	return nil
+}
+
+// evalPorts finds every constructor calling typedep.NewGraph and
+// abstract-interprets it.
+func evalPorts(info *types.Info, files []*ast.File, pkg *types.Package) ([]*port, []analysis.Diagnostic) {
+	var ports []*port
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || !callsNewGraph(info, fd.Body) {
+				continue
+			}
+			p, err := evalPort(info, files, pkg, fd)
+			if err != nil {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:     fd.Pos(),
+					Message: fmt.Sprintf("constructor %s is not statically analyzable: %v", fd.Name.Name, err),
+				})
+				continue
+			}
+			ports = append(ports, p)
+		}
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i].bench < ports[j].bench })
+	return ports, diags
+}
+
+func callsNewGraph(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Name() == "NewGraph" && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "repro/internal/typedep" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// evalPort interprets one constructor and locates the port's pieces.
+func evalPort(info *types.Info, files []*ast.File, pkg *types.Package, ctor *ast.FuncDecl) (*port, error) {
+	in := newInterp(info, files, pkg)
+	rets, err := in.callBody(ctor.Body, newEnv(nil))
+	if err != nil {
+		return nil, err
+	}
+	if len(rets) != 1 {
+		return nil, fmt.Errorf("constructor does not return a single value")
+	}
+	sv, ok := rets[0].(*structVal)
+	if !ok {
+		return nil, fmt.Errorf("constructor returns %T, not a struct", rets[0])
+	}
+	p := &port{ctorName: ctor.Name.Name, ctorPos: ctor.Pos(), instance: sv}
+	if p.graph = findGraph(sv, 0); p.graph == nil {
+		return nil, fmt.Errorf("no typedep.Graph field on the returned struct")
+	}
+	if p.bench, ok = findName(sv, 0); !ok {
+		return nil, fmt.Errorf("no name field on the returned struct")
+	}
+	named, err := namedOf(sv.typ)
+	if err != nil {
+		return nil, err
+	}
+	p.named = named
+	p.runDecl = findMethod(info, files, named, "Run")
+	if p.runDecl == nil {
+		return nil, fmt.Errorf("no Run method found for %s", named.Obj().Name())
+	}
+	return p, nil
+}
+
+// findGraph locates the *graphVal field, searching embedded structs.
+func findGraph(sv *structVal, depth int) *graphVal {
+	if depth > 4 {
+		return nil
+	}
+	for _, v := range sv.fields {
+		if g, ok := v.(*graphVal); ok {
+			return g
+		}
+	}
+	for _, v := range sv.fields {
+		if inner, ok := v.(*structVal); ok {
+			if g := findGraph(inner, depth+1); g != nil {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// findName locates the string field "name", searching embedded structs.
+func findName(sv *structVal, depth int) (string, bool) {
+	if depth > 4 {
+		return "", false
+	}
+	if s, ok := sv.fields["name"].(string); ok {
+		return s, true
+	}
+	for _, v := range sv.fields {
+		if inner, ok := v.(*structVal); ok {
+			if s, ok := findName(inner, depth+1); ok {
+				return s, true
+			}
+		}
+	}
+	return "", false
+}
+
+func namedOf(t types.Type) (*types.Named, error) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named, nil
+	}
+	return nil, fmt.Errorf("port struct has unnamed type %v", t)
+}
+
+// findMethod locates a method declaration on *T or T.
+func findMethod(info *types.Info, files []*ast.File, named *types.Named, name string) *ast.FuncDecl {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil {
+				continue
+			}
+			rt := recv.Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if n, ok := rt.(*types.Named); ok && n.Obj() == named.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// kindName renders a typedep.Kind constant value.
+func kindName(k int64) string {
+	switch typedep.Kind(k) {
+	case typedep.Scalar:
+		return "scalar"
+	case typedep.ArrayVar:
+		return "array"
+	case typedep.Param:
+		return "param"
+	case typedep.Pointer:
+		return "pointer"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Inventory is the canonical per-benchmark artifact the golden test
+// locks: the full variable list in declaration order and the declared
+// clusters, plus the Table II counts they imply.
+type Inventory struct {
+	Bench    string     `json:"bench"`
+	TV       int        `json:"tv"`
+	TC       int        `json:"tc"`
+	Vars     []string   `json:"vars"`     // "unit::name kind", id order
+	Clusters [][]string `json:"clusters"` // each sorted, list sorted by first member
+}
+
+// Inventories derives the declared inventory of every port in the
+// package from source, without executing any benchmark code. An error
+// from any constructor is returned rather than silently skipped.
+func Inventories(info *types.Info, files []*ast.File, pkg *types.Package) ([]Inventory, error) {
+	ports, diags := evalPorts(info, files, pkg)
+	if len(diags) > 0 {
+		return nil, fmt.Errorf("%s", diags[0].Message)
+	}
+	var out []Inventory
+	for _, p := range ports {
+		out = append(out, p.inventory())
+	}
+	return out, nil
+}
+
+func (p *port) inventory() Inventory {
+	g := p.graph
+	inv := Inventory{Bench: p.bench, TV: len(g.vars), TC: g.numClusters()}
+	for _, v := range g.vars {
+		inv.Vars = append(inv.Vars, fmt.Sprintf("%s::%s %s", v.unit, v.name, kindName(v.kind)))
+	}
+	roots := partition(len(g.vars), g.edges())
+	byRoot := make(map[int][]string)
+	for id, r := range roots {
+		v := g.vars[id]
+		byRoot[r] = append(byRoot[r], fmt.Sprintf("%s::%s", v.unit, v.name))
+	}
+	for _, members := range byRoot {
+		sort.Strings(members)
+		inv.Clusters = append(inv.Clusters, members)
+	}
+	sort.Slice(inv.Clusters, func(i, j int) bool { return inv.Clusters[i][0] < inv.Clusters[j][0] })
+	return inv
+}

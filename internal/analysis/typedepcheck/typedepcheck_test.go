@@ -1,0 +1,27 @@
+package typedepcheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// TestGood: fully witnessed graphs (P1 web, P2 co-location, P3 fill,
+// P4 alias axiom) produce no diagnostics.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, Analyzer, "good")
+}
+
+// TestBadMissing: Run dataflow that connects arrays the declared graph
+// keeps apart is reported as a missing edge, including flow through a
+// local temporary.
+func TestBadMissing(t *testing.T) {
+	analysistest.Run(t, Analyzer, "bad_missing")
+}
+
+// TestBadSpurious: declared-but-unwitnessed edges, idle declared
+// variables, wrong Assign source lists, and kind mismatches are all
+// reported.
+func TestBadSpurious(t *testing.T) {
+	analysistest.Run(t, Analyzer, "bad_spurious")
+}

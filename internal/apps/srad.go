@@ -84,6 +84,7 @@ func NewSRAD() bench.Benchmark {
 	for i, n := range sradStatNames {
 		stats[i] = g.Add(n, "roi_stats", typedep.Scalar)
 	}
+	//mixplint:alias -- the ROI statistics chain (sum, sum2, mean, variance, q0sqr) is a pure scalar pipeline in the C source; no element co-location exists for the analyzer to witness
 	g.ConnectAll(stats...)
 	s.vQ0sqr = stats[0]
 	for _, n := range sradSingleNames {

@@ -124,7 +124,7 @@ type campaign struct {
 	name   string
 	specs  []harness.Spec
 	copts  harness.CampaignOptions
-	ctx    context.Context
+	ctx    context.Context //mixplint:ignore ctxfirst -- the campaign record owns its context for its whole async lifetime; dispatchers pick the record up from a queue, so there is no call chain to thread it through
 	cancel context.CancelCauseFunc
 	events *EventLog
 	sink   telemetry.Sink
@@ -196,7 +196,7 @@ func (c *campaign) jobDone(user func(int, harness.JobResult)) func(int, harness.
 type Engine struct {
 	opts       Options
 	cache      *bench.Cache
-	rootCtx    context.Context
+	rootCtx    context.Context //mixplint:ignore ctxfirst -- the engine-lifetime context parents every campaign context and dies in Close; it is state, not a request scope
 	rootCancel context.CancelFunc
 	queue      chan *campaign
 	wg         sync.WaitGroup
@@ -597,7 +597,7 @@ func RunOnce(ctx context.Context, specs []harness.Spec, opts harness.CampaignOpt
 	}
 	stop := context.AfterFunc(ctx, func() { e.Cancel(id) })
 	defer stop()
-	st, _ := e.Wait(context.Background(), id)
+	st, _ := e.Wait(context.Background(), id) //mixplint:ignore ctxfirst -- cancellation is delivered via AfterFunc -> Cancel above; waiting on the caller's ctx would abandon the drain and lose the final state and partial results
 	results, _ := e.JobResults(id)
 	if st.State == StateFailed {
 		cerr, _ := e.Err(id)

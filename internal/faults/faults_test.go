@@ -121,11 +121,11 @@ func TestParseSpec(t *testing.T) {
 		t.Errorf("ParseSpec = %+v, want %+v", p, want)
 	}
 	for _, bad := range []string{
-		"transient",           // no value
-		"transient=lots",      // not a number
-		"flips=0.5",           // unknown key
-		"transient=2",         // invalid rate
-		"seed=9.5",            // non-integer seed
+		"transient",               // no value
+		"transient=lots",          // not a number
+		"flips=0.5",               // unknown key
+		"transient=2",             // invalid rate
+		"seed=9.5",                // non-integer seed
 		"transient=0.9,crash=0.9", // rates sum > 1
 	} {
 		if _, err := ParseSpec(bad); err == nil {

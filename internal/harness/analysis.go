@@ -22,7 +22,7 @@ type Job struct {
 	// between runs and the strategy stops with its best-so-far, reported
 	// as a canceled outcome. The scheduler installs the campaign context
 	// here; a plugin should thread it into its evaluator via SetContext.
-	Ctx context.Context
+	Ctx context.Context //mixplint:ignore ctxfirst -- Job is a data record crossing the scheduler boundary; the campaign context rides in it so plugin strategies can install it via SetContext
 	// Seed drives the workload and all analysis randomness.
 	Seed int64
 	// BudgetSeconds caps the analysis (simulated seconds); zero means the

@@ -50,6 +50,7 @@ func NewEOS() bench.Benchmark {
 	k.vT = g.Add("t", "setup", typedep.Scalar)
 	k.vQ = g.Add("q", "setup", typedep.Scalar)
 	g.ConnectAll(k.vX, k.vY, k.vZ, k.vU)
+	//mixplint:alias -- r, t and q come out of one C setup expression chain; the port samples them directly, so the coupling is visible only in the original source
 	g.ConnectAll(k.vR, k.vT, k.vQ)
 	return k
 }

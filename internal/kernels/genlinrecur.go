@@ -45,6 +45,7 @@ func NewGenLinRecur() bench.Benchmark {
 	k.vB = g.Add("b", "recurrence", typedep.ArrayVar)
 	k.vS = g.Add("s", "recurrence", typedep.Scalar)
 	k.vW0 = g.Add("w0", "recurrence", typedep.Scalar)
+	//mixplint:alias -- the running sum s accumulates through the recurrence routine's pointer out-param in C; scalar-to-array flow leaves no element co-location for the analyzer to see
 	g.ConnectAll(k.vW, k.vB, k.vS, k.vW0)
 	return k
 }

@@ -54,6 +54,7 @@ func NewIntPredict() bench.Benchmark {
 		k.coeff[i] = g.Add(n, "setup", typedep.Scalar)
 	}
 	g.Connect(k.vPx, k.vCx)
+	//mixplint:alias -- the C source declares c0 and dm22..dm27 in one register block filled by a single initializer; dm25..dm27 never appear in the loop body, so only the C declaration couples them
 	g.ConnectAll(k.coeff[:]...)
 	return k
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/mp"
 	"repro/internal/verify"
 )
 
@@ -74,6 +75,44 @@ func TestTableIKernelInventory(t *testing.T) {
 		if k.Metric() != verify.MAE {
 			t.Errorf("%s metric = %v, want MAE", k.Name(), k.Metric())
 		}
+	}
+}
+
+// TestDiffPredictorExercisesCr is a regression test for a discrepancy
+// typedepcheck (mixplint) uncovered: the port declared the cascade
+// temporary cr in its graph but Run never routed a value through it, so
+// cr's configured precision could not influence the computation. The
+// cascade now spills each difference through cr as the C fragment does;
+// demoting cr alone must perturb the output.
+func TestDiffPredictorExercisesCr(t *testing.T) {
+	var k bench.Benchmark
+	for _, b := range All() {
+		if b.Name() == "diff-predictor" {
+			k = b
+		}
+	}
+	if k == nil {
+		t.Fatal("diff-predictor not in suite")
+	}
+	id, ok := k.Graph().Lookup("cr", "predict")
+	if !ok {
+		t.Fatal("cr not declared")
+	}
+	ref := k.Run(mp.NewTape(k.Graph().NumVars()), 1)
+	demoted := mp.NewTape(k.Graph().NumVars())
+	demoted.SetPrec(mp.VarID(id), mp.F16)
+	got := k.Run(demoted, 1)
+	same := len(ref.Values) == len(got.Values)
+	if same {
+		for i := range ref.Values {
+			if ref.Values[i] != got.Values[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("demoting cr left the output bit-identical: cr is not on the dataflow path")
 	}
 }
 

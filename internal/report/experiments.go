@@ -64,7 +64,7 @@ type Options struct {
 	// Context, when non-nil, cancels the study: the stage in flight stops
 	// at its next evaluation boundary and Run returns the study built so
 	// far (complete stages stay intact, the interrupted stage is dropped).
-	Context context.Context
+	Context context.Context //mixplint:ignore ctxfirst -- Options is a configuration struct; the context arrives through it like http.Server.BaseContext rather than through a call chain
 	// Workers is the scheduler pool size (simulated cluster nodes).
 	Workers int
 	// KernelsOnly skips the application study (Tables IV and V and the

@@ -57,7 +57,7 @@ type Evaluator struct {
 	// ctx, when non-nil, is checked between runs: once it is done every
 	// further Evaluate returns ErrCanceled, so the strategy stops on its
 	// normal stop-error path with its best-so-far intact.
-	ctx context.Context
+	ctx context.Context //mixplint:ignore ctxfirst -- strategies drive the evaluator through fixed callback signatures that cannot take a context; SetContext installs it for between-run cancellation checks
 
 	// typeforgeExpand controls whether unit selections pull whole
 	// type-change sets (see Space.Expand).

@@ -1,0 +1,46 @@
+package suite
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis/typedepcheck"
+)
+
+// TestGoldenInventoryRuntime locks the live typedep.Graph of every
+// benchmark - the full variable list and cluster partition behind the
+// paper's Table II TV/TC counts - to testdata/inventory.json. The same
+// file is checked by typedepcheck's static test, which re-derives the
+// inventories from the port sources without running them, so the golden
+// artifact pins runtime declarations and static inference to each
+// other: an edit that drifts either side fails one of the two tests.
+func TestGoldenInventoryRuntime(t *testing.T) {
+	var got []typedepcheck.Inventory
+	for _, b := range All() {
+		got = append(got, typedepcheck.FromGraph(b.Name(), b.Graph()))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Bench < got[j].Bench })
+	if len(got) != 17 {
+		t.Fatalf("suite has %d benchmarks, want 17", len(got))
+	}
+
+	data, err := os.ReadFile("testdata/inventory.json")
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with go test ./internal/analysis/typedepcheck -run TestGoldenInventoryStatic -update): %v", err)
+	}
+	var want []typedepcheck.Inventory
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d inventories, want %d", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: runtime graph diverged from golden\n got: %+v\nwant: %+v", got[i].Bench, got[i], want[i])
+		}
+	}
+}
