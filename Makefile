@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify lint lint-report cover tables bench bench-smoke
+.PHONY: build test race verify lint lint-report cover tables bench bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,17 @@ tables:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/mp ./internal/bench
 	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkTableIII|BenchmarkEvaluatorThroughput' -benchmem -count=5 .
+
+# trace-smoke runs the small fault-injection campaign, exports its
+# deterministic trace and profile into artifacts/, and validates the
+# trace against the Chrome trace_event schema - the end-to-end guard
+# behind the observability surface (see README "Observability").
+trace-smoke:
+	@mkdir -p artifacts
+	$(GO) run ./cmd/mixpbench -config configs/faulty.yaml -seed 42 \
+		-trace artifacts/trace.json -profile artifacts/profile.json
+	$(GO) run ./cmd/tracecheck artifacts/trace.json
+	@echo "trace-smoke: artifacts/trace.json artifacts/profile.json"
 
 # bench-smoke compiles and runs every benchmark once (CI's guard against
 # benchmark rot; no timing value).

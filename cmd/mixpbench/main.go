@@ -16,6 +16,15 @@
 // deterministic: the same seed produces byte-identical metrics for any
 // -workers value.
 //
+// Tracing (with -config): -trace PATH exports the campaign's span tree
+// as Chrome trace_event JSON (open it in Perfetto or chrome://tracing)
+// and -profile PATH exports the per-phase / critical-path profile.
+// Both run on the simulated analysis clock, so the files are
+// byte-identical for any -workers value and with the run cache on or
+// off. Parent directories are created as needed; the two flags must
+// name distinct files. (The per-configuration evaluation log formerly
+// printed by "-trace" with -tune is now -evallog.)
+//
 // Fault tolerance (with -config): -faults injects deterministic failures
 // ("transient=0.2,crash=0.05,straggler=0.1,seed=7"), -retries caps the
 // attempts per job, -checkpoint PATH journals each completed job, and
@@ -38,6 +47,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -56,7 +67,9 @@ func main() {
 		threshold   = flag.Float64("threshold", 0, "quality threshold for -tune (0 = 1e-8)")
 		exportSpace = flag.String("export-space", "", "write a benchmark's search space as interchange JSON and exit")
 		jsonOut     = flag.Bool("json", false, "emit harness reports as interchange JSON instead of text")
-		trace       = flag.Bool("trace", false, "with -tune: print the per-configuration evaluation log")
+		evallog     = flag.Bool("evallog", false, "with -tune: print the per-configuration evaluation log")
+		traceOut    = flag.String("trace", "", "with -config: write the campaign's Chrome trace_event JSON to this file")
+		profileOut  = flag.String("profile", "", "with -config: write the campaign's per-phase profile JSON to this file")
 		metricsOut  = flag.String("metrics", "", `write a Prometheus-style metrics snapshot on exit ("-" = stdout)`)
 		eventsOut   = flag.String("events", "", `stream telemetry events as JSONL ("-" = stdout)`)
 		faultSpec   = flag.String("faults", "", `with -config: inject deterministic faults, e.g. "transient=0.2,crash=0.05,seed=7"`)
@@ -68,14 +81,19 @@ func main() {
 	flag.Parse()
 
 	cf := campaignFlags{
-		workers:    *workers,
-		seed:       *seed,
-		timeout:    *timeout,
-		jsonOut:    *jsonOut,
-		faultSpec:  *faultSpec,
-		retries:    *retries,
-		checkpoint: *checkpoint,
-		resume:     *resume,
+		workers:     *workers,
+		seed:        *seed,
+		timeout:     *timeout,
+		jsonOut:     *jsonOut,
+		faultSpec:   *faultSpec,
+		retries:     *retries,
+		checkpoint:  *checkpoint,
+		resume:      *resume,
+		tracePath:   *traceOut,
+		profilePath: *profileOut,
+		// Validation must see the flags the user actually set: an
+		// explicit -trace "" is an error, not an absent flag.
+		outputs: visitedOutputs(),
 	}
 	if err := validateFlags(*configPath, *threshold, *tune, *algorithm, cf); err != nil {
 		fatal(err)
@@ -95,7 +113,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *trace, tel)
+		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *evallog, tel)
 		if err != nil {
 			fatal(err)
 		}
@@ -158,14 +176,33 @@ func deadlineContext(seconds float64) (context.Context, context.CancelFunc) {
 
 // campaignFlags bundles the -config mode's flags.
 type campaignFlags struct {
-	workers    int
-	seed       int64
-	timeout    float64
-	jsonOut    bool
-	faultSpec  string
-	retries    int
-	checkpoint string
-	resume     string
+	workers     int
+	seed        int64
+	timeout     float64
+	jsonOut     bool
+	faultSpec   string
+	retries     int
+	checkpoint  string
+	resume      string
+	tracePath   string
+	profilePath string
+	// outputs holds the export flags the user explicitly set (flag name
+	// with its dash → path), so validation can reject an explicit empty
+	// or duplicate path that the plain string fields cannot distinguish
+	// from an absent flag.
+	outputs map[string]string
+}
+
+// visitedOutputs collects the explicitly-set export path flags.
+func visitedOutputs() map[string]string {
+	out := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "trace", "profile":
+			out["-"+f.Name] = f.Value.String()
+		}
+	})
+	return out
 }
 
 // validateFlags rejects nonsense flag values with a clear error before
@@ -199,6 +236,17 @@ func validateFlags(configPath string, threshold float64, tune, algorithm string,
 				return fmt.Errorf("%s requires -config", flagName)
 			}
 		}
+		if len(cf.outputs) > 0 {
+			names := make([]string, 0, len(cf.outputs))
+			for name := range cf.outputs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("%s requires -config", names[0])
+		}
+	}
+	if err := mixpbench.ValidateTraceOutputs(cf.outputs); err != nil {
+		return err
 	}
 	if cf.faultSpec != "" {
 		if _, err := mixpbench.ParseFaultSpec(cf.faultSpec); err != nil {
@@ -216,7 +264,7 @@ func openTelemetry(metricsPath, eventsPath string) (*mixpbench.Telemetry, func()
 	if metricsPath == "" && eventsPath == "" {
 		return nil, func() error { return nil }, nil
 	}
-	var sink mixpbench.TelemetrySink
+	var sink *mixpbench.JSONLEventSink
 	var eventsFile *os.File
 	if eventsPath != "" {
 		w := io.Writer(os.Stdout)
@@ -230,9 +278,21 @@ func openTelemetry(metricsPath, eventsPath string) (*mixpbench.Telemetry, func()
 		}
 		sink = mixpbench.NewJSONLSink(w)
 	}
-	tel := mixpbench.NewTelemetry(sink)
+	var tel *mixpbench.Telemetry
+	if sink != nil {
+		tel = mixpbench.NewTelemetry(sink)
+	} else {
+		tel = mixpbench.NewTelemetry(nil)
+	}
 	closeFn := func() error {
 		var firstErr error
+		// Surface event-stream write failures in the metrics snapshot:
+		// the instrumented work is done by now, so the count is final.
+		if sink != nil {
+			if n := sink.WriteErrors(); n > 0 {
+				tel.Counter("mixpbench_telemetry_write_errors_total").Add(float64(n))
+			}
+		}
 		if metricsPath != "" {
 			w := io.Writer(os.Stdout)
 			var f *os.File
@@ -280,6 +340,54 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// profileTopJobs caps the critical-path job table in -profile exports.
+const profileTopJobs = 10
+
+// exportTrace writes the -trace and -profile artifacts of a finished
+// campaign. The campaign name in the exports is the configuration
+// file's base name (without extension), so the bytes depend only on the
+// configuration and seed, never on where the file happens to live.
+func exportTrace(configPath string, cf campaignFlags, specs []mixpbench.HarnessSpec, results []mixpbench.HarnessJobResult) error {
+	if cf.tracePath == "" && cf.profilePath == "" {
+		return nil
+	}
+	base := filepath.Base(configPath)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	tr := mixpbench.BuildCampaignTrace(name, specs, results)
+	if cf.tracePath != "" {
+		err := writeExport(cf.tracePath, func(w io.Writer) error {
+			return mixpbench.WriteChromeTrace(w, tr)
+		})
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	if cf.profilePath != "" {
+		p := mixpbench.BuildTraceProfile(tr, profileTopJobs)
+		err := writeExport(cf.profilePath, func(w io.Writer) error {
+			return mixpbench.WriteTraceProfile(w, p)
+		})
+		if err != nil {
+			return fmt.Errorf("-profile: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeExport creates path (making parent directories) and fills it
+// with one export.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := mixpbench.CreateTraceOutput(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func listBenchmarks(w io.Writer) {
 	fmt.Fprintln(w, "Kernels:")
 	for _, b := range mixpbench.Kernels() {
@@ -293,7 +401,7 @@ func listBenchmarks(w io.Writer) {
 	}
 }
 
-func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, trace bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
+func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, evallog bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
 	b, err := mixpbench.Benchmark(name)
 	if err != nil {
 		return false, err
@@ -302,13 +410,13 @@ func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold
 		Algorithm: algorithm,
 		Threshold: threshold,
 		Seed:      seed,
-		Trace:     trace,
+		Trace:     evallog,
 		Telemetry: tel,
 	})
 	if err != nil {
 		return false, err
 	}
-	if trace {
+	if evallog {
 		fmt.Fprintln(w, "evaluation log:")
 		for _, e := range res.Trace {
 			status := "fail"
@@ -383,6 +491,9 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 		if res.Err != nil {
 			failed = append(failed, camp.Specs[i].Name)
 		}
+	}
+	if err := exportTrace(path, cf, camp.Specs, results); err != nil {
+		return nil, err
 	}
 	if cf.jsonOut {
 		reports := make([]mixpbench.HarnessReport, len(results))

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	mixpbench "repro"
+	"repro/internal/trace"
 )
 
 func TestListBenchmarks(t *testing.T) {
@@ -38,7 +41,7 @@ func TestExportSpaceJSON(t *testing.T) {
 	}
 }
 
-func TestTuneOneWithTrace(t *testing.T) {
+func TestTuneOneWithEvalLog(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := tuneOne(context.Background(), &buf, "hydro-1d", "DD", 1e-8, 0, true, nil); err != nil {
 		t.Fatal(err)
@@ -425,6 +428,185 @@ kmeans:
 	out := buf.String()
 	if !strings.Contains(out, "SKIPPED") && !strings.Contains(out, "CANCELED") {
 		t.Errorf("report does not surface the expired deadline:\n%s", out)
+	}
+}
+
+// TestValidateFlagsTraceOutputs drives the shared export-path
+// validation: -trace/-profile need -config, explicitly empty paths are
+// rejected, and two flags may not clobber one file.
+func TestValidateFlagsTraceOutputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		config  string
+		cf      campaignFlags
+		wantErr string
+	}{
+		{
+			name:    "trace without config",
+			cf:      campaignFlags{tracePath: "t.json", outputs: map[string]string{"-trace": "t.json"}},
+			wantErr: "-trace requires -config",
+		},
+		{
+			name:    "profile without config",
+			cf:      campaignFlags{profilePath: "p.json", outputs: map[string]string{"-profile": "p.json"}},
+			wantErr: "-profile requires -config",
+		},
+		{
+			name:    "explicit empty trace path",
+			config:  "cfg.yaml",
+			cf:      campaignFlags{outputs: map[string]string{"-trace": ""}},
+			wantErr: "must not be empty",
+		},
+		{
+			name:   "duplicate output path",
+			config: "cfg.yaml",
+			cf: campaignFlags{
+				tracePath: "out.json", profilePath: "out.json",
+				outputs: map[string]string{"-trace": "out.json", "-profile": "out.json"},
+			},
+			wantErr: "duplicate output path",
+		},
+		{
+			name:   "distinct paths ok",
+			config: "cfg.yaml",
+			cf: campaignFlags{
+				tracePath: "t.json", profilePath: "p.json",
+				outputs: map[string]string{"-trace": "t.json", "-profile": "p.json"},
+			},
+		},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.config, 0, "", "DD", c.cf)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestRunConfigTraceExports runs a campaign with -trace/-profile paths
+// (one in a directory that does not exist yet) and checks the artifacts:
+// the trace validates against the Chrome trace_event schema, the profile
+// phases sum to its total, and the bytes do not depend on -workers.
+func TestRunConfigTraceExports(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.yaml")
+	if err := os.WriteFile(path, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	export := func(workers int, tag string) (traceBytes, profileBytes []byte) {
+		cf := campaignFlags{
+			workers:     workers,
+			seed:        42,
+			tracePath:   filepath.Join(dir, tag, "nested", "trace.json"),
+			profilePath: filepath.Join(dir, tag, "profile.json"),
+		}
+		var out bytes.Buffer
+		if _, err := runConfig(context.Background(), &out, path, cf, nil); err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(cf.tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := os.ReadFile(cf.profilePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb, pb
+	}
+	trace1, prof1 := export(1, "w1")
+	trace4, prof4 := export(4, "w4")
+	if !bytes.Equal(trace1, trace4) {
+		t.Error("trace bytes differ between -workers 1 and -workers 4")
+	}
+	if !bytes.Equal(prof1, prof4) {
+		t.Error("profile bytes differ between -workers 1 and -workers 4")
+	}
+	if err := trace.ValidateChrome(bytes.NewReader(trace1)); err != nil {
+		t.Errorf("exported trace does not validate: %v", err)
+	}
+	var p trace.Profile
+	if err := json.Unmarshal(prof1, &p); err != nil {
+		t.Fatalf("profile JSON malformed: %v", err)
+	}
+	if p.Campaign != "campaign" {
+		t.Errorf("campaign name %q, want config base name", p.Campaign)
+	}
+	var sum float64
+	for _, ph := range p.Phases {
+		sum += ph.Seconds
+	}
+	if sum != p.TotalSeconds || p.TotalSeconds <= 0 {
+		t.Errorf("profile phases sum %v, total %v", sum, p.TotalSeconds)
+	}
+}
+
+// TestCLIExitCodes re-execs the test binary into main() to lock the
+// command's exit-code contract for the export flags: misuse exits 1
+// with a clear message, a good invocation exits 0 and leaves validating
+// artifacts behind.
+func TestCLIExitCodes(t *testing.T) {
+	if os.Getenv("MIXPBENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet("mixpbench", flag.ExitOnError)
+		os.Args = append([]string{"mixpbench"},
+			strings.Split(os.Getenv("MIXPBENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "cfg.yaml")
+	if err := os.WriteFile(cfg, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runMain := func(args ...string) (int, string) {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCLIExitCodes")
+		cmd.Env = append(os.Environ(),
+			"MIXPBENCH_RUN_MAIN=1",
+			"MIXPBENCH_ARGS="+strings.Join(args, "\x1f"))
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := runMain("-trace", filepath.Join(dir, "t.json")); code != 1 || !strings.Contains(out, "requires -config") {
+		t.Errorf("-trace without -config: code %d, output:\n%s", code, out)
+	}
+	if code, out := runMain("-config", cfg, "-trace", ""); code != 1 || !strings.Contains(out, "must not be empty") {
+		t.Errorf("empty -trace: code %d, output:\n%s", code, out)
+	}
+	same := filepath.Join(dir, "same.json")
+	if code, out := runMain("-config", cfg, "-trace", same, "-profile", same); code != 1 || !strings.Contains(out, "duplicate output path") {
+		t.Errorf("duplicate outputs: code %d, output:\n%s", code, out)
+	}
+
+	tracePath := filepath.Join(dir, "artifacts", "trace.json")
+	profilePath := filepath.Join(dir, "artifacts", "profile.json")
+	code, out := runMain("-config", cfg, "-seed", "42", "-trace", tracePath, "-profile", profilePath)
+	if code != 0 {
+		t.Fatalf("good invocation: code %d, output:\n%s", code, out)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.ValidateChrome(f); err != nil {
+		t.Errorf("exported trace does not validate: %v", err)
+	}
+	if _, err := os.Stat(profilePath); err != nil {
+		t.Errorf("profile artifact missing: %v", err)
 	}
 }
 

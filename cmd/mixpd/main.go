@@ -9,6 +9,13 @@
 // Usage:
 //
 //	mixpd [-addr :8177] [-workers N] [-concurrent M] [-queue D]
+//	      [-access-log] [-pprof]
+//
+// Observability: every route is wrapped with per-route request metrics
+// (GET /metrics, text exposition); -access-log adds one JSON line per
+// request on stderr; -pprof mounts net/http/pprof under /debug/pprof/.
+// Finished campaigns serve their deterministic trace and profile at
+// /campaigns/{id}/trace and /campaigns/{id}/profile.
 //
 // Quick start:
 //
@@ -46,16 +53,18 @@ func main() {
 		concurrent   = flag.Int("concurrent", 2, "campaigns running at once")
 		queue        = flag.Int("queue", 16, "campaigns allowed to wait for a slot")
 		drainSeconds = flag.Int("drain-seconds", 60, "graceful shutdown budget before in-flight campaigns are canceled")
+		accessLog    = flag.Bool("access-log", false, "log one JSON line per HTTP request on stderr")
+		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *concurrent, *queue, *drainSeconds); err != nil {
+	if err := run(*addr, *workers, *concurrent, *queue, *drainSeconds, *accessLog, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "mixpd:", err)
 		os.Exit(1)
 	}
 }
 
 // run wires the engine, the HTTP server, and the signal-driven drain.
-func run(addr string, workers, concurrent, queue, drainSeconds int) error {
+func run(addr string, workers, concurrent, queue, drainSeconds int, accessLog, pprof bool) error {
 	if workers < 0 || concurrent < 0 || queue < 0 || drainSeconds < 0 {
 		return fmt.Errorf("-workers, -concurrent, -queue, and -drain-seconds must be >= 0")
 	}
@@ -64,7 +73,11 @@ func run(addr string, workers, concurrent, queue, drainSeconds int) error {
 		MaxConcurrent: concurrent,
 		QueueDepth:    queue,
 	})
-	srv := &http.Server{Addr: addr, Handler: newServer(eng)}
+	sopts := serverOptions{pprof: pprof}
+	if accessLog {
+		sopts.accessLog = os.Stderr
+	}
+	srv := &http.Server{Addr: addr, Handler: newServer(eng, sopts)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// TestServerTraceAndProfile exercises the observability endpoints over
+// a finished campaign: the trace validates as Chrome trace_event JSON,
+// the JSONL form parses span-per-line, the profile's phase totals sum
+// to its campaign total, and the live cache diagnostics cover the jobs.
+func TestServerTraceAndProfile(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	defer eng.Close()
+	var accessLog bytes.Buffer
+	ts := httptest.NewServer(newServer(eng, serverOptions{accessLog: &accessLog}))
+	defer ts.Close()
+
+	st := postCampaign(t, ts, "?name=obs")
+	st = waitDone(t, ts, st.ID)
+	if st.State != engine.StateDone {
+		t.Fatalf("campaign state %s: %s", st.State, st.Error)
+	}
+
+	// Chrome trace: loadable bytes that pass the schema validator.
+	resp, err := http.Get(ts.URL + "/campaigns/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d: %s", resp.StatusCode, chrome)
+	}
+	if err := trace.ValidateChrome(bytes.NewReader(chrome)); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+
+	// JSONL span log: one parseable span per line, root first.
+	resp, err = http.Get(ts.URL + "/campaigns/" + st.ID + "/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimRight(string(jsonl), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("jsonl trace has %d lines", len(lines))
+	}
+	var rootSpan trace.Span
+	if err := json.Unmarshal([]byte(lines[0]), &rootSpan); err != nil || rootSpan.ID != "campaign" {
+		t.Fatalf("first jsonl line not the campaign span: %v %q", err, lines[0])
+	}
+
+	// Bad format is rejected.
+	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/trace?format=xml", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad trace format: status %d", code)
+	}
+
+	// Profile: phases sum to the total, jobs are all present.
+	var p trace.Profile
+	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/profile", &p); code != http.StatusOK {
+		t.Fatalf("GET profile: status %d", code)
+	}
+	var sum float64
+	for _, ph := range p.Phases {
+		sum += ph.Seconds
+	}
+	if sum != p.TotalSeconds || p.TotalSeconds <= 0 {
+		t.Fatalf("profile phases sum %v, total %v", sum, p.TotalSeconds)
+	}
+	if p.Jobs != 2 || len(p.TopJobs) != 2 {
+		t.Fatalf("profile jobs: %d top %d", p.Jobs, len(p.TopJobs))
+	}
+	var p1 trace.Profile
+	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/profile?top=1", &p1); code != http.StatusOK {
+		t.Fatalf("GET profile?top=1: status %d", code)
+	}
+	if len(p1.TopJobs) != 1 {
+		t.Fatalf("top=1 returned %d jobs", len(p1.TopJobs))
+	}
+	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/profile?top=x", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad top: status %d", code)
+	}
+
+	// Live cache diagnostics: one row per executed job, every lookup
+	// attributed as a hit, miss, or wait.
+	var diag []trace.JobCacheStats
+	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/cachediag", &diag); code != http.StatusOK {
+		t.Fatalf("GET cachediag: status %d", code)
+	}
+	if len(diag) != 2 {
+		t.Fatalf("cachediag rows: %d", len(diag))
+	}
+	for _, d := range diag {
+		if d.Hits+d.Misses == 0 {
+			t.Fatalf("job %d saw no cache traffic: %+v", d.Job, d)
+		}
+	}
+
+	// Unknown campaign: 404 for each artifact route.
+	for _, path := range []string{"/trace", "/profile", "/cachediag"} {
+		if code := getJSON(t, ts.URL+"/campaigns/nope"+path, nil); code != http.StatusNotFound {
+			t.Fatalf("GET nope%s: status %d", path, code)
+		}
+	}
+
+	// Server-wide metrics: per-route counters with the registration
+	// pattern as label.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"mixpd_http_requests_total",
+		`route="GET /campaigns/{id}/trace"`,
+		`code="200"`,
+		"mixpd_http_request_seconds",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("GET /metrics missing %q", want)
+		}
+	}
+
+	// Access log: structured JSON lines carrying route and status.
+	sawTrace := false
+	for _, line := range strings.Split(strings.TrimRight(accessLog.String(), "\n"), "\n") {
+		var rec struct {
+			Method string `json:"method"`
+			Route  string `json:"route"`
+			Status int    `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable access log line %q: %v", line, err)
+		}
+		if rec.Route == "GET /campaigns/{id}/trace" && rec.Status == http.StatusOK {
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Errorf("access log missing the trace request:\n%s", accessLog.String())
+	}
+}
+
+// TestServerTraceNotReady locks the 409 contract: trace and profile are
+// refused until the campaign reaches a terminal state.
+func TestServerTraceNotReady(t *testing.T) {
+	// MaxConcurrent 1 with a queue: the second submission stays queued
+	// (non-terminal) while we probe it.
+	eng := engine.New(engine.Options{Workers: 1, MaxConcurrent: 1, QueueDepth: 2})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng, serverOptions{}))
+	defer ts.Close()
+
+	first := postCampaign(t, ts, "")
+	second := postCampaign(t, ts, "")
+	var body errorBody
+	code := getJSON(t, ts.URL+"/campaigns/"+second.ID+"/profile", nil)
+	if code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("GET profile on queued campaign: status %d (%+v)", code, body)
+	}
+	if code == http.StatusOK {
+		t.Skip("campaign finished before the probe; timing too fast to observe queued state")
+	}
+	waitDone(t, ts, first.ID)
+	waitDone(t, ts, second.ID)
+	if code := getJSON(t, ts.URL+"/campaigns/"+second.ID+"/trace", nil); code != http.StatusOK {
+		t.Fatalf("GET trace after done: status %d", code)
+	}
+}
+
+// TestServerPprof checks the -pprof mount.
+func TestServerPprof(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng, serverOptions{pprof: true}))
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/debug/pprof/cmdline", nil); code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", code)
+	}
+	// Without the flag the debug surface stays closed.
+	ts2 := httptest.NewServer(newServer(eng, serverOptions{}))
+	defer ts2.Close()
+	if code := getJSON(t, ts2.URL+"/debug/pprof/cmdline", nil); code == http.StatusOK {
+		t.Fatal("pprof served without -pprof")
+	}
+}

@@ -6,18 +6,29 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; mounted only with -pprof
 	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/trace"
 )
 
 // maxCampaignBytes bounds a submitted configuration body; the paper's
 // configs are a few KB, so 1 MiB is generous without inviting abuse.
 const maxCampaignBytes = 1 << 20
 
+// serverOptions configures the HTTP surface beyond its engine.
+type serverOptions struct {
+	// accessLog, when non-nil, receives one JSON line per request.
+	accessLog io.Writer
+	// pprof mounts net/http/pprof under /debug/pprof/.
+	pprof bool
+}
+
 // newServer builds the HTTP API over one engine:
 //
 //	GET  /healthz                  liveness probe
+//	GET  /metrics                  server-wide request metrics (text exposition)
 //	GET  /campaigns                all statuses, submission order
 //	POST /campaigns                submit a YAML campaign (the body);
 //	                               ?name= ?seed= ?workers= optional
@@ -25,22 +36,40 @@ const maxCampaignBytes = 1 << 20
 //	POST /campaigns/{id}/cancel    cancel (idempotent); returns status
 //	GET  /campaigns/{id}/results   finished jobs so far, job order
 //	GET  /campaigns/{id}/events    telemetry event stream over SSE
-//	GET  /campaigns/{id}/metrics   Prometheus-style text exposition
+//	GET  /campaigns/{id}/metrics   campaign metrics (text exposition)
+//	GET  /campaigns/{id}/trace     Chrome trace_event JSON of the finished
+//	                               campaign (?format=jsonl for the span log);
+//	                               409 while it is still running
+//	GET  /campaigns/{id}/profile   per-phase / critical-path profile
+//	                               (?top=N caps the job table); 409 while
+//	                               running
+//	GET  /campaigns/{id}/cachediag live per-job run-cache attribution
+//	                               (scheduling-dependent diagnostics)
 //
-// Submission backpressure: a full queue answers 429 with Retry-After, a
-// draining server answers 503.
-func newServer(e *engine.Engine) http.Handler {
+// Every route is wrapped with per-route request metrics and, when
+// enabled, structured access logging. Submission backpressure: a full
+// queue answers 429 with Retry-After, a draining server answers 503;
+// campaign artifacts requested early answer 409.
+func newServer(e *engine.Engine, opts serverOptions) http.Handler {
+	o := newObs(opts.accessLog)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, o.route(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.tel.WriteMetrics(w)
+	})
+	handle("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Statuses())
 	})
-	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		submit(e, w, r)
 	})
-	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := e.Status(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
@@ -48,7 +77,7 @@ func newServer(e *engine.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := e.Cancel(id); err != nil {
 			writeError(w, err)
@@ -61,7 +90,7 @@ func newServer(e *engine.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		recs, err := e.Results(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
@@ -69,7 +98,7 @@ func newServer(e *engine.Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, recs)
 	})
-	mux.HandleFunc("GET /campaigns/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /campaigns/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if _, err := e.Status(id); err != nil {
 			writeError(w, err)
@@ -78,10 +107,73 @@ func newServer(e *engine.Engine) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		e.WriteMetrics(id, w)
 	})
-	mux.HandleFunc("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		streamEvents(e, w, r)
 	})
+	handle("GET /campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		serveTrace(e, w, r)
+	})
+	handle("GET /campaigns/{id}/profile", func(w http.ResponseWriter, r *http.Request) {
+		serveProfile(e, w, r)
+	})
+	handle("GET /campaigns/{id}/cachediag", func(w http.ResponseWriter, r *http.Request) {
+		diag, err := e.CacheDiag(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, diag)
+	})
+	if opts.pprof {
+		// pprof registers on DefaultServeMux; mount it explicitly so the
+		// engine's mux (which never touches the default) can serve it.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	}
 	return mux
+}
+
+// serveTrace handles GET /campaigns/{id}/trace: the deterministic span
+// tree of a finished campaign as Chrome trace_event JSON (open the
+// download in Perfetto or chrome://tracing), or as the flat JSONL span
+// log with ?format=jsonl.
+func serveTrace(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	t, err := e.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChromeTrace(w, t)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		trace.WriteJSONL(w, t)
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "unknown trace format; want chrome or jsonl"})
+	}
+}
+
+// serveProfile handles GET /campaigns/{id}/profile: the per-phase and
+// critical-path aggregation of the campaign's trace. ?top=N caps the
+// job table.
+func serveProfile(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	topN := 0
+	if s := r.URL.Query().Get("top"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad top: must be a non-negative integer"})
+			return
+		}
+		topN = n
+	}
+	p, err := e.Profile(r.PathValue("id"), topN)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 // submit handles POST /campaigns.
@@ -190,6 +282,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrNotReady):
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

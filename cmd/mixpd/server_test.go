@@ -137,7 +137,7 @@ func baselineRecords(t *testing.T, workers int) string {
 func TestServerCampaignLifecycle(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{}))
 	defer ts.Close()
 
 	st := postCampaign(t, ts, "?seed=42&name=lifecycle")
@@ -234,7 +234,7 @@ func readSSE(t *testing.T, url string) []string {
 func TestServerTwoTenantsCancelOne(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2, MaxConcurrent: 2})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{}))
 	defer ts.Close()
 
 	victim := postCampaign(t, ts, "?seed=42&name=victim")
@@ -271,7 +271,7 @@ func TestServerTwoTenantsCancelOne(t *testing.T) {
 // and 503 answers.
 func TestServerBackpressure(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1, MaxConcurrent: 1, QueueDepth: 1})
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{}))
 	defer ts.Close()
 
 	// Occupy the only dispatcher with a campaign whose first completed
@@ -330,7 +330,7 @@ func TestServerBackpressure(t *testing.T) {
 func TestServerErrors(t *testing.T) {
 	eng := engine.New(engine.Options{})
 	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{}))
 	defer ts.Close()
 
 	if code := getJSON(t, ts.URL+"/campaigns/c9999", nil); code != http.StatusNotFound {
@@ -378,7 +378,7 @@ func TestServerErrors(t *testing.T) {
 // port and checks a SIGTERM drains it to a clean exit.
 func TestServerSIGTERMDrains(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- run("127.0.0.1:0", 1, 1, 1, 30) }()
+	go func() { done <- run("127.0.0.1:0", 1, 1, 1, 30, false, false) }()
 	// Give run() time to install its signal handler; before that a
 	// SIGTERM would kill the test process outright.
 	time.Sleep(250 * time.Millisecond)
@@ -398,7 +398,7 @@ func TestServerSIGTERMDrains(t *testing.T) {
 // TestValidateServeFlags rejects nonsense flag values.
 func TestValidateServeFlags(t *testing.T) {
 	for _, bad := range [][4]int{{-1, 1, 1, 1}, {0, -1, 1, 1}, {0, 1, -1, 1}, {0, 1, 1, -1}} {
-		err := run("127.0.0.1:0", bad[0], bad[1], bad[2], bad[3])
+		err := run("127.0.0.1:0", bad[0], bad[1], bad[2], bad[3], false, false)
 		if err == nil {
 			t.Errorf("run accepted flags %v", bad)
 		}

@@ -8,6 +8,12 @@
 // Usage:
 //
 //	mptrace -bench lavamd [-threshold 1e-3] [-algorithms DD,GA,GP] [-csv]
+//	        [-trace trace.json] [-profile profile.json]
+//
+// -trace and -profile export the runs as a pseudo-campaign (one job per
+// strategy) in the same Chrome trace_event and profile formats as
+// mixpbench -config; the flags share its path validation (non-empty,
+// distinct files, parent directories created as needed).
 package main
 
 import (
@@ -22,17 +28,31 @@ import (
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/search"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "lavamd", "benchmark to analyse")
-		threshold = flag.Float64("threshold", 1e-3, "quality threshold")
-		algos     = flag.String("algorithms", "CM,DD,HR,HC,GA,GP", "comma-separated strategies")
-		csvOut    = flag.Bool("csv", false, "emit raw curves as CSV instead of the summary")
-		budget    = flag.Float64("budget", 0, "analysis budget in simulated seconds (0 = 24h)")
+		benchName  = flag.String("bench", "lavamd", "benchmark to analyse")
+		threshold  = flag.Float64("threshold", 1e-3, "quality threshold")
+		algos      = flag.String("algorithms", "CM,DD,HR,HC,GA,GP", "comma-separated strategies")
+		csvOut     = flag.Bool("csv", false, "emit raw curves as CSV instead of the summary")
+		budget     = flag.Float64("budget", 0, "analysis budget in simulated seconds (0 = 24h)")
+		traceOut   = flag.String("trace", "", "write the runs as Chrome trace_event JSON to this file")
+		profileOut = flag.String("profile", "", "write the runs' per-phase profile JSON to this file")
 	)
 	flag.Parse()
+
+	outputs := map[string]string{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "trace", "profile":
+			outputs["-"+f.Name] = f.Value.String()
+		}
+	})
+	if err := trace.ValidateOutputPaths(outputs); err != nil {
+		fatal(err)
+	}
 
 	b, err := mixpbench.Benchmark(*benchName)
 	if err != nil {
@@ -43,37 +63,99 @@ func main() {
 		fmt.Println("algorithm,seq,spent_seconds,singles,passed,speedup,best_so_far")
 	}
 
-	for _, name := range strings.Split(*algos, ",") {
-		name = strings.TrimSpace(name)
-		canonical, err := harness.CanonicalAlgorithm(name)
-		if err != nil {
-			fatal(err)
+	jobs, err := runAlgorithms(os.Stdout, b, strings.Split(*algos, ","), *threshold, *budget, *csvOut)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceOut != "" || *profileOut != "" {
+		tr := trace.Assemble(b.Name(), jobs)
+		if *traceOut != "" {
+			if err := writeExport(*traceOut, func(w io.Writer) error {
+				return trace.WriteChromeTrace(w, tr)
+			}); err != nil {
+				fatal(fmt.Errorf("-trace: %w", err))
+			}
 		}
-		algo, err := search.ByName(canonical, report.Seed)
-		if err != nil {
-			fatal(err)
+		if *profileOut != "" {
+			p := trace.BuildProfile(tr, 0)
+			if err := writeExport(*profileOut, func(w io.Writer) error {
+				return trace.WriteProfile(w, p)
+			}); err != nil {
+				fatal(fmt.Errorf("-profile: %w", err))
+			}
 		}
-		space := search.NewSpace(b.Graph(), algo.Mode())
-		eval := search.NewEvaluator(space, bench.NewRunner(report.Seed), b, *threshold)
-		if *budget > 0 {
-			eval.SetBudget(*budget)
-		}
-		eval.SetTrace(true)
-		out := algo.Search(eval)
-		trace := eval.Trace()
-
-		if *csvOut {
-			printCSV(os.Stdout, canonical, trace)
-			continue
-		}
-		printSummary(os.Stdout, canonical, out, trace)
 	}
 }
 
+// runAlgorithms runs each requested strategy on b, printing its curve,
+// and returns one pseudo-campaign trace job per strategy: a single
+// clean attempt whose phase accounting comes straight from the
+// evaluator, so the exports obey the same build+run tiling contract as
+// real campaigns.
+func runAlgorithms(w io.Writer, b bench.Benchmark, names []string, threshold, budget float64, csvOut bool) ([]trace.Job, error) {
+	var jobs []trace.Job
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		canonical, err := harness.CanonicalAlgorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		algo, err := search.ByName(canonical, report.Seed)
+		if err != nil {
+			return nil, err
+		}
+		space := search.NewSpace(b.Graph(), algo.Mode())
+		eval := search.NewEvaluator(space, bench.NewRunner(report.Seed), b, threshold)
+		if budget > 0 {
+			eval.SetBudget(budget)
+		}
+		eval.SetTrace(true)
+		out := algo.Search(eval)
+		curve := eval.Trace()
+
+		jobs = append(jobs, trace.Job{
+			Index:     i,
+			Entry:     canonical,
+			Bench:     b.Name(),
+			Algorithm: canonical,
+			Threshold: threshold,
+			Attempts: []trace.Attempt{{
+				Number:       1,
+				BuildSeconds: eval.BuildSpent(),
+				RunSeconds:   eval.RunSpent(),
+				SpentSeconds: eval.Spent(),
+				Evaluations:  eval.Evaluated(),
+				CacheHits:    eval.CacheHits(),
+			}},
+		})
+
+		if csvOut {
+			printCSV(w, canonical, curve)
+			continue
+		}
+		printSummary(w, canonical, out, curve)
+	}
+	return jobs, nil
+}
+
+// writeExport creates path (making parent directories) and fills it
+// with one export.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := trace.CreateOutput(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // printCSV emits one strategy's raw anytime curve.
-func printCSV(w io.Writer, name string, trace []search.TraceEntry) {
+func printCSV(w io.Writer, name string, curve []search.TraceEntry) {
 	best := 0.0
-	for _, e := range trace {
+	for _, e := range curve {
 		if e.Result.Passed && e.Result.Speedup > best {
 			best = e.Result.Speedup
 		}
@@ -84,7 +166,7 @@ func printCSV(w io.Writer, name string, trace []search.TraceEntry) {
 }
 
 // printSummary renders one strategy's anytime curve at coarse milestones.
-func printSummary(w io.Writer, name string, out search.Outcome, trace []search.TraceEntry) {
+func printSummary(w io.Writer, name string, out search.Outcome, curve []search.TraceEntry) {
 	fmt.Fprintf(w, "\n%s: evaluated %d configurations", name, out.Evaluated)
 	switch {
 	case out.TimedOut:
@@ -95,19 +177,19 @@ func printSummary(w io.Writer, name string, out search.Outcome, trace []search.T
 		fmt.Fprintf(w, ", found nothing")
 	}
 	fmt.Fprintln(w)
-	if len(trace) == 0 {
+	if len(curve) == 0 {
 		return
 	}
 	// Milestones: first pass, each improvement, final.
 	best := 0.0
 	fmt.Fprintf(w, "  %-6s %-10s %-9s %s\n", "eval", "sim-time", "singles", "best-so-far")
-	for _, e := range trace {
+	for _, e := range curve {
 		if e.Result.Passed && e.Result.Speedup > best*1.001 {
 			best = e.Result.Speedup
 			fmt.Fprintf(w, "  #%-5d %7.0fs   %-9d %.3fx\n", e.Seq, e.SpentSeconds, e.Singles, best)
 		}
 	}
-	last := trace[len(trace)-1]
+	last := curve[len(curve)-1]
 	fmt.Fprintf(w, "  #%-5d %7.0fs   (last evaluation)\n", last.Seq, last.SpentSeconds)
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/report"
 	"repro/internal/search"
+	"repro/internal/trace"
 )
 
 // runTraced produces one strategy's outcome and trace for the tests.
@@ -54,6 +55,48 @@ func TestPrintCSVOneRowPerEvaluation(t *testing.T) {
 	}
 	if !strings.HasPrefix(buf.String(), "CB,1,") {
 		t.Errorf("CSV first row malformed: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+// TestRunAlgorithmsBuildsTraceJobs drives the pseudo-campaign export
+// path: one job per strategy, a single clean attempt whose build+run
+// accounting tiles its spend exactly, and a trace that validates as
+// Chrome trace_event JSON.
+func TestRunAlgorithmsBuildsTraceJobs(t *testing.T) {
+	b, err := mixpbench.Benchmark("hydro-1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	jobs, err := runAlgorithms(&out, b, []string{"DD", "CB"}, 1e-8, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want one per strategy", len(jobs))
+	}
+	for _, j := range jobs {
+		if len(j.Attempts) != 1 {
+			t.Fatalf("job %d has %d attempts", j.Index, len(j.Attempts))
+		}
+		a := j.Attempts[0]
+		if a.BuildSeconds+a.RunSeconds != a.SpentSeconds || a.SpentSeconds <= 0 {
+			t.Errorf("job %d: build %v + run %v != spent %v", j.Index, a.BuildSeconds, a.RunSeconds, a.SpentSeconds)
+		}
+		if a.Evaluations <= 0 {
+			t.Errorf("job %d recorded no evaluations", j.Index)
+		}
+	}
+	tr := trace.Assemble(b.Name(), jobs)
+	var chrome bytes.Buffer
+	if err := trace.WriteChromeTrace(&chrome, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(bytes.NewReader(chrome.Bytes())); err != nil {
+		t.Errorf("pseudo-campaign trace does not validate: %v", err)
+	}
+	if _, err := runAlgorithms(&out, b, []string{"nope"}, 1e-8, 0, false); err == nil {
+		t.Error("unknown strategy accepted")
 	}
 }
 

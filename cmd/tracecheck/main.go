@@ -1,0 +1,55 @@
+// Command tracecheck validates Chrome trace_event JSON files against
+// the schema subset the suite exports: the object wrapper, required
+// per-event fields, non-negative timestamps and durations, and
+// well-nested complete events per (pid, tid) track. It is the guardrail
+// behind `make trace-smoke`, catching a malformed export before anyone
+// drags it into Perfetto.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//	tracecheck < trace.json
+//
+// Exit status is 0 when every input validates, 1 otherwise; each
+// failure is reported on stderr with its file name.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := trace.ValidateChrome(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: <stdin>:", err)
+			os.Exit(1)
+		}
+		fmt.Println("<stdin>: ok")
+		return
+	}
+	failed := 0
+	for _, path := range os.Args[1:] {
+		if err := checkFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkFile validates one trace file.
+func checkFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.ValidateChrome(f)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"traceEvents":[`+
+		`{"name":"campaign","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"cat":"campaign"}`+
+		`],"displayTimeUnit":"ms"}`), 0o644)
+	if err := checkFile(good); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"X"}]}`), 0o644)
+	if err := checkFile(bad); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	if err := checkFile(filepath.Join(dir, "missing.json")); err == nil || !strings.Contains(err.Error(), "missing.json") {
+		t.Errorf("missing file: %v", err)
+	}
+}

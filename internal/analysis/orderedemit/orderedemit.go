@@ -23,11 +23,15 @@ import (
 )
 
 // emitNames are method names that irrevocably order their output.
+// AddSpan and Replay are the trace/telemetry emission sites: span
+// children are serialised in insertion order and replayed events are
+// renumbered as they arrive, so neither can be fed from a map range.
 var emitNames = map[string]bool{
 	"Emit": true, "Record": true, "Encode": true,
 	"Write": true, "WriteString": true,
 	"Print": true, "Printf": true, "Println": true,
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"AddSpan": true, "Replay": true,
 }
 
 // sortNames are function or method names that establish an order.

@@ -28,6 +28,42 @@ func badSend(ch chan<- string, m map[string]bool) {
 	}
 }
 
+// span mimics the trace layer's ordered child insertion.
+type span struct{ children []*span }
+
+func (s *span) AddSpan(c *span) *span {
+	s.children = append(s.children, c)
+	return c
+}
+
+// replayer mimics the telemetry stream's ordered replay.
+type replayer struct{}
+
+func (replayer) Replay(events []string) {}
+
+func badAddSpan(root *span, m map[string]*span) {
+	for _, c := range m {
+		root.AddSpan(c) // want `AddSpan call inside map iteration`
+	}
+}
+
+func badReplay(r replayer, m map[string][]string) {
+	for _, evs := range m {
+		r.Replay(evs) // want `Replay call inside map iteration`
+	}
+}
+
+func goodAddSpanSorted(root *span, m map[string]*span) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		root.AddSpan(m[k])
+	}
+}
+
 func goodCollectThenSort(m map[string]int) []string {
 	var keys []string
 	for k := range m {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Sentinel errors the service layer maps to HTTP statuses.
@@ -37,6 +38,10 @@ var (
 	// ErrCanceled is the cancellation cause Cancel installs on a
 	// campaign's context.
 	ErrCanceled = errors.New("engine: campaign canceled")
+	// ErrNotReady reports that a campaign artifact (trace, profile) was
+	// requested before the campaign reached a terminal state (HTTP 409:
+	// come back when it is done).
+	ErrNotReady = errors.New("engine: campaign still running")
 )
 
 // State is a campaign's lifecycle position.
@@ -128,6 +133,7 @@ type campaign struct {
 	cancel context.CancelCauseFunc
 	events *EventLog
 	sink   telemetry.Sink
+	diag   *trace.Diag
 	done   chan struct{}
 
 	mu        sync.Mutex
@@ -277,6 +283,7 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 		ctx:     ctx,
 		cancel:  cancel,
 		events:  NewEventLog(),
+		diag:    trace.NewDiag(),
 		done:    make(chan struct{}),
 		state:   StateQueued,
 		filled:  make([]bool, len(hc.Specs)),
@@ -305,6 +312,7 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 		Cache:          cache,
 		NoCache:        opts.NoCache,
 		OnJobDone:      c.jobDone(opts.OnJobDone),
+		TraceDiag:      c.diag,
 	}
 
 	e.mu.Lock()
@@ -515,6 +523,50 @@ func (e *Engine) Events(id string) (*EventLog, error) {
 		return nil, err
 	}
 	return c.events, nil
+}
+
+// Trace assembles the campaign's deterministic span tree. It is
+// available once the campaign reaches a terminal state - the tree is a
+// pure function of the final per-job accounting, so serving a partial
+// one would only ever be thrown away - and fails with ErrNotReady
+// before that. The same campaign spec yields byte-identical exported
+// traces at any worker count and cache mode (the harness determinism
+// contract).
+func (e *Engine) Trace(id string) (*trace.Trace, error) {
+	c, err := e.campaign(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.state.Terminal() || c.results == nil {
+		return nil, fmt.Errorf("%w: %q is %s", ErrNotReady, id, c.state)
+	}
+	return harness.BuildTrace(c.name, c.specs, c.results), nil
+}
+
+// Profile aggregates the campaign's trace into the per-phase /
+// critical-path report (topN caps the job table; <=0 keeps all).
+// Like Trace it requires a terminal campaign.
+func (e *Engine) Profile(id string, topN int) (*trace.Profile, error) {
+	t, err := e.Trace(id)
+	if err != nil {
+		return nil, err
+	}
+	return trace.BuildProfile(t, topN), nil
+}
+
+// CacheDiag returns the campaign's live per-job run-cache attribution
+// (hits, misses, in-flight waits). Available at any time, but
+// scheduling-dependent: which job leads an execution versus waits on
+// another's is a race between workers, so these numbers are
+// diagnostics, not part of the deterministic trace artifacts.
+func (e *Engine) CacheDiag(id string) ([]trace.JobCacheStats, error) {
+	c, err := e.campaign(id)
+	if err != nil {
+		return nil, err
+	}
+	return c.diag.Snapshot(), nil
 }
 
 // WriteMetrics writes the campaign's metrics registry in the text

@@ -61,6 +61,16 @@ type Report struct {
 	// budget accounting the paper's Table V timeout cells rest on); the
 	// scheduler's job spans are built from it.
 	SpentSeconds float64
+	// BuildSeconds and RunSeconds split SpentSeconds into its build
+	// (transformation + recompilation) and measured-execution phases;
+	// they sum exactly to SpentSeconds as the analysis charged it (a
+	// straggler fault later inflates the attempt's spend, not these).
+	// The trace layer's phase spans are assembled from them.
+	BuildSeconds float64
+	RunSeconds   float64
+	// CacheHits counts evaluator-memo hits (free re-proposals), a pure
+	// function of the search sequence.
+	CacheHits int
 	// Speedup is the SU metric for the configuration the analysis
 	// converged to (1.0 when nothing was found).
 	Speedup float64
@@ -172,6 +182,9 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		Threshold:    job.Spec.Analysis.Threshold,
 		Evaluated:    out.Evaluated,
 		SpentSeconds: eval.Spent(),
+		BuildSeconds: eval.BuildSpent(),
+		RunSeconds:   eval.RunSpent(),
+		CacheHits:    eval.CacheHits(),
 		Speedup:      1.0,
 		Quality:      0,
 		Found:        out.Found,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // CampaignOptions configures one fault-tolerant campaign run.
@@ -39,6 +40,10 @@ type CampaignOptions struct {
 	// OnJobDone, when non-nil, is called once per completed job from
 	// whichever worker finished it (see Scheduler.OnJobDone).
 	OnJobDone func(idx int, r JobResult)
+	// TraceDiag, when non-nil, collects live per-job run-cache attribution
+	// (see Scheduler.TraceDiag). Diagnostic only; deterministic traces are
+	// built post-hoc with BuildTrace.
+	TraceDiag *trace.Diag
 }
 
 // RunCampaign executes one campaign over the specs: it builds the jobs,
@@ -107,6 +112,7 @@ func RunCampaignContext(ctx context.Context, specs []Spec, opts CampaignOptions)
 		Resume:    resume,
 		Cache:     cache,
 		OnJobDone: opts.OnJobDone,
+		TraceDiag: opts.TraceDiag,
 	}
 	results := s.RunContext(ctx, jobs)
 	if err := journal.Close(); err != nil {

@@ -28,8 +28,11 @@ import (
 // journalMagic identifies a journal header line.
 const journalMagic = "mixpbench-campaign"
 
-// journalVersion is bumped on incompatible record changes.
-const journalVersion = 1
+// journalVersion is bumped on incompatible record changes. Version 2
+// added per-phase accounting (build/run seconds, evaluation and memo-hit
+// counts) to reports and attempts so traces rebuild identically on
+// resume.
+const journalVersion = 2
 
 // journalHeader is the journal's first line.
 type journalHeader struct {
@@ -114,6 +117,9 @@ type journalReport struct {
 	Threshold    float64 `json:"threshold"`
 	Evaluated    int     `json:"evaluated"`
 	SpentSeconds float64 `json:"spent_seconds"`
+	BuildSeconds float64 `json:"build_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	CacheHits    int     `json:"cache_hits,omitempty"`
 	Speedup      jfloat  `json:"speedup"`
 	Quality      jfloat  `json:"quality"`
 	Found        bool    `json:"found"`
@@ -135,6 +141,9 @@ func toJournalReport(r Report) journalReport {
 		Threshold:    r.Threshold,
 		Evaluated:    r.Evaluated,
 		SpentSeconds: r.SpentSeconds,
+		BuildSeconds: r.BuildSeconds,
+		RunSeconds:   r.RunSeconds,
+		CacheHits:    r.CacheHits,
 		Speedup:      jfloat(r.Speedup),
 		Quality:      jfloat(r.Quality),
 		Found:        r.Found,
@@ -158,6 +167,9 @@ func (j journalReport) report() Report {
 		Threshold:    j.Threshold,
 		Evaluated:    j.Evaluated,
 		SpentSeconds: j.SpentSeconds,
+		BuildSeconds: j.BuildSeconds,
+		RunSeconds:   j.RunSeconds,
+		CacheHits:    j.CacheHits,
 		Speedup:      float64(j.Speedup),
 		Quality:      float64(j.Quality),
 		Found:        j.Found,

@@ -85,4 +85,14 @@ type Attempt struct {
 	// BackoffSeconds is the simulated wait charged after this attempt
 	// before the next one (0 on the final attempt).
 	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+	// BuildSeconds and RunSeconds split the attempt's analysis spend into
+	// its phases (they sum to the analysis charge; a straggler fault's
+	// surplus lives only in SpentSeconds). Evaluations and CacheHits are
+	// the attempt's EV and evaluator-memo-hit counts. All four are
+	// deterministic, so the trace layer can rebuild identical phase spans
+	// from a journal resume.
+	BuildSeconds float64 `json:"build_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+	Evaluations  int     `json:"evaluations,omitempty"`
+	CacheHits    int     `json:"cache_hits,omitempty"`
 }

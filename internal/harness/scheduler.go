@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/search"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Scheduler fans analysis jobs out over a pool of workers, reproducing the
@@ -65,6 +66,14 @@ type Scheduler struct {
 	// in completion order - the engine uses it for live progress; anything
 	// determinism-sensitive belongs in Telemetry, not here.
 	OnJobDone func(idx int, r JobResult)
+	// TraceDiag, when non-nil, collects scheduling-dependent run-cache
+	// attribution: each job gets a probe threaded through its context, and
+	// the shared cache bumps it on hits, misses, and in-flight waits. Like
+	// OnJobDone this is a live diagnostic - which job leads an execution
+	// is a race between workers - so it feeds mixpd's live view, never the
+	// deterministic trace exports (those are assembled post-hoc by
+	// BuildTrace from per-job accounting).
+	TraceDiag *trace.Diag
 }
 
 // JobResult pairs a job's report with its error, positionally aligned
@@ -191,6 +200,9 @@ func (s Scheduler) RunContext(ctx context.Context, jobs []Job) []JobResult {
 					t.job.Telemetry = recs[t.idx]
 				}
 				t.job.Ctx = ctx
+				if s.TraceDiag != nil {
+					t.job.Ctx = trace.WithProbe(ctx, s.TraceDiag.Probe(t.idx))
+				}
 				t.job.Cache = s.Cache
 				results[t.idx] = s.executeJob(t.idx, t.job)
 				if s.Journal != nil {
@@ -369,7 +381,14 @@ func (s Scheduler) executeJob(idx int, job Job) JobResult {
 			// simulated time for it.
 			jr.Report.SpentSeconds *= f.Slowdown
 		}
-		a := Attempt{Attempt: attempt, SpentSeconds: jr.Report.SpentSeconds}
+		a := Attempt{
+			Attempt:      attempt,
+			SpentSeconds: jr.Report.SpentSeconds,
+			BuildSeconds: jr.Report.BuildSeconds,
+			RunSeconds:   jr.Report.RunSeconds,
+			Evaluations:  jr.Report.Evaluated,
+			CacheHits:    jr.Report.CacheHits,
+		}
 		transient := errors.Is(jr.Err, search.ErrTransient)
 		fired := f.Kind == faults.Straggler || (f.Kind != faults.None && transient)
 		if fired {

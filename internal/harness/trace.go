@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"repro/internal/trace"
+)
+
+// maxTraceErr caps attempt error text in trace args: errors from
+// recovered panics carry multi-line stack dumps whose goroutine IDs and
+// addresses vary run to run, so only the first line (which is stable)
+// may enter a byte-comparable artifact.
+const maxTraceErr = 200
+
+// BuildTrace assembles the campaign's deterministic span tree from its
+// specs and results. It is a pure function of per-job accounting that
+// the scheduler computes identically under any worker count and cache
+// mode - and that the checkpoint journal round-trips in full - so the
+// trace for a given campaign spec is byte-identical however (and in
+// however many pieces) the campaign actually ran.
+func BuildTrace(name string, specs []Spec, results []JobResult) *trace.Trace {
+	jobs := make([]trace.Job, 0, len(results))
+	for i, r := range results {
+		j := trace.Job{
+			Index:    i,
+			Degraded: r.Degraded,
+			Skipped:  r.Skipped,
+			Canceled: r.Report.Canceled || (r.Skipped && r.Err != nil),
+		}
+		if i < len(specs) {
+			j.Entry = specs[i].Name
+			j.Bench = specs[i].Bin
+			j.Algorithm = specs[i].Analysis.Algorithm
+			j.Threshold = specs[i].Analysis.Threshold
+		}
+		for _, a := range r.Attempts {
+			j.Attempts = append(j.Attempts, trace.Attempt{
+				Number:         a.Attempt,
+				BuildSeconds:   a.BuildSeconds,
+				RunSeconds:     a.RunSeconds,
+				SpentSeconds:   a.SpentSeconds,
+				BackoffSeconds: a.BackoffSeconds,
+				Evaluations:    a.Evaluations,
+				CacheHits:      a.CacheHits,
+				Fault:          a.Fault,
+				Err:            truncateErr(a.Err),
+			})
+		}
+		if len(j.Attempts) == 0 && !r.Skipped {
+			// Results without an attempt history (hand-built in tests):
+			// synthesise the single clean attempt the report describes.
+			j.Attempts = []trace.Attempt{{
+				Number:       1,
+				BuildSeconds: r.Report.BuildSeconds,
+				RunSeconds:   r.Report.RunSeconds,
+				SpentSeconds: r.Report.SpentSeconds,
+				Evaluations:  r.Report.Evaluated,
+				CacheHits:    r.Report.CacheHits,
+			}}
+		}
+		jobs = append(jobs, j)
+	}
+	return trace.Assemble(name, jobs)
+}
+
+// truncateErr keeps the first line of an error, capped at maxTraceErr
+// bytes.
+func truncateErr(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			s = s[:i]
+			break
+		}
+	}
+	if len(s) > maxTraceErr {
+		s = s[:maxTraceErr]
+	}
+	return s
+}

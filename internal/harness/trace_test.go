@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// faultySpecs loads the repo's fault-injection campaign, the exact
+// configuration the acceptance criterion names.
+func faultyCampaign(t *testing.T) Campaign {
+	t.Helper()
+	raw, err := os.ReadFile("../../configs/faulty.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := ParseCampaign(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+// jobCost is a job's total simulated spend as the harness reports it:
+// every attempt plus the backoff waits between retries.
+func jobCost(r JobResult) float64 {
+	if r.Skipped {
+		return 0
+	}
+	if len(r.Attempts) == 0 {
+		return r.Report.SpentSeconds
+	}
+	total := 0.0
+	for _, a := range r.Attempts {
+		total += a.SpentSeconds + a.BackoffSeconds
+	}
+	return total
+}
+
+// TestTraceExportInvariance is the acceptance lock of the deterministic
+// tracing contract: for configs/faulty.yaml the exported Chrome trace
+// and profile are byte-identical at workers 1, 2, and 4, with the run
+// cache on and off, and the profile's per-phase totals sum exactly to
+// the campaign's reported analysis time. Run under -race this also
+// exercises the accounting paths' thread safety.
+func TestTraceExportInvariance(t *testing.T) {
+	camp := faultyCampaign(t)
+
+	type export struct {
+		label          string
+		chrome, profil []byte
+	}
+	var exports []export
+	var reference []JobResult
+	for _, workers := range []int{1, 2, 4} {
+		for _, noCache := range []bool{false, true} {
+			results, err := RunCampaign(camp.Specs, CampaignOptions{
+				Workers: workers,
+				Seed:    42,
+				Faults:  camp.Faults,
+				Retry:   camp.Retry,
+				NoCache: noCache,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reference == nil {
+				reference = results
+			}
+			tr := BuildTrace("faulty", camp.Specs, results)
+			var cb, pb bytes.Buffer
+			if err := trace.WriteChromeTrace(&cb, tr); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteProfile(&pb, trace.BuildProfile(tr, 10)); err != nil {
+				t.Fatal(err)
+			}
+			exports = append(exports, export{
+				fmt.Sprintf("workers=%d noCache=%v", workers, noCache),
+				cb.Bytes(), pb.Bytes(),
+			})
+		}
+	}
+	for _, e := range exports[1:] {
+		if !bytes.Equal(e.chrome, exports[0].chrome) {
+			t.Errorf("trace bytes: %s differs from %s", e.label, exports[0].label)
+		}
+		if !bytes.Equal(e.profil, exports[0].profil) {
+			t.Errorf("profile bytes: %s differs from %s", e.label, exports[0].label)
+		}
+	}
+
+	if err := trace.ValidateChrome(bytes.NewReader(exports[0].chrome)); err != nil {
+		t.Errorf("exported trace does not validate: %v", err)
+	}
+
+	// Phase totals tile the campaign's reported analysis time exactly:
+	// the profile sums its phases in a fixed order, and that sum is the
+	// same simulated spend the job results report.
+	var p trace.Profile
+	if err := json.Unmarshal(exports[0].profil, &p); err != nil {
+		t.Fatal(err)
+	}
+	var phaseSum float64
+	for _, ph := range p.Phases {
+		phaseSum += ph.Seconds
+	}
+	if phaseSum != p.TotalSeconds {
+		t.Errorf("phase totals sum %v, profile total %v", phaseSum, p.TotalSeconds)
+	}
+	reported := 0.0
+	for _, r := range reference {
+		reported += jobCost(r)
+	}
+	if math.Abs(reported-p.TotalSeconds) > 1e-9*math.Max(1, reported) {
+		t.Errorf("profile total %v, campaign reported analysis time %v", p.TotalSeconds, reported)
+	}
+	if p.TotalSeconds <= 0 {
+		t.Error("campaign consumed no simulated time")
+	}
+}
+
+// TestTraceCancelWellFormed cancels a campaign mid-run and checks the
+// span tree is still well-formed: every started span ends at or after
+// its start, children stay inside their parents, sibling phases abut,
+// canceled and skipped jobs are marked, and the Chrome export still
+// validates.
+func TestTraceCancelWellFormed(t *testing.T) {
+	specs := cancelSpecs(t)
+	const cancelAfter = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished atomic.Int64
+	results, err := RunCampaignContext(ctx, specs, CampaignOptions{
+		Workers: 2, Seed: 42,
+		OnJobDone: func(int, JobResult) {
+			if finished.Add(1) == cancelAfter {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := BuildTrace("canceled-campaign", specs, results)
+	if tr.Jobs != len(specs) {
+		t.Fatalf("trace has %d jobs, want %d", tr.Jobs, len(specs))
+	}
+	tr.Root.Walk(func(s *trace.Span) {
+		if s.End < s.Start {
+			t.Errorf("span %s ends before it starts: [%v, %v]", s.ID, s.Start, s.End)
+		}
+		for _, c := range s.Children() {
+			if c.Start < s.Start || c.End > s.End+1e-9 {
+				t.Errorf("child %s [%v, %v] escapes parent %s [%v, %v]",
+					c.ID, c.Start, c.End, s.ID, s.Start, s.End)
+			}
+		}
+	})
+
+	// The job end states recorded in the results surface as span flags.
+	sawCanceledOrSkipped := false
+	for i, r := range results {
+		job := tr.Root.Children()[i]
+		if r.Skipped && job.Args["skipped"] != true {
+			t.Errorf("job %d skipped but span not marked: %v", i, job.Args)
+		}
+		if r.Report.Canceled && job.Args["canceled"] != true {
+			t.Errorf("job %d canceled but span not marked: %v", i, job.Args)
+		}
+		if r.Skipped || r.Report.Canceled {
+			sawCanceledOrSkipped = true
+		}
+	}
+	if !sawCanceledOrSkipped {
+		t.Skip("cancellation interrupted nothing; nothing to assert")
+	}
+
+	var chrome bytes.Buffer
+	if err := trace.WriteChromeTrace(&chrome, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(bytes.NewReader(chrome.Bytes())); err != nil {
+		t.Errorf("canceled campaign's trace does not validate: %v", err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Semantics names the demotion tier an execution ran under; executions
@@ -183,6 +184,10 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 	if c == nil {
 		return fn(), nil
 	}
+	// The job probe (when the scheduler installed one) attributes this
+	// call's hit/miss/wait to its campaign job. Every Probe method is
+	// nil-safe, so uninstrumented callers pay one context lookup only.
+	probe := trace.ProbeFrom(ctx)
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
@@ -203,6 +208,7 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 			case <-e.done:
 			default:
 				c.waits.Add(1)
+				probe.InflightWait()
 				c.count("mixpbench_runcache_inflight_waits_total", k)
 				select {
 				case <-e.done:
@@ -217,6 +223,7 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 				continue
 			}
 			c.hits.Add(1)
+			probe.CacheHit()
 			c.count("mixpbench_runcache_hits_total", k)
 			if tel := c.opts.Telemetry; tel != nil {
 				tel.Emit("runcache_hit", map[string]any{
@@ -248,6 +255,7 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 		close(e.done)
 		c.entries.Add(1)
 		c.misses.Add(1)
+		probe.CacheMiss()
 		c.count("mixpbench_runcache_misses_total", k)
 		return c.clone(e.val), nil
 	}

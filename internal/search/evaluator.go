@@ -63,14 +63,19 @@ type Evaluator struct {
 	// type-change sets (see Space.Expand).
 	typeforgeExpand bool
 
-	// Budget accounting, in simulated seconds.
-	budget    float64
-	spent     float64
-	buildCost float64
+	// Budget accounting, in simulated seconds. buildSpent is the portion
+	// of spent charged to configuration builds; the run portion is
+	// derived as spent-buildSpent so the two phases always sum exactly
+	// to spent (no separate accumulation drift).
+	budget     float64
+	spent      float64
+	buildSpent float64
+	buildCost  float64
 
 	reference bench.Result
 	cache     map[string]Result
 	evaluated int
+	memoHits  int
 
 	// keyBuf is scratch for configuration keys: a cache probe writes the
 	// key here and indexes the map with string(keyBuf), which the compiler
@@ -137,6 +142,7 @@ func NewEvaluator(space *Space, runner *bench.Runner, b bench.Benchmark, thresho
 	}
 	e.reference = runner.Reference(b)
 	e.spent += e.buildCost + e.reference.Measured.Total
+	e.buildSpent += e.buildCost
 	// The all-double selection IS the baseline: seed the cache so
 	// strategies that propose it (GA's random draws, DD's empty result)
 	// get it for free, as CRAFT does.
@@ -219,6 +225,22 @@ func (e *Evaluator) Evaluated() int { return e.evaluated }
 // Spent returns the simulated analysis seconds consumed.
 func (e *Evaluator) Spent() float64 { return e.spent }
 
+// BuildSpent returns the portion of Spent charged to configuration
+// builds (Typeforge transformation + recompilation).
+func (e *Evaluator) BuildSpent() float64 { return e.buildSpent }
+
+// RunSpent returns the portion of Spent charged to measured executions.
+// It is derived as Spent-BuildSpent, so BuildSpent+RunSpent == Spent
+// holds exactly - the identity the trace layer's phase tiling relies
+// on.
+func (e *Evaluator) RunSpent() float64 { return e.spent - e.buildSpent }
+
+// CacheHits returns the number of proposals served from the evaluator's
+// memo (free re-evaluations). The count is a pure function of the
+// search sequence, hence deterministic, unlike the shared run cache's
+// scheduling-dependent hit attribution.
+func (e *Evaluator) CacheHits() int { return e.memoHits }
+
 // Key returns the canonical identity of the configuration a selection
 // expands to. Distinct selections can share a configuration (variable
 // selections within one type-change set expand identically); strategies
@@ -243,6 +265,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	cfg, valid := e.space.Expand(set, e.typeforgeExpand)
 	e.keyBuf = cfg.AppendKey(e.keyBuf[:0])
 	if r, ok := e.cache[string(e.keyBuf)]; ok {
+		e.memoHits++
 		if e.tel != nil {
 			e.observe(string(e.keyBuf), cfg.Singles(), r, true)
 		}
@@ -265,6 +288,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		// The node dies during this evaluation: its build time is lost
 		// and no result comes back.
 		e.spent += e.buildCost
+		e.buildSpent += e.buildCost
 		if e.tel != nil {
 			e.tel.Counter("mixpbench_search_transient_faults_total", "bench", e.benchmark.Name()).Inc()
 			e.tel.Emit("transient_fault", map[string]any{
@@ -281,6 +305,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		// The variant does not compile: the build time is lost, nothing
 		// runs.
 		e.spent += e.buildCost
+		e.buildSpent += e.buildCost
 		r := Result{Valid: false}
 		e.cache[key] = r
 		e.record(key, cfg.Singles(), r)
@@ -296,6 +321,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		return Result{}, e.cancelError(err)
 	}
 	e.spent += e.buildCost + res.Measured.Total
+	e.buildSpent += e.buildCost
 	v, err := verify.Check(e.benchmark.Metric(), e.reference.Output.Values, res.Output.Values, e.threshold)
 	if err != nil {
 		return Result{}, fmt.Errorf("search: verifying %s: %w", e.benchmark.Name(), err)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sync"
@@ -60,10 +61,18 @@ func (m *MemorySink) Close() error { return nil }
 // JSONLSink serialises each event as one JSON object per line. Non-finite
 // floats (a timed-out report's NaN speedup) are rendered as strings, since
 // JSON has no encoding for them; everything else round-trips.
+//
+// A mid-stream write error does not vanish: the sink remembers which
+// event failed, counts every event lost from that point on (the failed
+// write and everything dropped after it), and Close reports all of it.
+// WriteErrors exposes the running count so callers can surface a
+// telemetry_write_errors-style counter while the stream is still live.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	errSeq  uint64 // sequence number of the event whose write failed
+	dropped uint64 // events discarded after the failure, failed one included
 }
 
 // NewJSONLSink returns a sink writing JSON lines to w.
@@ -72,22 +81,40 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 }
 
 // Emit writes one line. After the first write error the sink goes quiet
-// and Close reports the error.
+// (counting what it drops) and Close reports the error.
 func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		s.dropped++
 		return
 	}
 	e.Fields = finiteFields(e.Fields)
-	s.err = s.enc.Encode(e)
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		s.errSeq = e.Seq
+		s.dropped = 1
+	}
 }
 
-// Close reports the first write error, if any.
+// WriteErrors returns how many events have been lost so far: zero while
+// the stream is healthy, otherwise the failed write plus every event
+// dropped after it.
+func (s *JSONLSink) WriteErrors() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close reports the first write error, naming the event that hit it and
+// how many events were lost in total.
 func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.err
+	if s.err == nil {
+		return nil
+	}
+	return fmt.Errorf("telemetry: write event seq %d: %w (%d events lost)", s.errSeq, s.err, s.dropped)
 }
 
 // finiteFields replaces non-finite float64 values with their string forms

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -204,6 +205,54 @@ func TestJSONLSinkEmitsValidLines(t *testing.T) {
 	// Non-finite floats serialised as strings.
 	if !strings.Contains(lines[1], `"speedup":"NaN"`) || !strings.Contains(lines[1], `"bound":"+Inf"`) {
 		t.Errorf("non-finite floats not stringified: %s", lines[1])
+	}
+}
+
+// failAfterWriter accepts n writes, then fails every one that follows.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestJSONLSinkReportsWriteErrors locks the mid-stream failure
+// contract: the sink counts every lost event and Close names the
+// sequence number of the event whose write failed.
+func TestJSONLSinkReportsWriteErrors(t *testing.T) {
+	boom := errors.New("disk full")
+	sink := NewJSONLSink(&failAfterWriter{n: 2, err: boom})
+	s := NewStream(sink)
+	for i := 0; i < 5; i++ {
+		s.Emit("evaluation", nil)
+	}
+	// Events 1 and 2 landed; 3 failed; 4 and 5 were dropped.
+	if n := sink.WriteErrors(); n != 3 {
+		t.Errorf("WriteErrors = %d, want 3", n)
+	}
+	err := sink.Close()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Close does not wrap the write error: %v", err)
+	}
+	for _, frag := range []string{"seq 3", "3 events lost"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Close error missing %q: %v", frag, err)
+		}
+	}
+
+	healthy := NewJSONLSink(&bytes.Buffer{})
+	NewStream(healthy).Emit("ok", nil)
+	if n := healthy.WriteErrors(); n != 0 {
+		t.Errorf("healthy sink WriteErrors = %d", n)
+	}
+	if err := healthy.Close(); err != nil {
+		t.Errorf("healthy sink Close: %v", err)
 	}
 }
 

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// chromeEvent is one Chrome trace_event record. Only "X" (complete) and
+// "M" (metadata) phases are emitted; ts and dur are integer
+// microseconds, which is what the trace_event spec stipulates and what
+// keeps serialised output free of float formatting variance.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format wrapper ({"traceEvents": [...]}),
+// which Perfetto and chrome://tracing both accept and which leaves room
+// for metadata keys later.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// us converts simulated seconds to integer trace microseconds.
+func us(sec float64) int64 { return int64(math.Round(sec * 1e6)) }
+
+// WriteChromeTrace serialises the trace in Chrome trace_event JSON
+// (object format, "X" complete events). All spans render on one
+// process/thread (pid=1, tid=1): the canonical timeline is serial by
+// construction, and nesting complete events on one track is exactly how
+// the trace viewers render a call tree. Durations are computed as
+// us(end)-us(start) so a child's rounded interval never escapes its
+// parent's. Output is deterministic: fixed event order (metadata, then
+// spans pre-order) and sorted JSON keys.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": "mixpbench campaign " + t.Campaign}},
+		{Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+			Args: map[string]any{"name": "simulated analysis time"}},
+	}
+	t.Root.Walk(func(s *Span) {
+		dur := us(s.End) - us(s.Start)
+		args := make(map[string]any, len(s.Args)+1)
+		for k, v := range s.Args {
+			args[k] = v
+		}
+		args["id"] = s.ID
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   us(s.Start),
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteJSONL writes the span tree as one JSON object per line in
+// depth-first pre-order - a grep/jq-friendly flat log where every line
+// carries its parent ID, so the tree is reconstructible.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var err error
+	t.Root.Walk(func(s *Span) {
+		if err != nil {
+			return
+		}
+		err = enc.Encode(s)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChrome parses Chrome trace_event JSON and checks schema
+// conformance: the object-format wrapper, required fields per phase,
+// non-negative integer timestamps, and strictly well-nested "X" events
+// per (pid, tid) track. It is the check behind `make trace-smoke`.
+func ValidateChrome(r io.Reader) error {
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("trace: not valid JSON object format: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	type track struct{ pid, tid int }
+	// Per-track stack of open [ts, ts+dur) intervals for nesting checks.
+	open := make(map[track][]int64)
+	complete := 0
+	for i, raw := range f.TraceEvents {
+		var ev struct {
+			Name *string `json:"name"`
+			Ph   *string `json:"ph"`
+			Ts   *int64  `json:"ts"`
+			Dur  *int64  `json:"dur"`
+			Pid  *int    `json:"pid"`
+			Tid  *int    `json:"tid"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if ev.Name == nil || ev.Ph == nil {
+			return fmt.Errorf("trace: event %d: missing name or ph", i)
+		}
+		switch *ev.Ph {
+		case "M":
+			// Metadata events carry no timestamps.
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+				return fmt.Errorf("trace: event %d (%s): X event missing ts/dur/pid/tid", i, *ev.Name)
+			}
+			if *ev.Ts < 0 || *ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative ts or dur", i, *ev.Name)
+			}
+			tr := track{*ev.Pid, *ev.Tid}
+			end := *ev.Ts + *ev.Dur
+			stack := open[tr]
+			// Pop finished ancestors, then require containment: pre-order
+			// complete events nest iff each event starts within the
+			// innermost still-open interval and ends by its end.
+			for len(stack) > 0 && stack[len(stack)-1] <= *ev.Ts {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && end > stack[len(stack)-1] {
+				return fmt.Errorf("trace: event %d (%s): overlaps enclosing span (ends %d, enclosing ends %d)",
+					i, *ev.Name, end, stack[len(stack)-1])
+			}
+			open[tr] = append(stack, end)
+		default:
+			return fmt.Errorf("trace: event %d (%s): unsupported phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("trace: no complete (X) events")
+	}
+	return nil
+}

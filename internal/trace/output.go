@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ValidateOutputPaths checks CLI-provided export paths before a
+// campaign burns any budget: every set path must be non-empty and no
+// two outputs may share a destination (a duplicate would silently
+// clobber one artifact with the other). The names map flag names to
+// their values; unset ("" by convention is rejected only when present,
+// so callers pass just the flags the user actually set).
+func ValidateOutputPaths(paths map[string]string) error {
+	seen := make(map[string]string, len(paths))
+	// Deterministic error messages: check in sorted flag-name order.
+	names := make([]string, 0, len(paths))
+	for name := range paths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := paths[name]
+		if p == "" {
+			return fmt.Errorf("%s: output path must not be empty", name)
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if prev, dup := seen[abs]; dup {
+			return fmt.Errorf("%s: duplicate output path %q (already used by %s)", name, p, prev)
+		}
+		seen[abs] = name
+	}
+	return nil
+}
+
+// CreateOutput creates the file at path, making parent directories as
+// needed. It is the shared open path behind every -trace/-profile flag.
+func CreateOutput(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("create %s: %w", path, err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", path, err)
+	}
+	return f, nil
+}

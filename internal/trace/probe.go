@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Probe is the scheduling-dependent counterpart of the deterministic
+// span tree: a per-job attribution record for run-cache traffic that
+// the scheduler threads through context into runcache.DoContext. Which
+// job leads an execution versus waits on another's in-flight run is a
+// race between real workers, so these numbers are diagnostics - served
+// by mixpd's live view, never part of the exported byte-identical
+// artifacts (see the package comment).
+type Probe struct {
+	// Job is the campaign job index this probe attributes to.
+	Job int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	waits  atomic.Uint64
+}
+
+// CacheHit records a lookup served from a completed execution.
+func (p *Probe) CacheHit() {
+	if p != nil {
+		p.hits.Add(1)
+	}
+}
+
+// CacheMiss records a lookup this job led (it executed the run).
+func (p *Probe) CacheMiss() {
+	if p != nil {
+		p.misses.Add(1)
+	}
+}
+
+// InflightWait records a hit that blocked on another job's in-flight
+// execution before resolving.
+func (p *Probe) InflightWait() {
+	if p != nil {
+		p.waits.Add(1)
+	}
+}
+
+// probeKey is the context key for the current job's probe.
+type probeKey struct{}
+
+// WithProbe returns a context carrying p; the scheduler installs one
+// per job before invoking the analysis.
+func WithProbe(ctx context.Context, p *Probe) context.Context {
+	return context.WithValue(ctx, probeKey{}, p)
+}
+
+// ProbeFrom extracts the job probe from ctx (nil when absent, and every
+// Probe method is nil-safe, so instrumented code calls unconditionally).
+func ProbeFrom(ctx context.Context) *Probe {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(probeKey{}).(*Probe)
+	return p
+}
+
+// JobCacheStats is one job's snapshot in a Diag report.
+type JobCacheStats struct {
+	Job           int    `json:"job"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	InflightWaits uint64 `json:"inflight_waits"`
+}
+
+// Diag collects the probes of one campaign. It is safe for concurrent
+// registration and snapshotting.
+type Diag struct {
+	mu     sync.Mutex
+	probes []*Probe
+}
+
+// NewDiag returns an empty diagnostic collector.
+func NewDiag() *Diag { return &Diag{} }
+
+// Probe registers and returns a new probe for the given job index. A
+// nil Diag returns a usable (but unobserved) probe.
+func (d *Diag) Probe(job int) *Probe {
+	p := &Probe{Job: job}
+	if d == nil {
+		return p
+	}
+	d.mu.Lock()
+	d.probes = append(d.probes, p)
+	d.mu.Unlock()
+	return p
+}
+
+// Snapshot returns the per-job cache attribution sorted by job index.
+// The values reflect real scheduling and may differ run to run; the
+// hits+misses total per job is deterministic, the leader/waiter split
+// is not.
+func (d *Diag) Snapshot() []JobCacheStats {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	probes := make([]*Probe, len(d.probes))
+	copy(probes, d.probes)
+	d.mu.Unlock()
+	out := make([]JobCacheStats, 0, len(probes))
+	for _, p := range probes {
+		out = append(out, JobCacheStats{
+			Job:           p.Job,
+			Hits:          p.hits.Load(),
+			Misses:        p.misses.Load(),
+			InflightWaits: p.waits.Load(),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}

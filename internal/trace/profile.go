@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PhaseTotal is one row of the profile's per-phase breakdown.
+type PhaseTotal struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	// Share is the phase's fraction of the campaign total (0 when the
+	// total is zero).
+	Share float64 `json:"share"`
+}
+
+// JobProfile is one job's aggregated time, a row of the critical-path
+// table.
+type JobProfile struct {
+	Job       int     `json:"job"`
+	Entry     string  `json:"entry"`
+	Algorithm string  `json:"algorithm"`
+	Seconds   float64 `json:"seconds"`
+	Attempts  int     `json:"attempts"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Canceled  bool    `json:"canceled,omitempty"`
+	Skipped   bool    `json:"skipped,omitempty"`
+}
+
+// Profile is the aggregated simulated-time report derived from a span
+// tree: where the campaign's analysis seconds went, by phase and by
+// job. TotalSeconds is the root span's duration and, by construction of
+// the tree, exactly the sum of Phases[].Seconds - the invariant the
+// acceptance test asserts against the campaign's reported analysis
+// time.
+type Profile struct {
+	Campaign     string       `json:"campaign"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Jobs         int          `json:"jobs"`
+	Phases       []PhaseTotal `json:"phases"`
+	// TopJobs is the critical-path table: the most expensive jobs in
+	// descending simulated cost (ties broken by lower index), capped at
+	// the top-N requested.
+	TopJobs []JobProfile `json:"top_jobs"`
+}
+
+// BuildProfile aggregates the trace. Every leaf second is attributed to
+// its phase; since leaves tile each attempt exactly and backoff tiles
+// the gaps, the phase totals tile the root. topN caps the critical-path
+// table (<=0 means all jobs).
+func BuildProfile(t *Trace, topN int) *Profile {
+	p := &Profile{Campaign: t.Campaign, Jobs: t.Jobs}
+	byPhase := make(map[string]float64, len(PhaseOrder))
+	var jobs []JobProfile
+	for _, job := range t.Root.Children() {
+		jp := JobProfile{
+			Job:     intArg(job.Args, "job"),
+			Entry:   strArg(job.Args, "entry"),
+			Seconds: job.Duration(),
+		}
+		jp.Algorithm = strArg(job.Args, "algorithm")
+		jp.Degraded = boolArg(job.Args, "degraded")
+		jp.Canceled = boolArg(job.Args, "canceled")
+		jp.Skipped = boolArg(job.Args, "skipped")
+		job.Walk(func(s *Span) {
+			switch s.Cat {
+			case CatAttempt:
+				jp.Attempts++
+			case CatPhase:
+				byPhase[s.Name] += s.Duration()
+			}
+		})
+		jobs = append(jobs, jp)
+	}
+	// Phase rows in canonical order; totals derived by summation in that
+	// same fixed order so the float result is deterministic.
+	for _, name := range PhaseOrder {
+		sec := byPhase[name]
+		p.Phases = append(p.Phases, PhaseTotal{Phase: name, Seconds: sec})
+		p.TotalSeconds += sec
+	}
+	if p.TotalSeconds > 0 {
+		for i := range p.Phases {
+			p.Phases[i].Share = p.Phases[i].Seconds / p.TotalSeconds
+		}
+	}
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].Seconds != jobs[k].Seconds {
+			return jobs[i].Seconds > jobs[k].Seconds
+		}
+		return jobs[i].Job < jobs[k].Job
+	})
+	if topN > 0 && len(jobs) > topN {
+		jobs = jobs[:topN]
+	}
+	p.TopJobs = jobs
+	return p
+}
+
+// WriteProfile serialises the profile as indented JSON.
+func WriteProfile(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteProfileText renders the profile as the human-readable table the
+// README quickstart shows: phase breakdown, then the critical-path
+// jobs.
+func WriteProfileText(w io.Writer, p *Profile) error {
+	if _, err := fmt.Fprintf(w, "campaign %s: %d jobs, %.2f simulated seconds\n\n",
+		p.Campaign, p.Jobs, p.TotalSeconds); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %14s %7s\n", "phase", "seconds", "share")
+	for _, ph := range p.Phases {
+		fmt.Fprintf(w, "%-10s %14.2f %6.1f%%\n", ph.Phase, ph.Seconds, ph.Share*100)
+	}
+	fmt.Fprintf(w, "\n%-4s %-24s %-14s %14s %9s\n", "job", "entry", "algorithm", "seconds", "attempts")
+	for _, j := range p.TopJobs {
+		note := ""
+		switch {
+		case j.Canceled:
+			note = "  (canceled)"
+		case j.Skipped:
+			note = "  (skipped)"
+		case j.Degraded:
+			note = "  (degraded)"
+		}
+		if _, err := fmt.Fprintf(w, "%-4d %-24s %-14s %14.2f %9d%s\n",
+			j.Job, j.Entry, j.Algorithm, j.Seconds, j.Attempts, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func intArg(args map[string]any, key string) int {
+	if v, ok := args[key].(int); ok {
+		return v
+	}
+	return 0
+}
+
+func strArg(args map[string]any, key string) string {
+	if v, ok := args[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+func boolArg(args map[string]any, key string) bool {
+	v, ok := args[key].(bool)
+	return ok && v
+}

@@ -1,0 +1,305 @@
+// Package trace is the campaign tracing layer: every campaign produces a
+// deterministic, hierarchical span tree - campaign → job → attempt →
+// phases (build, run, straggler slowdown, retry backoff) - whose
+// timestamps come from the simulated analysis clock and whose IDs are
+// pure functions of (campaign, job index, attempt). Because every input
+// is itself deterministic (the evaluator charges identical simulated
+// time with the run cache on or off, and per-job accounting never
+// depends on which worker ran the job), the exported trace for a given
+// campaign spec is byte-identical at any worker count and with caching
+// on or off - the property the harness trace tests lock under -race.
+//
+// The tree is laid out on a single canonical timeline: jobs in
+// submission order, each job's attempts (and the backoff waits between
+// them) back to back. This is the workers=1 schedule, i.e. the total
+// simulated analysis cost of the campaign - the quantity the paper's
+// Figure 3 plots - so the root span's duration answers "where did the
+// analysis time go" independent of how the pool happened to interleave.
+// The scheduling-dependent view (which worker ran what, queue waits,
+// run-cache leader/waiter attribution) is explicitly NOT part of the
+// span tree; it lives in the telemetry event stream and in the Probe
+// diagnostics of this package, which are documented as
+// scheduling-dependent and kept out of the exported artifacts.
+//
+// Span IDs follow a fixed scheme:
+//
+//	campaign
+//	job:<index>
+//	job:<index>/attempt:<n>
+//	job:<index>/attempt:<n>/<phase>
+//	job:<index>/backoff:<n>
+//
+// so two traces of the same spec can be diffed span by span.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Span categories, in tree order.
+const (
+	CatCampaign = "campaign"
+	CatJob      = "job"
+	CatAttempt  = "attempt"
+	CatPhase    = "phase"
+)
+
+// Phase names. A job attempt decomposes into build (configuration
+// transformation + recompilation charges), run (measurement-protocol
+// executions), and - when a straggler fault inflated the attempt - the
+// slowdown residual; the simulated wait between retried attempts is the
+// backoff phase. Every simulated second of a campaign lands in exactly
+// one phase, so the profile's per-phase totals sum to the campaign's
+// reported analysis time.
+const (
+	PhaseBuild     = "build"
+	PhaseRun       = "run"
+	PhaseStraggler = "straggler"
+	PhaseBackoff   = "backoff"
+)
+
+// PhaseOrder is the canonical rendering order of the phases.
+var PhaseOrder = []string{PhaseBuild, PhaseRun, PhaseStraggler, PhaseBackoff}
+
+// Span is one node of the tree. Start and End are simulated seconds on
+// the campaign's canonical timeline; Args carries deterministic
+// attributes only (encoding/json marshals map keys sorted, so
+// serialised spans are deterministic).
+type Span struct {
+	ID     string         `json:"id"`
+	Parent string         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Cat    string         `json:"cat"`
+	Start  float64        `json:"start_seconds"`
+	End    float64        `json:"end_seconds"`
+	Args   map[string]any `json:"args,omitempty"`
+
+	children []*Span
+}
+
+// AddSpan appends a child span. Children are ordered - the tree is
+// serialised depth-first in insertion order - so callers must never
+// feed AddSpan from a map iteration (the orderedemit analyzer enforces
+// this statically).
+func (s *Span) AddSpan(child *Span) *Span {
+	child.Parent = s.ID
+	s.children = append(s.children, child)
+	return child
+}
+
+// Children returns the child spans in insertion order.
+func (s *Span) Children() []*Span { return s.children }
+
+// Duration is the span's simulated length in seconds.
+func (s *Span) Duration() float64 { return s.End - s.Start }
+
+// Walk visits the span and its subtree depth-first, pre-order.
+func (s *Span) Walk(fn func(*Span)) {
+	fn(s)
+	for _, c := range s.children {
+		c.Walk(fn)
+	}
+}
+
+// Attempt is the deterministic accounting of one execution attempt of a
+// job, the input the span builder consumes. All durations are simulated
+// seconds.
+type Attempt struct {
+	// Number is the 1-based attempt number.
+	Number int
+	// BuildSeconds is the total configuration build time charged.
+	BuildSeconds float64
+	// RunSeconds is the total measured execution time charged.
+	RunSeconds float64
+	// SpentSeconds is the attempt's full simulated spend. It equals
+	// BuildSeconds+RunSeconds except under a straggler fault, where the
+	// surplus becomes the attempt's straggler phase.
+	SpentSeconds float64
+	// BackoffSeconds is the simulated wait after this attempt before the
+	// next one (0 on the final attempt).
+	BackoffSeconds float64
+	// Evaluations is the paper's EV count for this attempt.
+	Evaluations int
+	// CacheHits counts evaluator-memo hits (proposals served without a
+	// build). Unlike the shared run cache's hit/miss split, this count is
+	// a pure function of the search sequence, hence deterministic.
+	CacheHits int
+	// Fault names the injected fault that fired on this attempt ("" for
+	// a clean attempt).
+	Fault string
+	// Err is the attempt's failure summary ("" on success).
+	Err string
+}
+
+// Job is one campaign job's deterministic trace input.
+type Job struct {
+	// Index is the job's position in campaign submission order.
+	Index int
+	// Entry is the configuration entry name, Bench the benchmark binary,
+	// Algorithm and Threshold the analysis parameters.
+	Entry     string
+	Bench     string
+	Algorithm string
+	Threshold float64
+	// Attempts is the execution history in order (empty for a skipped
+	// job).
+	Attempts []Attempt
+	// Degraded, Skipped, and Canceled qualify the job's end state.
+	Degraded bool
+	Skipped  bool
+	Canceled bool
+}
+
+// Trace is one campaign's assembled span tree.
+type Trace struct {
+	// Campaign is the campaign's name or ID.
+	Campaign string `json:"campaign"`
+	// Root is the campaign span; every other span is in its subtree.
+	Root *Span `json:"root"`
+	// Jobs is the job count, Spans the total span count.
+	Jobs  int `json:"jobs"`
+	Spans int `json:"spans"`
+}
+
+// TotalSeconds is the campaign's total simulated analysis time (the
+// root span's duration).
+func (t *Trace) TotalSeconds() float64 { return t.Root.Duration() }
+
+// Assemble lays the jobs out on the canonical timeline and returns the
+// campaign's span tree. It is a pure function of its inputs: assembling
+// the same jobs always yields an identical tree, which is what makes
+// exported traces byte-comparable across worker counts and cache modes.
+func Assemble(campaign string, jobs []Job) *Trace {
+	root := &Span{ID: "campaign", Name: campaign, Cat: CatCampaign, Args: map[string]any{
+		"jobs": len(jobs),
+	}}
+	spans := 1
+	cursor := 0.0
+	for _, j := range jobs {
+		job := root.AddSpan(jobSpan(j, cursor))
+		spans += countSpans(job)
+		cursor = job.End
+	}
+	root.End = cursor
+	// The canonical timeline is also the campaign's simulated analysis
+	// cost; stamp it on the root so a trimmed trace still reports it.
+	root.Args["total_seconds"] = cursor
+	return &Trace{Campaign: campaign, Root: root, Jobs: len(jobs), Spans: spans}
+}
+
+// jobSpan builds one job's subtree starting at the timeline cursor.
+func jobSpan(j Job, start float64) *Span {
+	id := fmt.Sprintf("job:%d", j.Index)
+	job := &Span{
+		ID:    id,
+		Name:  fmt.Sprintf("%s (%s)", j.Entry, j.Algorithm),
+		Cat:   CatJob,
+		Start: start,
+		Args: map[string]any{
+			"job":       j.Index,
+			"entry":     j.Entry,
+			"bench":     j.Bench,
+			"algorithm": j.Algorithm,
+			"threshold": j.Threshold,
+		},
+	}
+	if j.Degraded {
+		job.Args["degraded"] = true
+	}
+	if j.Canceled {
+		job.Args["canceled"] = true
+	}
+	if j.Skipped {
+		// Nothing ran: the job span is a zero-length marker.
+		job.Args["skipped"] = true
+		job.End = start
+		return job
+	}
+	t := start
+	for _, a := range j.Attempts {
+		att := job.AddSpan(attemptSpan(id, a, t))
+		t = att.End
+		if a.BackoffSeconds > 0 {
+			backoff := job.AddSpan(&Span{
+				ID:    fmt.Sprintf("%s/backoff:%d", id, a.Number),
+				Name:  PhaseBackoff,
+				Cat:   CatPhase,
+				Start: t,
+				End:   t + a.BackoffSeconds,
+				Args:  map[string]any{"phase": PhaseBackoff, "after_attempt": a.Number},
+			})
+			t = backoff.End
+		}
+	}
+	job.End = t
+	return job
+}
+
+// attemptSpan builds one attempt's subtree: build, run, and (when a
+// straggler inflated the attempt) the slowdown residual, back to back.
+func attemptSpan(jobID string, a Attempt, start float64) *Span {
+	id := fmt.Sprintf("%s/attempt:%d", jobID, a.Number)
+	att := &Span{
+		ID:    id,
+		Name:  fmt.Sprintf("attempt %d", a.Number),
+		Cat:   CatAttempt,
+		Start: start,
+		Args: map[string]any{
+			"attempt":     a.Number,
+			"evaluations": a.Evaluations,
+			"cache_hits":  a.CacheHits,
+		},
+	}
+	if a.Fault != "" {
+		att.Args["fault"] = a.Fault
+	}
+	if a.Err != "" {
+		att.Args["error"] = a.Err
+	}
+	t := start
+	t = phase(att, id, PhaseBuild, t, a.BuildSeconds)
+	t = phase(att, id, PhaseRun, t, a.RunSeconds)
+	// A straggler fault bills more simulated time than the analysis
+	// itself consumed; the surplus is its own phase so slow-node cost is
+	// attributable. Tiny negative residuals (floating-point reassociation
+	// between spent and build+run) are clamped to zero.
+	if residual := a.SpentSeconds - a.BuildSeconds - a.RunSeconds; residual > 1e-9 {
+		t = phase(att, id, PhaseStraggler, t, residual)
+	}
+	att.End = t
+	return att
+}
+
+// phase appends one phase span of the given duration and returns the
+// advanced cursor. Zero-duration phases are kept: a well-formed attempt
+// always shows its build and run phases, even when one is empty.
+func phase(parent *Span, id, name string, start, dur float64) float64 {
+	if dur < 0 || math.IsNaN(dur) {
+		dur = 0
+	}
+	parent.AddSpan(&Span{
+		ID:    id + "/" + name,
+		Name:  name,
+		Cat:   CatPhase,
+		Start: start,
+		End:   start + dur,
+		Args:  map[string]any{"phase": name},
+	})
+	return start + dur
+}
+
+// countSpans counts a subtree.
+func countSpans(s *Span) int {
+	n := 0
+	s.Walk(func(*Span) { n++ })
+	return n
+}
+
+// SortJobs orders trace inputs by job index; builders that collect jobs
+// out of order (completion-order callbacks) normalise through it before
+// Assemble.
+func SortJobs(jobs []Job) {
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Index < jobs[k].Index })
+}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/typedep"
 	"repro/internal/verify"
 )
@@ -127,6 +129,10 @@ type (
 	MetricsSnapshot = telemetry.Snapshot
 	// MemoryEventSink buffers telemetry events in memory.
 	MemoryEventSink = telemetry.MemorySink
+	// JSONLEventSink writes one JSON event per line and accounts for
+	// mid-stream write failures (WriteErrors, and a Close error naming
+	// the failed event's sequence number).
+	JSONLEventSink = telemetry.JSONLSink
 )
 
 // NewTelemetry returns a recorder whose events go to sink (nil keeps
@@ -134,7 +140,7 @@ type (
 func NewTelemetry(sink TelemetrySink) *Telemetry { return telemetry.New(sink) }
 
 // NewJSONLSink returns a telemetry sink writing one JSON event per line.
-func NewJSONLSink(w io.Writer) TelemetrySink { return telemetry.NewJSONLSink(w) }
+func NewJSONLSink(w io.Writer) *JSONLEventSink { return telemetry.NewJSONLSink(w) }
 
 // NewMemorySink returns a telemetry sink buffering events in memory.
 func NewMemorySink() *MemoryEventSink { return telemetry.NewMemorySink() }
@@ -511,3 +517,66 @@ func RunHarnessContext(ctx context.Context, specs []HarnessSpec, opts HarnessOpt
 
 // RegisterAnalysis installs a custom harness analysis plugin.
 func RegisterAnalysis(a harness.Analysis) { harness.RegisterAnalysis(a) }
+
+// Campaign tracing types. A campaign's trace is a deterministic span
+// tree - campaign → job → attempt → phases (build, run, straggler,
+// backoff) - on the simulated analysis clock: the exported bytes are
+// identical at any worker count and with the run cache on or off.
+type (
+	// CampaignTrace is one campaign's assembled span tree.
+	CampaignTrace = trace.Trace
+	// TraceSpan is one node of a campaign trace.
+	TraceSpan = trace.Span
+	// TraceProfile is the per-phase / critical-path aggregation of a
+	// campaign trace.
+	TraceProfile = trace.Profile
+)
+
+// BuildCampaignTrace assembles the deterministic span tree of a
+// finished campaign from its specs and results (see RunCampaign).
+func BuildCampaignTrace(name string, specs []HarnessSpec, results []HarnessJobResult) *CampaignTrace {
+	return harness.BuildTrace(name, specs, results)
+}
+
+// BuildTraceProfile aggregates a campaign trace into its per-phase and
+// critical-path profile; topN caps the job table (<=0 keeps all jobs).
+func BuildTraceProfile(t *CampaignTrace, topN int) *TraceProfile {
+	return trace.BuildProfile(t, topN)
+}
+
+// WriteChromeTrace serialises a campaign trace as Chrome trace_event
+// JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *CampaignTrace) error {
+	return trace.WriteChromeTrace(w, t)
+}
+
+// WriteTraceJSONL serialises a campaign trace as one span per line,
+// depth-first.
+func WriteTraceJSONL(w io.Writer, t *CampaignTrace) error {
+	return trace.WriteJSONL(w, t)
+}
+
+// WriteTraceProfile serialises a trace profile as indented JSON.
+func WriteTraceProfile(w io.Writer, p *TraceProfile) error {
+	return trace.WriteProfile(w, p)
+}
+
+// WriteTraceProfileText renders a trace profile as a human-readable
+// table: per-phase totals, then the critical-path jobs.
+func WriteTraceProfileText(w io.Writer, p *TraceProfile) error {
+	return trace.WriteProfileText(w, p)
+}
+
+// ValidateChromeTrace checks that r holds schema-conformant Chrome
+// trace_event JSON (object format, well-nested complete events).
+func ValidateChromeTrace(r io.Reader) error { return trace.ValidateChrome(r) }
+
+// ValidateTraceOutputs validates CLI-style export paths (flag name →
+// path): paths must be non-empty and pairwise distinct.
+func ValidateTraceOutputs(paths map[string]string) error {
+	return trace.ValidateOutputPaths(paths)
+}
+
+// CreateTraceOutput creates an export file, making parent directories
+// as needed.
+func CreateTraceOutput(path string) (*os.File, error) { return trace.CreateOutput(path) }
