@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify lint lint-report cover tables bench bench-smoke trace-smoke
+.PHONY: build test race verify lint lint-report cover tables bench bench-smoke trace-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,17 @@ trace-smoke:
 		-trace artifacts/trace.json -profile artifacts/profile.json
 	$(GO) run ./cmd/tracecheck artifacts/trace.json
 	@echo "trace-smoke: artifacts/trace.json artifacts/profile.json"
+
+# store-smoke drives the durability loop end to end against the real
+# binary: run the fault-injection campaign with a durable result store
+# and a checkpoint journal, SIGKILL it mid-run, restart over the torn
+# state, and assert the recovered campaign is byte-identical to an
+# uninterrupted storeless run - then re-run warm and assert a >=99%
+# store hit rate. Store stats land in artifacts/ (see README
+# "Durability").
+store-smoke:
+	@mkdir -p artifacts
+	sh ./scripts/store-smoke.sh artifacts
 
 # bench-smoke compiles and runs every benchmark once (CI's guard against
 # benchmark rot; no timing value).

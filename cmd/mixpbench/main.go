@@ -32,6 +32,16 @@
 // skipping completed jobs. A campaign whose jobs failed exits with code
 // 3 after printing every report, so one bad entry cannot hide the rest.
 //
+// Durability (with -config): -store DIR persists every benchmark
+// execution to an append-only, checksummed result store in DIR/results
+// (the same layout mixpd -store uses, so the CLI and the service can
+// share one directory). A later campaign - same process or not - serves
+// matching executions from disk instead of re-running them, with
+// byte-identical reports; -store-stats PATH writes the store's traffic
+// counters and hit rate as JSON on exit ("-" = stdout). The store
+// survives crashes: a torn final record is truncated away at the next
+// open and corrupt segments are quarantined, never trusted.
+//
 // Deadlines: -timeout S bounds the whole run by S wall-clock seconds.
 // On expiry in-flight analyses stop at their next evaluation boundary
 // and report best-so-far, unstarted jobs are skipped, and the process
@@ -42,6 +52,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -76,6 +87,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "with -config: max attempts per job on transient faults (0 = default 3)")
 		checkpoint  = flag.String("checkpoint", "", "with -config: journal completed jobs to this file")
 		resume      = flag.String("resume", "", "with -config: resume from a checkpoint journal, skipping completed jobs")
+		storeDir    = flag.String("store", "", "with -config: durable result store directory; executions persist in DIR/results and later campaigns reuse them")
+		storeStats  = flag.String("store-stats", "", `with -config and -store: write the store's stats as JSON on exit ("-" = stdout)`)
 		timeout     = flag.Float64("timeout", 0, "wall-clock deadline in seconds for -config or -tune (0 = none); expiry exits with code 4")
 	)
 	flag.Parse()
@@ -89,6 +102,8 @@ func main() {
 		retries:     *retries,
 		checkpoint:  *checkpoint,
 		resume:      *resume,
+		storeDir:    *storeDir,
+		storeStats:  *storeStats,
 		tracePath:   *traceOut,
 		profilePath: *profileOut,
 		// Validation must see the flags the user actually set: an
@@ -184,6 +199,8 @@ type campaignFlags struct {
 	retries     int
 	checkpoint  string
 	resume      string
+	storeDir    string
+	storeStats  string
 	tracePath   string
 	profilePath string
 	// outputs holds the export flags the user explicitly set (flag name
@@ -193,12 +210,17 @@ type campaignFlags struct {
 	outputs map[string]string
 }
 
-// visitedOutputs collects the explicitly-set export path flags.
+// visitedOutputs collects the explicitly-set output path flags: every
+// flag naming a destination the run writes goes through the shared
+// output-path validation (non-empty, pairwise distinct), so -store
+// can never silently clobber a -checkpoint journal or vice versa.
+// -resume stays out: it is an input, and the resume idiom points it
+// at the same file as -checkpoint.
 func visitedOutputs() map[string]string {
 	out := map[string]string{}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "trace", "profile":
+		case "trace", "profile", "checkpoint", "store", "store-stats":
 			out["-"+f.Name] = f.Value.String()
 		}
 	})
@@ -225,12 +247,17 @@ func validateFlags(configPath string, threshold float64, tune, algorithm string,
 			return fmt.Errorf("-algorithm: %w", err)
 		}
 	}
+	if cf.storeStats != "" && cf.storeDir == "" {
+		return fmt.Errorf("-store-stats requires -store")
+	}
 	if configPath == "" {
 		for flagName, set := range map[string]bool{
-			"-faults":     cf.faultSpec != "",
-			"-retries":    cf.retries != 0,
-			"-checkpoint": cf.checkpoint != "",
-			"-resume":     cf.resume != "",
+			"-faults":      cf.faultSpec != "",
+			"-retries":     cf.retries != 0,
+			"-checkpoint":  cf.checkpoint != "",
+			"-resume":      cf.resume != "",
+			"-store":       cf.storeDir != "",
+			"-store-stats": cf.storeStats != "",
 		} {
 			if set {
 				return fmt.Errorf("%s requires -config", flagName)
@@ -374,6 +401,38 @@ func exportTrace(configPath string, cf campaignFlags, specs []mixpbench.HarnessS
 	return nil
 }
 
+// writeStoreStats renders the store's counters as indented JSON with a
+// derived store_hit_rate (hits over lookups; 1.0 means the campaign
+// ran entirely from disk), the number the store-smoke gate asserts on.
+func writeStoreStats(path string, s mixpbench.ResultStoreStats) error {
+	rate := 0.0
+	if s.Gets > 0 {
+		rate = float64(s.GetHits) / float64(s.Gets)
+	}
+	body := struct {
+		mixpbench.ResultStoreStats
+		HitRate float64 `json:"store_hit_rate"`
+	}{s, rate}
+	b, err := json.MarshalIndent(body, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	f, err := mixpbench.CreateTraceOutput(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeExport creates path (making parent directories) and fills it
 // with one export.
 func writeExport(path string, write func(io.Writer) error) error {
@@ -475,7 +534,7 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 	if cf.retries > 0 {
 		retry.MaxAttempts = cf.retries
 	}
-	results, err := mixpbench.RunCampaignContext(ctx, camp.Specs, mixpbench.CampaignOptions{
+	opts := mixpbench.CampaignOptions{
 		Workers:        cf.workers,
 		Seed:           cf.seed,
 		Telemetry:      tel,
@@ -483,9 +542,33 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 		Retry:          retry,
 		CheckpointPath: cf.checkpoint,
 		ResumePath:     cf.resume,
-	})
+	}
+	var st *mixpbench.ResultStore
+	if cf.storeDir != "" {
+		// Mirror mixpd's layout (results under DIR/results) so the CLI
+		// and the service can share one durable directory.
+		st, err = mixpbench.OpenResultStore(filepath.Join(cf.storeDir, "results"))
+		if err != nil {
+			return nil, fmt.Errorf("-store: %w", err)
+		}
+		defer st.Close()
+		opts.Cache = mixpbench.NewStoredRunCache(nil, st)
+	}
+	results, err := mixpbench.RunCampaignContext(ctx, camp.Specs, opts)
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		// Flush write-behind puts before reporting: once the process
+		// prints its reports the store must already hold them.
+		if err := st.Sync(); err != nil {
+			return nil, fmt.Errorf("-store: %w", err)
+		}
+		if cf.storeStats != "" {
+			if err := writeStoreStats(cf.storeStats, st.Stats()); err != nil {
+				return nil, fmt.Errorf("-store-stats: %w", err)
+			}
+		}
 	}
 	for i, res := range results {
 		if res.Err != nil {

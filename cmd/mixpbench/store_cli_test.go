@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIStoreWarmRun re-execs the binary twice against one -store
+// directory: the cold run fills the store, the warm run replays the
+// campaign from it - byte-identical stdout, near-100% hit rate in the
+// -store-stats artifact, and zero fresh writes. This is the CLI half
+// of the tentpole's store-on/off/warm invariance guarantee.
+func TestCLIStoreWarmRun(t *testing.T) {
+	if os.Getenv("MIXPBENCH_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet("mixpbench", flag.ExitOnError)
+		os.Args = append([]string{"mixpbench"},
+			strings.Split(os.Getenv("MIXPBENCH_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "cfg.yaml")
+	if err := os.WriteFile(cfg, []byte(multiEntryYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runMain := func(args ...string) (int, string) {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCLIStoreWarmRun")
+		cmd.Env = append(os.Environ(),
+			"MIXPBENCH_RUN_MAIN=1",
+			"MIXPBENCH_ARGS="+strings.Join(args, "\x1f"))
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return ee.ExitCode(), string(out)
+	}
+	readStats := func(path string) (stats struct {
+		Puts    uint64  `json:"puts"`
+		Records uint64  `json:"records"`
+		Healthy bool    `json:"healthy"`
+		HitRate float64 `json:"store_hit_rate"`
+	}) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &stats); err != nil {
+			t.Fatalf("unparseable store stats %s: %v", b, err)
+		}
+		return stats
+	}
+
+	// Flag misuse is refused before any work.
+	if code, out := runMain("-config", cfg, "-store-stats", filepath.Join(dir, "s.json")); code != 1 || !strings.Contains(out, "requires -store") {
+		t.Errorf("-store-stats without -store: code %d, output:\n%s", code, out)
+	}
+	if code, out := runMain("-store", dir); code != 1 || !strings.Contains(out, "requires -config") {
+		t.Errorf("-store without -config: code %d, output:\n%s", code, out)
+	}
+	ckpt := filepath.Join(dir, "shared")
+	if code, out := runMain("-config", cfg, "-store", ckpt, "-checkpoint", ckpt); code != 1 || !strings.Contains(out, "duplicate output path") {
+		t.Errorf("-store colliding with -checkpoint: code %d, output:\n%s", code, out)
+	}
+
+	storeDir := filepath.Join(dir, "durable")
+	coldStats := filepath.Join(dir, "cold.json")
+	warmStats := filepath.Join(dir, "warm.json")
+
+	code, coldOut := runMain("-config", cfg, "-seed", "42", "-store", storeDir, "-store-stats", coldStats)
+	if code != 0 {
+		t.Fatalf("cold run: code %d, output:\n%s", code, coldOut)
+	}
+	cold := readStats(coldStats)
+	if !cold.Healthy || cold.Puts == 0 || cold.Records == 0 {
+		t.Fatalf("cold run store stats: %+v", cold)
+	}
+
+	code, warmOut := runMain("-config", cfg, "-seed", "42", "-store", storeDir, "-store-stats", warmStats)
+	if code != 0 {
+		t.Fatalf("warm run: code %d, output:\n%s", code, warmOut)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm run stdout diverges from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+	warm := readStats(warmStats)
+	if warm.HitRate < 0.99 {
+		t.Errorf("warm run hit rate %.3f, want >= 0.99 (%+v)", warm.HitRate, warm)
+	}
+	if warm.Puts != 0 {
+		t.Errorf("warm run wrote %d fresh records to the store", warm.Puts)
+	}
+}

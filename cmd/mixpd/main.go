@@ -40,10 +40,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -55,25 +59,53 @@ func main() {
 		drainSeconds = flag.Int("drain-seconds", 60, "graceful shutdown budget before in-flight campaigns are canceled")
 		accessLog    = flag.Bool("access-log", false, "log one JSON line per HTTP request on stderr")
 		pprof        = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		storeDir     = flag.String("store", "", "durable state directory: results persist in DIR/results, campaign history in DIR/campaigns, both surviving restarts")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *concurrent, *queue, *drainSeconds, *accessLog, *pprof); err != nil {
+	if err := run(*addr, *workers, *concurrent, *queue, *drainSeconds, *accessLog, *pprof, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "mixpd:", err)
 		os.Exit(1)
 	}
 }
 
+// openService opens the optional durable layer and builds the engine
+// over it: the result store becomes the shared run cache's persistent
+// tier and the engine archives every terminal campaign under the same
+// root, so a restarted process warm-starts from both. The test's
+// two-generation restart harness goes through this same constructor.
+func openService(storeDir string, opts engine.Options) (*engine.Engine, *store.Store, error) {
+	var st *store.Store
+	if storeDir != "" {
+		if err := trace.ValidateOutputPaths(map[string]string{"-store": storeDir}); err != nil {
+			return nil, nil, err
+		}
+		var err error
+		st, err = store.Open(filepath.Join(storeDir, "results"),
+			store.Options{Fingerprint: bench.DefaultStoreFingerprint()})
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.HistoryDir = filepath.Join(storeDir, "campaigns")
+		opts.Cache = bench.NewStoredCache(nil, st)
+	}
+	return engine.New(opts), st, nil
+}
+
 // run wires the engine, the HTTP server, and the signal-driven drain.
-func run(addr string, workers, concurrent, queue, drainSeconds int, accessLog, pprof bool) error {
+func run(addr string, workers, concurrent, queue, drainSeconds int, accessLog, pprof bool, storeDir string) error {
 	if workers < 0 || concurrent < 0 || queue < 0 || drainSeconds < 0 {
 		return fmt.Errorf("-workers, -concurrent, -queue, and -drain-seconds must be >= 0")
 	}
-	eng := engine.New(engine.Options{
+	eng, st, err := openService(storeDir, engine.Options{
 		Workers:       workers,
 		MaxConcurrent: concurrent,
 		QueueDepth:    queue,
 	})
-	sopts := serverOptions{pprof: pprof}
+	if err != nil {
+		return err
+	}
+	defer st.Close() // nil-safe; final flush for the no-drain exit paths
+	sopts := serverOptions{pprof: pprof, store: st}
 	if accessLog {
 		sopts.accessLog = os.Stderr
 	}

@@ -92,18 +92,22 @@ func TestServerTraceAndProfile(t *testing.T) {
 	}
 
 	// Live cache diagnostics: one row per executed job, every lookup
-	// attributed as a hit, miss, or wait.
-	var diag []trace.JobCacheStats
+	// attributed as a hit, miss, or wait. Without -store the store
+	// section is absent.
+	var diag cacheDiagBody
 	if code := getJSON(t, ts.URL+"/campaigns/"+st.ID+"/cachediag", &diag); code != http.StatusOK {
 		t.Fatalf("GET cachediag: status %d", code)
 	}
-	if len(diag) != 2 {
-		t.Fatalf("cachediag rows: %d", len(diag))
+	if len(diag.Jobs) != 2 {
+		t.Fatalf("cachediag rows: %d", len(diag.Jobs))
 	}
-	for _, d := range diag {
+	for _, d := range diag.Jobs {
 		if d.Hits+d.Misses == 0 {
 			t.Fatalf("job %d saw no cache traffic: %+v", d.Job, d)
 		}
+	}
+	if diag.Store != nil {
+		t.Fatalf("cachediag reports a store on a storeless server: %+v", diag.Store)
 	}
 
 	// Unknown campaign: 404 for each artifact route.

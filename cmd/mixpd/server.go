@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -23,11 +25,17 @@ type serverOptions struct {
 	accessLog io.Writer
 	// pprof mounts net/http/pprof under /debug/pprof/.
 	pprof bool
+	// store is the optional durable result store behind the shared run
+	// cache; /healthz and /cachediag report its health and traffic.
+	store *store.Store
 }
 
 // newServer builds the HTTP API over one engine:
 //
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  durability-aware health: store and
+//	                               campaign-history write health plus
+//	                               drain state; 503 while degraded or
+//	                               draining
 //	GET  /metrics                  server-wide request metrics (text exposition)
 //	GET  /campaigns                all statuses, submission order
 //	POST /campaigns                submit a YAML campaign (the body);
@@ -45,6 +53,8 @@ type serverOptions struct {
 //	                               running
 //	GET  /campaigns/{id}/cachediag live per-job run-cache attribution
 //	                               (scheduling-dependent diagnostics)
+//	                               plus result-store health when the
+//	                               server runs with -store
 //
 // Every route is wrapped with per-route request metrics and, when
 // enabled, structured access logging. Submission backpressure: a full
@@ -57,7 +67,7 @@ func newServer(e *engine.Engine, opts serverOptions) http.Handler {
 		mux.HandleFunc(pattern, o.route(pattern, h))
 	}
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
+		serveHealth(e, opts.store, w)
 	})
 	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -99,13 +109,15 @@ func newServer(e *engine.Engine, opts serverOptions) http.Handler {
 		writeJSON(w, http.StatusOK, recs)
 	})
 	handle("GET /campaigns/{id}/metrics", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, err := e.Status(id); err != nil {
+		// Buffer the exposition so an archived campaign (whose recorder
+		// is gone) answers a clean 410 instead of a half-written 200.
+		var buf bytes.Buffer
+		if err := e.WriteMetrics(r.PathValue("id"), &buf); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		e.WriteMetrics(id, w)
+		w.Write(buf.Bytes())
 	})
 	handle("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		streamEvents(e, w, r)
@@ -122,7 +134,12 @@ func newServer(e *engine.Engine, opts serverOptions) http.Handler {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, diag)
+		body := cacheDiagBody{Jobs: diag}
+		if opts.store != nil {
+			ss := opts.store.Stats()
+			body.Store = &ss
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	if opts.pprof {
 		// pprof registers on DefaultServeMux; mount it explicitly so the
@@ -266,6 +283,49 @@ func streamEvents(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cacheDiagBody is the /cachediag response: the campaign's live
+// per-job run-cache attribution plus, when the server runs with
+// -store, the durable tier's health and traffic counters.
+type cacheDiagBody struct {
+	Jobs  []trace.JobCacheStats `json:"jobs"`
+	Store *store.Stats          `json:"store,omitempty"`
+}
+
+// healthBody is the /healthz response: overall status plus the two
+// durability subsystems behind it - campaign history persistence
+// (engine) and the result store. Status is "ok" while everything
+// writes cleanly, "draining" once shutdown began, and "degraded" when
+// either subsystem has recorded write or read errors; the latter two
+// answer 503 so probes pull the instance out of rotation before data
+// loss compounds.
+type healthBody struct {
+	Status string        `json:"status"`
+	Engine engine.Health `json:"engine"`
+	Store  *store.Stats  `json:"store,omitempty"`
+}
+
+// serveHealth handles GET /healthz.
+func serveHealth(e *engine.Engine, st *store.Store, w http.ResponseWriter) {
+	h := e.Health()
+	body := healthBody{Status: "ok", Engine: h}
+	healthy := h.Healthy()
+	if st != nil {
+		ss := st.Stats()
+		body.Store = &ss
+		healthy = healthy && ss.Healthy
+	}
+	status := http.StatusOK
+	switch {
+	case !healthy:
+		body.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	case h.Draining:
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -284,6 +344,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, engine.ErrNotReady):
 		status = http.StatusConflict
+	case errors.Is(err, engine.ErrArchived):
+		status = http.StatusGone
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

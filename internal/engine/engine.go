@@ -42,6 +42,11 @@ var (
 	// requested before the campaign reached a terminal state (HTTP 409:
 	// come back when it is done).
 	ErrNotReady = errors.New("engine: campaign still running")
+	// ErrArchived reports that a campaign was restored from history
+	// after a restart: its status, results, and events are served from
+	// the archive, but artifacts needing live state (trace, profile,
+	// cache diagnostics, metrics) are gone (HTTP 410).
+	ErrArchived = errors.New("engine: campaign archived, live artifacts unavailable")
 )
 
 // State is a campaign's lifecycle position.
@@ -94,6 +99,13 @@ type Options struct {
 	// engine creates one. Sharing never changes results (see
 	// bench.Runner.Cache).
 	Cache *bench.Cache
+	// HistoryDir, when set, persists every terminal campaign (status,
+	// results, event log) to one JSON document per campaign, written
+	// with full fsync discipline, and restores them on boot - so a
+	// restarted process keeps answering for campaigns the previous
+	// generation ran, and SSE clients resume with Last-Event-ID across
+	// the restart. Empty disables persistence.
+	HistoryDir string
 }
 
 // SubmitOptions parameterises one campaign submission.
@@ -135,6 +147,12 @@ type campaign struct {
 	sink   telemetry.Sink
 	diag   *trace.Diag
 	done   chan struct{}
+	// jobs is the campaign's job count; kept separately from len(specs)
+	// because archived campaigns are restored without their specs.
+	jobs int
+	// archived marks a campaign restored from history: status, results,
+	// and events come from the archive, live-only artifacts are gone.
+	archived bool
 
 	mu        sync.Mutex
 	state     State
@@ -149,7 +167,7 @@ type campaign struct {
 func (c *campaign) status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := Status{ID: c.id, Name: c.name, State: c.state, Jobs: len(c.specs), Completed: c.completed}
+	st := Status{ID: c.id, Name: c.name, State: c.state, Jobs: c.jobs, Completed: c.completed}
 	if c.err != nil {
 		st.Error = c.err.Error()
 	}
@@ -212,6 +230,10 @@ type Engine struct {
 	order     []string
 	counter   int
 	draining  bool
+	// History persistence health, surfaced through Health().
+	histWriteErrs uint64
+	histLoadErrs  uint64
+	histLastErr   string
 }
 
 // New starts an engine: MaxConcurrent dispatcher goroutines over a
@@ -237,6 +259,7 @@ func New(opts Options) *Engine {
 		queue:      make(chan *campaign, opts.QueueDepth),
 		campaigns:  map[string]*campaign{},
 	}
+	e.loadHistory()
 	for i := 0; i < opts.MaxConcurrent; i++ {
 		e.wg.Add(1)
 		go e.dispatch()
@@ -285,6 +308,7 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 		events:  NewEventLog(),
 		diag:    trace.NewDiag(),
 		done:    make(chan struct{}),
+		jobs:    len(hc.Specs),
 		state:   StateQueued,
 		filled:  make([]bool, len(hc.Specs)),
 		records: make([]harness.JournalRecord, len(hc.Specs)),
@@ -363,6 +387,7 @@ func (e *Engine) runCampaign(c *campaign) {
 		c.err = cause
 		c.mu.Unlock()
 		c.finishCanceled(cause)
+		e.archiveCampaign(c)
 		return
 	}
 	c.state = StateRunning
@@ -382,6 +407,7 @@ func (e *Engine) runCampaign(c *campaign) {
 	c.mu.Unlock()
 	c.sink.Close()
 	close(c.done)
+	e.archiveCampaign(c)
 }
 
 // campaign looks one up by ID.
@@ -435,6 +461,7 @@ func (e *Engine) Cancel(id string) error {
 		c.err = ErrCanceled
 		c.mu.Unlock()
 		c.finishCanceled(ErrCanceled)
+		e.archiveCampaign(c)
 		return nil
 	}
 	c.mu.Unlock()
@@ -537,6 +564,9 @@ func (e *Engine) Trace(id string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.archived {
+		return nil, fmt.Errorf("%w: %q", ErrArchived, id)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.state.Terminal() || c.results == nil {
@@ -566,6 +596,9 @@ func (e *Engine) CacheDiag(id string) ([]trace.JobCacheStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.archived {
+		return nil, fmt.Errorf("%w: %q", ErrArchived, id)
+	}
 	return c.diag.Snapshot(), nil
 }
 
@@ -575,6 +608,9 @@ func (e *Engine) WriteMetrics(id string, w io.Writer) error {
 	c, err := e.campaign(id)
 	if err != nil {
 		return err
+	}
+	if c.archived {
+		return fmt.Errorf("%w: %q", ErrArchived, id)
 	}
 	return c.copts.Telemetry.WriteMetrics(w)
 }

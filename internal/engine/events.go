@@ -22,8 +22,13 @@ type EventLog struct {
 // NewEventLog returns an empty, open event log.
 func NewEventLog() *EventLog { return &EventLog{} }
 
-// Emit appends one event and wakes blocked readers.
+// Emit appends one event and wakes blocked readers. Events are
+// normalised on the way in (non-finite floats become strings, exactly
+// as the JSONL sink renders them) so a live SSE frame, the archived
+// copy a restarted process replays, and the JSONL file all marshal to
+// the same bytes.
 func (l *EventLog) Emit(e telemetry.Event) {
+	e = telemetry.FiniteEvent(e)
 	l.mu.Lock()
 	l.events = append(l.events, e)
 	l.wakeLocked()

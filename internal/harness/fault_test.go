@@ -185,7 +185,7 @@ func TestJournalRoundTrip(t *testing.T) {
 			Speedup: math.NaN(), Quality: math.NaN(), TimedOut: true,
 			Clusters: 3, Variables: 5,
 		}),
-		Events: finiteEventFields([]telemetry.Event{
+		Events: telemetry.FiniteEvents([]telemetry.Event{
 			{Seq: 1, Name: "evaluation", Fields: map[string]any{"speedup": math.NaN(), "n": 1}},
 		}),
 	}

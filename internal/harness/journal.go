@@ -14,6 +14,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/mp"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -221,36 +222,6 @@ func (rec JournalRecord) result(idx int) JobResult {
 	return jr
 }
 
-// finiteEventFields stringifies non-finite float64 event fields the way
-// the JSONL event sink does, so journalled events re-serialise to the
-// same bytes the live stream would have produced.
-func finiteEventFields(events []telemetry.Event) []telemetry.Event {
-	nonFinite := func(v any) (float64, bool) {
-		f, ok := v.(float64)
-		return f, ok && (math.IsNaN(f) || math.IsInf(f, 0))
-	}
-	out := make([]telemetry.Event, len(events))
-	for i, e := range events {
-		out[i] = e
-		for _, v := range e.Fields {
-			if _, bad := nonFinite(v); !bad {
-				continue
-			}
-			fields := make(map[string]any, len(e.Fields))
-			for k2, v2 := range e.Fields {
-				if f2, bad := nonFinite(v2); bad {
-					fields[k2] = formatNonFinite(f2)
-				} else {
-					fields[k2] = v2
-				}
-			}
-			out[i].Fields = fields
-			break
-		}
-	}
-	return out
-}
-
 // CampaignFingerprint identifies a campaign definition: the specs that
 // shape its jobs, the workload seed, and the fault plan. Resume refuses a
 // journal whose fingerprint differs, since its records would describe
@@ -277,11 +248,19 @@ type Journal struct {
 }
 
 // CreateJournal starts a fresh journal at path (truncating any previous
-// one) with a fingerprint header for jobs jobs.
+// one) with a fingerprint header for jobs jobs. The parent directory is
+// fsync'd after the create - the same discipline the result store uses -
+// so a journal created moments before a crash is guaranteed to have a
+// directory entry; without it, the first fsync'd records could belong to
+// a file that vanishes with the power.
 func CreateJournal(path, fingerprint string, jobs int) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("harness: create journal: %w", err)
+	}
+	if err := store.SyncParentDir(path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: sync journal directory: %w", err)
 	}
 	j := &Journal{f: f}
 	if err := j.writeLocked(journalHeader{
@@ -351,6 +330,23 @@ func (j *Journal) Close() error {
 	return cerr
 }
 
+// Sentinel errors for resume failures, for errors.Is. Each names a
+// distinct, actionable condition; the wrapped message says which file,
+// which values clashed, and what to do about it.
+var (
+	// ErrJournalFormat reports a file that is not a campaign journal at
+	// all (wrong magic, unparsable or empty header).
+	ErrJournalFormat = errors.New("harness: not a campaign journal")
+	// ErrJournalVersion reports a journal written by an incompatible
+	// version of this tool.
+	ErrJournalVersion = errors.New("harness: incompatible journal version")
+	// ErrJournalFingerprint reports a journal recorded for a different
+	// campaign definition (config, seed, or fault plan changed).
+	ErrJournalFingerprint = errors.New("harness: journal fingerprint mismatch")
+	// ErrJournalJobs reports a journal recorded for a different job count.
+	ErrJournalJobs = errors.New("harness: journal job count mismatch")
+)
+
 // checkJournalHeader validates path's header line against the campaign.
 func checkJournalHeader(path, fingerprint string, jobs int) error {
 	f, err := os.Open(path)
@@ -361,22 +357,23 @@ func checkJournalHeader(path, fingerprint string, jobs int) error {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
-		return fmt.Errorf("harness: journal %s: empty file", path)
+		return fmt.Errorf("%w: %s is empty", ErrJournalFormat, path)
 	}
 	var h journalHeader
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
-		return fmt.Errorf("harness: journal %s: bad header: %w", path, err)
+		return fmt.Errorf("%w: %s: bad header: %v", ErrJournalFormat, path, err)
 	}
 	switch {
 	case h.Journal != journalMagic:
-		return fmt.Errorf("harness: journal %s: not a campaign journal", path)
+		return fmt.Errorf("%w: %s", ErrJournalFormat, path)
 	case h.Version != journalVersion:
-		return fmt.Errorf("harness: journal %s: version %d, want %d", path, h.Version, journalVersion)
+		return fmt.Errorf("%w: %s is version %d, this build reads %d; re-run the campaign or resume with the build that wrote it",
+			ErrJournalVersion, path, h.Version, journalVersion)
 	case h.Fingerprint != fingerprint:
-		return fmt.Errorf("harness: journal %s: fingerprint %s does not match this campaign (%s); the config, seed, or fault plan changed",
-			path, h.Fingerprint, fingerprint)
+		return fmt.Errorf("%w: %s was recorded under %s, this campaign is %s; the config, seed, or fault plan changed - resume with the original definition or start fresh",
+			ErrJournalFingerprint, path, h.Fingerprint, fingerprint)
 	case h.Jobs != jobs:
-		return fmt.Errorf("harness: journal %s: %d jobs, campaign has %d", path, h.Jobs, jobs)
+		return fmt.Errorf("%w: %s has %d jobs, campaign has %d", ErrJournalJobs, path, h.Jobs, jobs)
 	}
 	return nil
 }

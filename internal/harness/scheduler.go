@@ -437,7 +437,7 @@ func (s Scheduler) record(idx int, job Job, jr JobResult, recs []*telemetry.Reco
 	rec.Job = idx
 	if recs != nil {
 		rec.Metrics = recs[idx].Registry().Snapshot()
-		rec.Events = finiteEventFields(mems[idx].Events())
+		rec.Events = telemetry.FiniteEvents(mems[idx].Events())
 	}
 	return rec
 }

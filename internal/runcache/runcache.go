@@ -97,6 +97,42 @@ func (k Key) hash() uint64 {
 	return h
 }
 
+// AppendBinary appends the key's canonical binary form to dst and
+// returns the extended slice. This is the content address used by the
+// durable store tier: bench name, NUL, then the fixed-width numeric
+// components, then the config digits. Bench names never contain NUL, so
+// the encoding is injective, and every component is little-endian so the
+// bytes are stable across architectures.
+func (k Key) AppendBinary(dst []byte) []byte {
+	dst = append(dst, k.Bench...)
+	dst = append(dst, 0)
+	dst = append(dst,
+		byte(k.Seed), byte(k.Seed>>8), byte(k.Seed>>16), byte(k.Seed>>24),
+		byte(k.Seed>>32), byte(k.Seed>>40), byte(k.Seed>>48), byte(k.Seed>>56))
+	dst = append(dst, byte(k.Semantics))
+	dst = append(dst,
+		byte(k.Model), byte(k.Model>>8), byte(k.Model>>16), byte(k.Model>>24),
+		byte(k.Model>>32), byte(k.Model>>40), byte(k.Model>>48), byte(k.Model>>56))
+	return append(dst, k.Config...)
+}
+
+// Tier is a second, typically durable, cache level behind the in-memory
+// table: the leader for a key consults the tier before executing, and
+// publishes fresh executions to it. Load and Store must be safe for
+// concurrent use; Store may be asynchronous (write-behind). The tier
+// only changes which executions physically run - a tier hit is
+// indistinguishable from an execution to every caller - so the
+// determinism contract in the package comment holds with any tier.
+type Tier[V any] interface {
+	// Load returns the tier's value for k, or false. The returned value
+	// is owned by the caller.
+	Load(k Key) (V, bool)
+	// Store publishes a freshly executed value to the tier. The tier
+	// must not retain v's reference fields past the call (encode or
+	// copy before returning).
+	Store(k Key, v V)
+}
+
 // entry is one memoised execution. done is closed once val is final;
 // panicked marks a leader that died mid-execution (its waiters retry).
 type entry[V any] struct {
@@ -123,6 +159,13 @@ type Stats struct {
 	InflightWaits uint64
 	// Entries is the number of completed results resident.
 	Entries uint64
+	// TierHits counts leader calls served by the durable tier instead of
+	// an execution; TierMisses counts leader calls the tier could not
+	// serve; TierWrites counts fresh executions published to the tier.
+	// All zero when no tier is configured.
+	TierHits   uint64
+	TierMisses uint64
+	TierWrites uint64
 }
 
 // Options configures a Cache.
@@ -137,6 +180,9 @@ type Options[V any] struct {
 	// scheduling, so keep this recorder out of any deterministic
 	// snapshot; see the package comment.
 	Telemetry *telemetry.Recorder
+	// Tier, when non-nil, is the durable second level consulted by
+	// leaders before executing and fed by fresh executions (see Tier).
+	Tier Tier[V]
 }
 
 // Cache is a concurrent, sharded memo store with singleflight
@@ -145,10 +191,13 @@ type Cache[V any] struct {
 	opts   Options[V]
 	shards [shardCount]shard[V]
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	waits   atomic.Uint64
-	entries atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	waits      atomic.Uint64
+	entries    atomic.Uint64
+	tierHits   atomic.Uint64
+	tierMisses atomic.Uint64
+	tierWrites atomic.Uint64
 }
 
 // New returns an empty cache.
@@ -241,8 +290,9 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 		completed := false
 		defer func() {
 			if !completed {
-				// fn panicked: discard the entry and release any waiters
-				// into their own attempts before the panic unwinds.
+				// fn (or the tier) panicked: discard the entry and release
+				// any waiters into their own attempts before the panic
+				// unwinds.
 				e.panicked = true
 				sh.mu.Lock()
 				delete(sh.entries, k)
@@ -250,6 +300,24 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 				close(e.done)
 			}
 		}()
+		if tier := c.opts.Tier; tier != nil {
+			if v, ok := tier.Load(k); ok {
+				// Served by the durable tier: to every caller this is
+				// indistinguishable from having executed fn (same value,
+				// same charging), it just cost a disk read instead.
+				e.val = v
+				completed = true
+				close(e.done)
+				c.entries.Add(1)
+				c.hits.Add(1)
+				c.tierHits.Add(1)
+				probe.CacheHit()
+				c.count("mixpbench_runcache_hits_total", k)
+				c.count("mixpbench_runcache_tier_hits_total", k)
+				return c.clone(e.val), nil
+			}
+			c.tierMisses.Add(1)
+		}
 		e.val = fn()
 		completed = true
 		close(e.done)
@@ -257,6 +325,10 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, fn func() V) (V, error)
 		c.misses.Add(1)
 		probe.CacheMiss()
 		c.count("mixpbench_runcache_misses_total", k)
+		if tier := c.opts.Tier; tier != nil {
+			tier.Store(k, e.val)
+			c.tierWrites.Add(1)
+		}
 		return c.clone(e.val), nil
 	}
 }
@@ -289,6 +361,9 @@ func (c *Cache[V]) Stats() Stats {
 		Misses:        c.misses.Load(),
 		InflightWaits: c.waits.Load(),
 		Entries:       c.entries.Load(),
+		TierHits:      c.tierHits.Load(),
+		TierMisses:    c.tierMisses.Load(),
+		TierWrites:    c.tierWrites.Load(),
 	}
 }
 

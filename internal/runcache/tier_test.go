@@ -1,0 +1,133 @@
+package runcache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// mapTier is an in-memory Tier for tests: a map keyed by the canonical
+// binary key, mimicking how the durable store addresses records.
+type mapTier struct {
+	mu     sync.Mutex
+	m      map[string]int
+	loads  int
+	stores int
+}
+
+func newMapTier() *mapTier { return &mapTier{m: make(map[string]int)} }
+
+func (t *mapTier) Load(k Key) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loads++
+	v, ok := t.m[string(k.AppendBinary(nil))]
+	return v, ok
+}
+
+func (t *mapTier) Store(k Key, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stores++
+	t.m[string(k.AppendBinary(nil))] = v
+}
+
+func TestTierWarmHitSkipsExecution(t *testing.T) {
+	tier := newMapTier()
+	tier.Store(key("eos", "01"), 41)
+	c := New(Options[int]{Tier: tier})
+	executed := 0
+	got := c.Do(key("eos", "01"), func() int { executed++; return -1 })
+	if got != 41 {
+		t.Fatalf("tier hit returned %d, want 41", got)
+	}
+	if executed != 0 {
+		t.Fatal("tier hit still executed fn")
+	}
+	// Second call is served by the in-memory table, not the tier.
+	loadsBefore := tier.loads
+	if got := c.Do(key("eos", "01"), func() int { executed++; return -1 }); got != 41 {
+		t.Fatalf("memo after tier hit returned %d", got)
+	}
+	if tier.loads != loadsBefore {
+		t.Fatal("second call consulted the tier again")
+	}
+	s := c.Stats()
+	if s.TierHits != 1 || s.TierMisses != 0 || s.TierWrites != 0 || s.Hits != 2 || s.Misses != 0 {
+		t.Fatalf("stats after warm hit: %+v", s)
+	}
+}
+
+func TestTierMissExecutesAndPublishes(t *testing.T) {
+	tier := newMapTier()
+	c := New(Options[int]{Tier: tier})
+	if got := c.Do(key("eos", "2"), func() int { return 7 }); got != 7 {
+		t.Fatalf("miss returned %d", got)
+	}
+	if v, ok := tier.Load(key("eos", "2")); !ok || v != 7 {
+		t.Fatalf("fresh execution not published to tier: %d %v", v, ok)
+	}
+	s := c.Stats()
+	if s.TierMisses != 1 || s.TierWrites != 1 || s.Misses != 1 {
+		t.Fatalf("stats after tier miss: %+v", s)
+	}
+	// A second cache over the same tier is warm from the start: the
+	// cross-process amortisation the store exists for.
+	c2 := New(Options[int]{Tier: tier})
+	if got := c2.Do(key("eos", "2"), func() int { t.Fatal("executed despite warm tier"); return 0 }); got != 7 {
+		t.Fatalf("warm second cache returned %d", got)
+	}
+	if s2 := c2.Stats(); s2.TierHits != 1 || s2.Misses != 0 {
+		t.Fatalf("second cache stats: %+v", s2)
+	}
+}
+
+func TestTierSingleflightLoadsOnce(t *testing.T) {
+	tier := newMapTier()
+	tier.Store(key("eos", "3"), 9)
+	c := New(Options[int]{Tier: tier})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := c.Do(key("eos", "3"), func() int { return -1 }); got != 9 {
+					t.Errorf("got %d, want 9", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tier.loads != 1 {
+		t.Fatalf("tier consulted %d times, want 1 (singleflight covers the tier too)", tier.loads)
+	}
+}
+
+func TestKeyAppendBinaryInjective(t *testing.T) {
+	keys := []Key{
+		{Bench: "eos", Seed: 42, Semantics: Source, Model: 7, Config: "01"},
+		{Bench: "eos", Seed: 42, Semantics: IR, Model: 7, Config: "01"},
+		{Bench: "eos", Seed: 43, Semantics: Source, Model: 7, Config: "01"},
+		{Bench: "eos", Seed: 42, Semantics: Source, Model: 8, Config: "01"},
+		{Bench: "eos", Seed: 42, Semantics: Source, Model: 7, Config: "10"},
+		{Bench: "eos2", Seed: 42, Semantics: Source, Model: 7, Config: "01"},
+		// The NUL separator keeps (bench, config) splits apart.
+		{Bench: "eos0", Seed: 42, Semantics: Source, Model: 7, Config: "1"},
+		{Bench: "eos", Seed: 42, Semantics: Source, Model: 7, Config: ""},
+	}
+	seen := make(map[string]Key)
+	for _, k := range keys {
+		b := string(k.AppendBinary(nil))
+		if prev, dup := seen[b]; dup {
+			t.Fatalf("keys %+v and %+v encode identically", prev, k)
+		}
+		seen[b] = k
+	}
+	// Appending extends rather than replaces.
+	prefix := []byte("prefix")
+	out := keys[0].AppendBinary(prefix)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendBinary dropped the destination prefix")
+	}
+}

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Durability in this package follows the classic WAL discipline: a record
+// is durable only after (a) its bytes are fsync'd in the segment file and
+// (b) the segment's directory entry is fsync'd in the parent directory.
+// Skipping (b) is the textbook crash bug - a file created moments before
+// a power cut can vanish entirely even though its contents were synced -
+// so every create, rename, and remove of a segment is followed by a
+// SyncDir on the containing directory. The helpers are exported because
+// the checkpoint journal in internal/harness follows the same rules.
+
+// SyncDir fsyncs a directory so entries created, renamed, or removed in
+// it survive a crash. Filesystems that do not support fsync on
+// directories report EINVAL/ENOTSUP; those errors are swallowed, because
+// on such systems the rename itself is the best available barrier.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if isSyncUnsupported(serr) {
+			return cerr
+		}
+		return serr
+	}
+	return cerr
+}
+
+// SyncParentDir fsyncs the directory containing path.
+func SyncParentDir(path string) error {
+	return SyncDir(filepath.Dir(path))
+}
+
+// EnsureDir creates dir (and parents) and fsyncs its parent so the new
+// directory entry itself is durable.
+func EnsureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return SyncParentDir(dir)
+}
+
+// isSyncUnsupported reports whether err means "this filesystem cannot
+// fsync a directory" rather than a real failure.
+func isSyncUnsupported(err error) bool {
+	pe, ok := err.(*os.PathError)
+	if !ok {
+		return false
+	}
+	return pe.Err == os.ErrInvalid || pe.Err.Error() == "invalid argument" ||
+		pe.Err.Error() == "operation not supported"
+}

@@ -117,6 +117,25 @@ func (s *JSONLSink) Close() error {
 	return fmt.Errorf("telemetry: write event seq %d: %w (%d events lost)", s.errSeq, s.err, s.dropped)
 }
 
+// FiniteEvent returns e with non-finite float64 fields (a timed-out
+// report's NaN speedup) replaced by their string forms, exactly as the
+// JSONL sink serialises them. Normalising at the source lets buffered,
+// journalled, and re-served copies of an event marshal to the same bytes
+// as the live stream. The fields map is copied only when needed.
+func FiniteEvent(e Event) Event {
+	e.Fields = finiteFields(e.Fields)
+	return e
+}
+
+// FiniteEvents maps FiniteEvent over a copy of events.
+func FiniteEvents(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, e := range events {
+		out[i] = FiniteEvent(e)
+	}
+	return out
+}
+
 // finiteFields replaces non-finite float64 values with their string forms
 // so the event stays marshallable. The map is copied only when needed.
 func finiteFields(fields map[string]any) map[string]any {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runcache"
 	"repro/internal/search"
+	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -109,6 +110,52 @@ type (
 // telemetry, because the hit/wait split between concurrent workers
 // depends on real scheduling.
 func NewRunCache(tel *Telemetry) *RunCache { return bench.NewCache(tel) }
+
+// Durable result store types. A ResultStore persists benchmark
+// executions on disk behind the run cache - append-only checksummed
+// segments, fsync'd on write, recovered past torn tails and corrupt
+// segments at Open - so a second process (or a restarted one) serves a
+// prior campaign's executions without re-running them. Results served
+// from the store are bit-identical to fresh executions, and campaigns
+// stay byte-identical with the store on, off, cold, or warm (hits
+// still charge the simulated build and run time).
+type (
+	// ResultStore is the disk-backed, content-addressed result store.
+	ResultStore = store.Store
+	// ResultStoreOptions configures a custom store open (fingerprint,
+	// read-only mode, segment sizing, eviction budget) via store.Open;
+	// OpenResultStore covers the common case.
+	ResultStoreOptions = store.Options
+	// ResultStoreStats is a point-in-time view of a store's record,
+	// traffic, and health counters.
+	ResultStoreStats = store.Stats
+)
+
+// Result store sentinel errors, for errors.Is against Open failures.
+var (
+	// ErrStoreFingerprint refuses a store written under an incompatible
+	// machine model or result encoding.
+	ErrStoreFingerprint = store.ErrFingerprint
+	// ErrStoreVersion refuses a store whose segment format this build
+	// does not speak.
+	ErrStoreVersion = store.ErrVersion
+)
+
+// OpenResultStore opens (creating as needed) the durable result store
+// at dir, fingerprinted for the default machine model - the one every
+// standard Runner and harness campaign uses. A store written under a
+// different model or result encoding is refused with
+// ErrStoreFingerprint rather than silently misread.
+func OpenResultStore(dir string) (*ResultStore, error) {
+	return store.Open(dir, store.Options{Fingerprint: bench.DefaultStoreFingerprint()})
+}
+
+// NewStoredRunCache returns a run cache that consults st before
+// executing and publishes fresh executions to it (write-behind; close
+// the store to flush). A nil store yields a plain in-memory cache.
+func NewStoredRunCache(tel *Telemetry, st *ResultStore) *RunCache {
+	return bench.NewStoredCache(tel, st)
+}
 
 // Telemetry types. A Telemetry recorder bundles a metrics registry
 // (counters, gauges, histograms with Prometheus-style text exposition)

@@ -1,0 +1,71 @@
+#!/bin/sh
+# store-smoke: end-to-end durability guard against the real binary.
+#
+# Runs the fault-injection campaign three ways and proves the durable
+# result store never changes what a campaign reports:
+#
+#   1. reference     - no store, uninterrupted
+#   2. crashed       - with -store and -checkpoint, SIGKILL'd mid-run,
+#                      then restarted over the torn state with -resume
+#   3. warm          - same store again, should execute ~nothing
+#
+# Asserts the recovered and warm runs are byte-identical to the
+# reference and that the warm run's store hit rate is >= 99%. Store
+# stats land in the output directory (default artifacts/) so CI can
+# keep them. See README "Durability" and DESIGN.md "Durable result
+# store".
+set -eu
+
+outdir=${1:-artifacts}
+GO=${GO:-go}
+mkdir -p "$outdir"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$GO" build -o "$work/mixpbench" ./cmd/mixpbench
+
+cfg=configs/faulty.yaml
+store=$work/state
+journal=$work/campaign.jsonl
+run() { "$work/mixpbench" -config "$cfg" -seed 42 -workers 4 "$@"; }
+
+echo "store-smoke: reference run (no store)"
+run > "$work/ref.json"
+
+echo "store-smoke: stored run, SIGKILL mid-campaign"
+run -store "$store" -checkpoint "$journal" > /dev/null 2>&1 &
+pid=$!
+sleep 0.1
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+echo "store-smoke: restart over the torn store + journal"
+if [ -f "$journal" ]; then
+    run -store "$store" -checkpoint "$journal" -resume "$journal" \
+        -store-stats "$outdir/store-stats-resume.json" > "$work/resumed.json"
+else
+    # The kill landed before the journal was created; recover from the
+    # store alone.
+    run -store "$store" \
+        -store-stats "$outdir/store-stats-resume.json" > "$work/resumed.json"
+fi
+cmp "$work/ref.json" "$work/resumed.json" || {
+    echo "store-smoke: FAIL - recovered run diverges from reference" >&2
+    exit 1
+}
+
+echo "store-smoke: warm re-run from the store"
+run -store "$store" -store-stats "$outdir/store-stats-warm.json" > "$work/warm.json"
+cmp "$work/ref.json" "$work/warm.json" || {
+    echo "store-smoke: FAIL - warm run diverges from reference" >&2
+    exit 1
+}
+
+rate=$(sed -n 's/.*"store_hit_rate": *\([0-9.eE+-]*\).*/\1/p' "$outdir/store-stats-warm.json")
+awk -v r="${rate:-0}" 'BEGIN { exit (r >= 0.99) ? 0 : 1 }' || {
+    echo "store-smoke: FAIL - warm store hit rate ${rate:-unreadable}, want >= 0.99" >&2
+    cat "$outdir/store-stats-warm.json" >&2
+    exit 1
+}
+
+echo "store-smoke: OK - byte-identical across crash/restart/warm, hit rate $rate"
