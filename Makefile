@@ -45,13 +45,22 @@ tables:
 	$(GO) run ./cmd/mptables
 
 # bench runs the performance suite 5 times with allocation stats: the tape
-# and cache micro-benchmarks plus the shared-vs-cold campaign pair
-# (BenchmarkCampaignSharedCache / BenchmarkCampaignColdCache). Compare the
-# pair to see the run cache's wall-clock effect; EXPERIMENTS.md records the
-# reference numbers.
+# and cache micro-benchmarks plus the campaign pairs - shared-vs-cold
+# cache (BenchmarkCampaignSharedCache / BenchmarkCampaignColdCache) and
+# compiled-vs-interpreted evaluation (BenchmarkCampaignCompiled /
+# BenchmarkCampaignInterpreted). The campaign benchmarks pin
+# -benchtime=5x so both halves of each pair do identical work and the
+# numbers compare across runs. Raw output lands in artifacts/, then
+# benchjson aggregates it into the machine-readable BENCH_8.json perf
+# trajectory and refreshes the compiled-vs-interpreted section of
+# artifacts/comparison.md; EXPERIMENTS.md records the reference numbers.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/mp ./internal/bench
-	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkTableIII|BenchmarkEvaluatorThroughput' -benchmem -count=5 .
+	@mkdir -p artifacts
+	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/mp ./internal/bench | tee artifacts/bench-micro.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkTableIII|BenchmarkEvaluatorThroughput' -benchmem -benchtime=5x -count=5 . | tee artifacts/bench-campaign.txt
+	$(GO) run ./cmd/benchjson -out BENCH_8.json -comparison artifacts/comparison.md \
+		artifacts/bench-micro.txt artifacts/bench-campaign.txt
+	@echo "bench: BENCH_8.json artifacts/comparison.md"
 
 # trace-smoke runs the small fault-injection campaign, exports its
 # deterministic trace and profile into artifacts/, and validates the
@@ -76,7 +85,9 @@ store-smoke:
 	sh ./scripts/store-smoke.sh artifacts
 
 # bench-smoke compiles and runs every benchmark once (CI's guard against
-# benchmark rot; no timing value).
+# benchmark rot; no timing value). The BenchmarkCampaign pattern covers
+# BenchmarkCampaignCompiled and BenchmarkCampaignInterpreted, so both
+# evaluation paths are exercised end to end.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/mp ./internal/bench ./internal/runcache
 	$(GO) test -run '^$$' -bench 'BenchmarkCampaign' -benchtime=1x .

@@ -101,6 +101,29 @@ func BenchmarkCampaignColdCache(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignCompiled and BenchmarkCampaignInterpreted are the
+// compiled-evaluation speedup pair: the identical kernel campaign (60
+// jobs, run cache off so every proposed configuration actually executes),
+// evaluated through precision-specialized compiled kernels versus fresh
+// interpreted tapes. Both produce byte-identical studies (locked by the
+// bench and harness equivalence tests); the ratio of their ns/op is the
+// compiler's campaign-level speedup, recorded in EXPERIMENTS.md and
+// artifacts/comparison.md. Run with a pinned -benchtime (see `make
+// bench`) so the two sides measure the same amount of work.
+func BenchmarkCampaignCompiled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Run(report.Options{Workers: 2, KernelsOnly: true, NoCache: true})
+	}
+}
+
+// BenchmarkCampaignInterpreted is the interpreted side of the pair; see
+// BenchmarkCampaignCompiled.
+func BenchmarkCampaignInterpreted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Run(report.Options{Workers: 2, KernelsOnly: true, NoCache: true, Interpreted: true})
+	}
+}
+
 // BenchmarkTableIV regenerates the manual whole-program conversion study
 // and reports the two extreme applications the paper highlights.
 func BenchmarkTableIV(b *testing.B) {

@@ -1,0 +1,229 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// machine-readable perf-trajectory artifact, so speed claims are
+// tracked as data across PRs instead of living in commit messages.
+//
+// It reads benchmark output on stdin (or from file arguments), parses
+// every result line into {benchmark, ns/op, B/op, allocs/op}, averages
+// repeated runs of the same benchmark (-count=N), and writes one JSON
+// document of records sorted by benchmark name:
+//
+//	go test -run '^$' -bench . -benchmem -count=5 ./... | benchjson -out BENCH_8.json
+//
+// With -comparison, it also maintains the "Compiled vs interpreted
+// evaluation" section of the comparison artifact: the campaign
+// benchmark pair (BenchmarkCampaignCompiled / BenchmarkCampaignInterpreted)
+// side by side with the measured speedup, replacing the section in
+// place when it exists and appending it otherwise, so `make tables`
+// regenerating the rest of the file and `make bench` refreshing this
+// section commute.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark's aggregated result. Repeated runs of the
+// same benchmark (-count) are averaged; Samples says over how many.
+type Record struct {
+	Benchmark   string  `json:"benchmark"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the artifact's top-level shape.
+type Report struct {
+	Records []Record `json:"records"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "-", `output path for the JSON artifact ("-" = stdout)`)
+		comparison = flag.String("comparison", "", "markdown file whose compiled-vs-interpreted section to update")
+	)
+	flag.Parse()
+	if err := run(*out, *comparison, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, comparison string, args []string) error {
+	var input io.Reader = os.Stdin
+	if len(args) > 0 {
+		var readers []io.Reader
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		input = io.MultiReader(readers...)
+	}
+	records, err := Parse(input)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	data, err := json.MarshalIndent(Report{Records: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if comparison != "" {
+		if err := updateComparison(comparison, records); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resultLine matches one `go test -bench` result line. The -benchmem
+// columns are optional; the GOMAXPROCS suffix (-8) is stripped so the
+// trajectory compares across machines.
+var resultLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse reads benchmark output and returns the aggregated records
+// sorted by benchmark name. Non-result lines (headers, PASS/ok, test
+// log output) are ignored.
+func Parse(r io.Reader) ([]Record, error) {
+	type sum struct {
+		n                 int
+		ns, bytes, allocs float64
+	}
+	sums := map[string]*sum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		s := sums[m[1]]
+		if s == nil {
+			s = &sum{}
+			sums[m[1]] = s
+		}
+		s.n++
+		s.ns += ns
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			s.bytes += v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			s.allocs += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	records := make([]Record, 0, len(sums))
+	for name, s := range sums {
+		n := float64(s.n)
+		records = append(records, Record{
+			Benchmark:   name,
+			Samples:     s.n,
+			NsPerOp:     s.ns / n,
+			BytesPerOp:  s.bytes / n,
+			AllocsPerOp: s.allocs / n,
+		})
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Benchmark < records[j].Benchmark })
+	return records, nil
+}
+
+// The campaign pair the comparison section reports: one identical
+// kernel campaign, evaluated through compiled kernels and through the
+// interpreted tape (see bench_test.go).
+const (
+	compiledBench    = "BenchmarkCampaignCompiled"
+	interpretedBench = "BenchmarkCampaignInterpreted"
+	sectionHeader    = "## Compiled vs interpreted evaluation"
+)
+
+// comparisonSection renders the side-by-side pair table.
+func comparisonSection(compiled, interpreted Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", sectionHeader)
+	b.WriteString("One identical kernel campaign (2 workers, run cache off), evaluated\n")
+	b.WriteString("through precision-specialized compiled kernels vs the interpreted\n")
+	b.WriteString("tape. Outputs are byte-identical; only wall-clock moves.\n\n")
+	b.WriteString("| Evaluation path | ns/op | B/op | allocs/op |\n")
+	b.WriteString("|---|---|---|---|\n")
+	row := func(label string, r Record) {
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.0f |\n", label, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	row("compiled", compiled)
+	row("interpreted", interpreted)
+	fmt.Fprintf(&b, "\nSpeedup (interpreted / compiled): **%.2fx**\n", interpreted.NsPerOp/compiled.NsPerOp)
+	return b.String()
+}
+
+// updateComparison rewrites the comparison file's compiled-vs-interpreted
+// section from the parsed records: replaced in place when present,
+// appended otherwise. Missing pair benchmarks are an error - the
+// artifact must never silently report a stale pair.
+func updateComparison(path string, records []Record) error {
+	var compiled, interpreted *Record
+	for i := range records {
+		switch records[i].Benchmark {
+		case compiledBench:
+			compiled = &records[i]
+		case interpretedBench:
+			interpreted = &records[i]
+		}
+	}
+	if compiled == nil || interpreted == nil {
+		return fmt.Errorf("input lacks the %s / %s pair needed for -comparison", compiledBench, interpretedBench)
+	}
+	section := comparisonSection(*compiled, *interpreted)
+
+	existing, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	text := string(existing)
+	if start := strings.Index(text, sectionHeader); start >= 0 {
+		end := len(text)
+		if next := strings.Index(text[start+len(sectionHeader):], "\n## "); next >= 0 {
+			end = start + len(sectionHeader) + next + 1
+		}
+		text = text[:start] + section + text[end:]
+	} else {
+		if text != "" && !strings.HasSuffix(text, "\n") {
+			text += "\n"
+		}
+		if text != "" {
+			text += "\n"
+		}
+		text += section
+	}
+	return os.WriteFile(path, []byte(text), 0o644)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: SomeCPU
+BenchmarkCampaignCompiled-8    	       5	 209000000 ns/op	 1200000 B/op	    9000 allocs/op
+BenchmarkCampaignCompiled-8    	       5	 211000000 ns/op	 1200000 B/op	    9000 allocs/op
+BenchmarkCampaignInterpreted-8 	       5	 457000000 ns/op	 2400000 B/op	   18000 allocs/op
+BenchmarkTapeProbe/fast-8      	12345678	        88.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	records, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Benchmark: "BenchmarkCampaignCompiled", Samples: 2, NsPerOp: 210000000, BytesPerOp: 1200000, AllocsPerOp: 9000},
+		{Benchmark: "BenchmarkCampaignInterpreted", Samples: 1, NsPerOp: 457000000, BytesPerOp: 2400000, AllocsPerOp: 18000},
+		{Benchmark: "BenchmarkTapeProbe/fast", Samples: 1, NsPerOp: 88.5},
+	}
+	if !reflect.DeepEqual(records, want) {
+		t.Errorf("Parse =\n%+v\nwant\n%+v", records, want)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	records, err := Parse(strings.NewReader("BenchmarkX-4   100   1234 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{Benchmark: "BenchmarkX", Samples: 1, NsPerOp: 1234}}
+	if !reflect.DeepEqual(records, want) {
+		t.Errorf("Parse = %+v, want %+v", records, want)
+	}
+}
+
+func TestRunWritesArtifactAndComparison(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	cmp := filepath.Join(dir, "comparison.md")
+	// Pre-seed the comparison file with other sections plus a stale pair
+	// section; the update must replace only the pair section.
+	seed := "## Table III\n\n| a |\n\n" + sectionHeader + "\n\nstale\n\n## Table IV\n\n| b |\n"
+	if err := os.WriteFile(cmp, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, cmp, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(rep.Records) != 3 {
+		t.Errorf("artifact has %d records, want 3", len(rep.Records))
+	}
+
+	text, err := os.ReadFile(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(text)
+	for _, want := range []string{
+		"## Table III", "## Table IV", // surrounding sections survive
+		sectionHeader,
+		"| compiled | 210000000 |",
+		"| interpreted | 457000000 |",
+		"**2.18x**",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("comparison.md missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "stale") {
+		t.Errorf("stale pair section survived the update:\n%s", got)
+	}
+	if strings.Count(got, sectionHeader) != 1 {
+		t.Errorf("pair section duplicated:\n%s", got)
+	}
+}
+
+func TestRunRequiresPairForComparison(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte("BenchmarkX-4   100   1234 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(filepath.Join(dir, "out.json"), filepath.Join(dir, "cmp.md"), []string{in})
+	if err == nil || !strings.Contains(err.Error(), "pair") {
+		t.Errorf("missing pair error = %v", err)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(dir, "out.json"), "", []string{in}); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -90,12 +90,14 @@ func main() {
 		storeDir    = flag.String("store", "", "with -config: durable result store directory; executions persist in DIR/results and later campaigns reuse them")
 		storeStats  = flag.String("store-stats", "", `with -config and -store: write the store's stats as JSON on exit ("-" = stdout)`)
 		timeout     = flag.Float64("timeout", 0, "wall-clock deadline in seconds for -config or -tune (0 = none); expiry exits with code 4")
+		compiled    = flag.Bool("compiled", true, "evaluate configurations through precision-specialized compiled kernels (-compiled=false interprets; results are identical)")
 	)
 	flag.Parse()
 
 	cf := campaignFlags{
 		workers:     *workers,
 		seed:        *seed,
+		interpreted: !*compiled,
 		timeout:     *timeout,
 		jsonOut:     *jsonOut,
 		faultSpec:   *faultSpec,
@@ -128,7 +130,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *evallog, tel)
+		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *evallog, !*compiled, tel)
 		if err != nil {
 			fatal(err)
 		}
@@ -193,6 +195,7 @@ func deadlineContext(seconds float64) (context.Context, context.CancelFunc) {
 type campaignFlags struct {
 	workers     int
 	seed        int64
+	interpreted bool
 	timeout     float64
 	jsonOut     bool
 	faultSpec   string
@@ -460,17 +463,18 @@ func listBenchmarks(w io.Writer) {
 	}
 }
 
-func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, evallog bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
+func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, evallog, interpreted bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
 	b, err := mixpbench.Benchmark(name)
 	if err != nil {
 		return false, err
 	}
 	res, err := mixpbench.TuneContext(ctx, b, mixpbench.TuneOptions{
-		Algorithm: algorithm,
-		Threshold: threshold,
-		Seed:      seed,
-		Trace:     evallog,
-		Telemetry: tel,
+		Algorithm:   algorithm,
+		Threshold:   threshold,
+		Seed:        seed,
+		Trace:       evallog,
+		Telemetry:   tel,
+		Interpreted: interpreted,
 	})
 	if err != nil {
 		return false, err
@@ -542,6 +546,7 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 		Retry:          retry,
 		CheckpointPath: cf.checkpoint,
 		ResumePath:     cf.resume,
+		Interpreted:    cf.interpreted,
 	}
 	var st *mixpbench.ResultStore
 	if cf.storeDir != "" {

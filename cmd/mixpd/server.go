@@ -10,6 +10,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; mounted only with -pprof
 	"strconv"
 
+	"repro/internal/compile"
 	"repro/internal/engine"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -28,6 +29,10 @@ type serverOptions struct {
 	// store is the optional durable result store behind the shared run
 	// cache; /healthz and /cachediag report its health and traffic.
 	store *store.Store
+	// interpreted is the -compiled=false escape hatch: every campaign
+	// evaluates on the interpreter instead of precision-specialized
+	// kernels. Per-submission ?compiled= overrides it.
+	interpreted bool
 }
 
 // newServer builds the HTTP API over one engine:
@@ -39,7 +44,10 @@ type serverOptions struct {
 //	GET  /metrics                  server-wide request metrics (text exposition)
 //	GET  /campaigns                all statuses, submission order
 //	POST /campaigns                submit a YAML campaign (the body);
-//	                               ?name= ?seed= ?workers= optional
+//	                               ?name= ?seed= ?workers= optional;
+//	                               ?compiled=false interprets this one
+//	                               campaign (?compiled=true forces the
+//	                               kernels back on under -compiled=false)
 //	GET  /campaigns/{id}           one status
 //	POST /campaigns/{id}/cancel    cancel (idempotent); returns status
 //	GET  /campaigns/{id}/results   finished jobs so far, job order
@@ -77,7 +85,7 @@ func newServer(e *engine.Engine, opts serverOptions) http.Handler {
 		writeJSON(w, http.StatusOK, e.Statuses())
 	})
 	handle("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
-		submit(e, w, r)
+		submit(e, opts.interpreted, w, r)
 	})
 	handle("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := e.Status(r.PathValue("id"))
@@ -135,6 +143,8 @@ func newServer(e *engine.Engine, opts serverOptions) http.Handler {
 			return
 		}
 		body := cacheDiagBody{Jobs: diag}
+		cs := e.CompileStats()
+		body.Compile = &cs
 		if opts.store != nil {
 			ss := opts.store.Stats()
 			body.Store = &ss
@@ -193,8 +203,9 @@ func serveProfile(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, p)
 }
 
-// submit handles POST /campaigns.
-func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
+// submit handles POST /campaigns. interpreted is the server-wide
+// -compiled=false default; ?compiled= overrides it per campaign.
+func submit(e *engine.Engine, interpreted bool, w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxCampaignBytes+1))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
@@ -205,7 +216,15 @@ func submit(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: fmt.Sprintf("campaign configuration exceeds %d bytes", maxCampaignBytes)})
 		return
 	}
-	opts := engine.SubmitOptions{Name: r.URL.Query().Get("name")}
+	opts := engine.SubmitOptions{Name: r.URL.Query().Get("name"), Interpreted: interpreted}
+	if s := r.URL.Query().Get("compiled"); s != "" {
+		compiled, err := strconv.ParseBool(s)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad compiled: must be a boolean"})
+			return
+		}
+		opts.Interpreted = !compiled
+	}
 	if s := r.URL.Query().Get("seed"); s != "" {
 		if opts.Seed, err = strconv.ParseInt(s, 10, 64); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad seed: " + err.Error()})
@@ -284,11 +303,15 @@ func streamEvents(e *engine.Engine, w http.ResponseWriter, r *http.Request) {
 }
 
 // cacheDiagBody is the /cachediag response: the campaign's live
-// per-job run-cache attribution plus, when the server runs with
-// -store, the durable tier's health and traffic counters.
+// per-job run-cache attribution, the engine-wide compile cache's
+// kernel and input-stream counters, plus, when the server runs with
+// -store, the durable tier's health and traffic counters. The compile
+// section is engine-wide (kernels are shared across tenants by
+// design) and scheduling-dependent, like the per-job attribution.
 type cacheDiagBody struct {
-	Jobs  []trace.JobCacheStats `json:"jobs"`
-	Store *store.Stats          `json:"store,omitempty"`
+	Jobs    []trace.JobCacheStats `json:"jobs"`
+	Compile *compile.Stats        `json:"compile,omitempty"`
+	Store   *store.Stats          `json:"store,omitempty"`
 }
 
 // healthBody is the /healthz response: overall status plus the two

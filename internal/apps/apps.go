@@ -46,6 +46,14 @@ func (a *app) Description() string   { return a.desc }
 func (a *app) Metric() verify.Metric { return a.metric }
 func (a *app) Graph() *typedep.Graph { return a.graph }
 
+// PureInit declares that every application draws its random inputs in a
+// configuration-independent prefix of Run (all generators come from
+// t.Rand seeded by the workload seed alone), so compiled kernels may
+// record one input stream per seed and replay it across configurations
+// (see bench.PureIniter). The cross-configuration equivalence tests lock
+// the claim for every port.
+func (a *app) PureInit() bool { return true }
+
 // fillRand initialises an array with uniform values in [lo, hi). SetEach
 // draws in index order, so the value stream is identical to an
 // element-wise Set loop.

@@ -2,7 +2,6 @@ package apps
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -129,7 +128,7 @@ func cndf(x float64) float64 {
 
 func (b *blackscholes) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(bsScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	spot := t.NewArray(b.vSpot, bsOptions)
 	strike := t.NewArray(b.vStrike, bsOptions)
 	rate := t.NewArray(b.vRate, bsOptions)

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -107,7 +106,7 @@ func (c *cfd) HiddenVars() int { return 1 }
 
 func (c *cfd) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(cfdScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	n := cfdCells
 	rho := t.NewArray(c.vRho, n)
 	mom := t.NewArray(c.vMom, n)

@@ -3,7 +3,6 @@ package apps
 import (
 	"bytes"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -96,7 +95,7 @@ func (h *hotspot) HiddenVars() int { return 1 }
 
 func (h *hotspot) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(hotspotScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	cells := hotspotRows * hotspotCols
 	temp := t.NewArray(h.vTemp, cells)
 	power := t.NewArray(h.vPower, cells)

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -100,7 +99,7 @@ func NewHPCCG() bench.Benchmark {
 
 func (h *hpccg) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(hpccgScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	n := hpccgN
 	width := 2*hpccgBands + 1
 	// Banded SPD system modelled on HPCCG's 27-point stencil rows: a

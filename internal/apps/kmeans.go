@@ -3,7 +3,6 @@ package apps
 import (
 	"bytes"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -88,7 +87,7 @@ func NewKMeans() bench.Benchmark {
 
 func (k *kmeans) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(kmScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	feature := t.NewArray(k.vFeature, kmPoints*kmDims)
 	clusters := t.NewArray(k.vClusters, kmK*kmDims)
 	newCenters := t.NewArray(k.vNewCenters, kmK*kmDims)

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -103,7 +102,7 @@ func NewLavaMD() bench.Benchmark {
 
 func (l *lavamd) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(lavaScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	n := lavaBoxes * lavaPerBox
 	// rv holds x,y,z,extent per particle; qv one charge; fv accumulates
 	// the potential and three force components.

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -98,7 +97,7 @@ func NewSRAD() bench.Benchmark {
 
 func (s *srad) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(sradScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	rows, cols := sradRows, sradCols
 	n := rows * cols
 	j := t.NewArray(s.vJ, n)

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/compile"
 	"repro/internal/mp"
 	"repro/internal/perfmodel"
 	"repro/internal/runcache"
@@ -92,6 +93,19 @@ func hiddenVars(b Benchmark) int {
 		return h.HiddenVars()
 	}
 	return 0
+}
+
+// PureIniter is implemented by benchmarks whose random-input generation
+// is a pure function of the workload seed: the sequence of generator
+// draws and bulk array initialisations in Run never depends on the
+// precision configuration (every port of the suite draws its inputs in a
+// configuration-independent prefix of Run). Declaring it lets the
+// compiled path record one input stream per (benchmark, seed) and replay
+// it across every configuration and semantics tier; benchmarks without
+// the declaration still compile, they just regenerate inputs each run.
+type PureIniter interface {
+	// PureInit reports whether input generation is seed-pure.
+	PureInit() bool
 }
 
 // Config is one precision assignment: element i is the precision of
@@ -226,12 +240,107 @@ type Runner struct {
 	// Cache; the machine model is part of the key, so runners with
 	// different models coexist safely.
 	Cache *Cache
+	// Compiled routes executions that the run cache does not serve
+	// through precision-specialized compiled kernels (internal/compile)
+	// instead of a fresh interpreted tape. Results are byte-identical
+	// either way - outputs, costs, profiles, measurements; the toggle
+	// exists as an escape hatch and for benchmarking the compiler itself.
+	// NewRunner enables it; the zero Runner interprets.
+	Compiled bool
+	// Compiler is the compile cache used when Compiled is set. Nil means
+	// the process-wide shared compiler, which maximises kernel reuse
+	// across campaigns and tenants (the machine-model fingerprint keyed
+	// into every kernel keeps different models apart).
+	Compiler *compile.Compiler
 }
 
 // NewRunner returns a Runner with the default machine, the paper's
-// ten-repetition protocol, and the given workload seed.
+// ten-repetition protocol, the given workload seed, and compiled
+// evaluation on.
 func NewRunner(seed int64) *Runner {
-	return &Runner{Machine: perfmodel.Default(), Runs: perfmodel.DefaultRuns, Seed: seed}
+	return &Runner{Machine: perfmodel.Default(), Runs: perfmodel.DefaultRuns, Seed: seed, Compiled: true}
+}
+
+// sharedCompiler is the process-wide compile cache runners fall back to:
+// kernel reuse wants the widest possible sharing, and the machine-model
+// fingerprint in every compile key keeps distinct models safe.
+var sharedCompiler = compile.New(nil)
+
+// compiler returns the compile cache in effect for this runner.
+func (r *Runner) compiler() *compile.Compiler {
+	if r.Compiler != nil {
+		return r.Compiler
+	}
+	return sharedCompiler
+}
+
+// program adapts a Benchmark onto the compiler's Program surface.
+type program struct{ b Benchmark }
+
+func (p program) Name() string  { return p.b.Name() }
+func (p program) NumSites() int { return p.b.Graph().NumVars() + hiddenVars(p.b) }
+func (p program) PureInit() bool {
+	pi, ok := p.b.(PureIniter)
+	return ok && pi.PureInit()
+}
+func (p program) Exec(t *mp.Tape, seed int64) []float64 { return p.b.Run(t, seed).Values }
+
+// executeCompiled runs one configuration through its compiled kernel,
+// assembling the Result exactly as the interpreted executors do. name is
+// the jitter-stream identity (the benchmark name, with the "/ir" suffix
+// under IR semantics).
+func (r *Runner) executeCompiled(b Benchmark, sem runcache.Semantics, name string, cfg Config) Result {
+	prog := program{b}
+	k := r.compiler().Compile(compile.Key{
+		Bench:     b.Name(),
+		Semantics: sem,
+		Model:     r.modelFingerprint(),
+		Config:    cfg.Key(),
+	}, prog, cfg, r.Machine.Time)
+	if k.NumSites() != prog.NumSites() {
+		// A benchmark-name collision across distinct shapes (only test
+		// doubles do this; names identify suite benchmarks). Interpret
+		// rather than run on a mis-sized tape.
+		k = nil
+	}
+	if k == nil {
+		if sem == runcache.IR {
+			return r.interpretIR(b, cfg)
+		}
+		if len(cfg) == prog.NumSites() && len(cfg) > b.Graph().NumVars() {
+			return r.interpretManualSingle(b, cfg)
+		}
+		return r.interpret(b, cfg)
+	}
+	vals, cost, prof := k.Run(prog, r.Seed)
+	modelTime := k.Time(cost)
+	rng := rand.New(rand.NewSource(r.jitterSeed(name, cfg)))
+	return Result{
+		Output:    Output{Values: vals},
+		Cost:      cost,
+		Profile:   prof,
+		ModelTime: modelTime,
+		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
+	}
+}
+
+// Prewarm specializes the compiled kernel for one source-level
+// configuration without executing it, so a later Run of the same
+// configuration - by this runner or any other sharing the compiler -
+// starts on a compile-cache hit. Batched evaluation (search.EvaluateBatch)
+// prewarms a population's kernels grouped by shared precision prefix
+// before the evaluation sequence begins. A no-op on interpreting runners;
+// never touches the run cache, the budget, or any result.
+func (r *Runner) Prewarm(b Benchmark, cfg Config) {
+	if !r.Compiled {
+		return
+	}
+	r.compiler().Compile(compile.Key{
+		Bench:     b.Name(),
+		Semantics: runcache.Source,
+		Model:     r.modelFingerprint(),
+		Config:    cfg.Key(),
+	}, program{b}, cfg, r.Machine.Time)
 }
 
 // Run evaluates one configuration. A nil cfg runs the original program. The
@@ -267,9 +376,19 @@ func (r *Runner) RunContext(ctx context.Context, b Benchmark, cfg Config) (Resul
 	return res, nil
 }
 
-// execute interprets one source-level configuration (the uncached core of
-// Run).
+// execute evaluates one source-level configuration (the uncached core of
+// Run): through the compiled kernel when Compiled is set, interpreting
+// against a fresh tape otherwise.
 func (r *Runner) execute(b Benchmark, cfg Config) Result {
+	if r.Compiled {
+		return r.executeCompiled(b, runcache.Source, b.Name(), cfg)
+	}
+	return r.interpret(b, cfg)
+}
+
+// interpret runs one source-level configuration against a fresh
+// interpreted tape.
+func (r *Runner) interpret(b Benchmark, cfg Config) Result {
 	tape := mp.NewTape(b.Graph().NumVars() + hiddenVars(b))
 	for i, p := range cfg {
 		tape.SetPrec(mp.VarID(i), p)
@@ -370,9 +489,18 @@ func (r *Runner) RunIR(b Benchmark, cfg Config) Result {
 	return res
 }
 
-// executeIR interprets one IR-level configuration (the uncached core of
-// RunIR).
+// executeIR evaluates one IR-level configuration (the uncached core of
+// RunIR), compiled or interpreted like execute.
 func (r *Runner) executeIR(b Benchmark, cfg Config) Result {
+	if r.Compiled {
+		return r.executeCompiled(b, runcache.IR, b.Name()+"/ir", cfg)
+	}
+	return r.interpretIR(b, cfg)
+}
+
+// interpretIR runs one IR-level configuration against a fresh
+// interpreted tape.
+func (r *Runner) interpretIR(b Benchmark, cfg Config) Result {
 	tape := mp.NewTape(b.Graph().NumVars() + hiddenVars(b))
 	tape.SetComputeOnly(true)
 	for i, p := range cfg {
@@ -411,10 +539,20 @@ func (r *Runner) RunManualSingle(b Benchmark) Result {
 	return res
 }
 
-// executeManualSingle interprets the whole-program conversion (the
-// uncached core of RunManualSingle). full is the expanded all-single
-// configuration including hidden sites.
+// executeManualSingle evaluates the whole-program conversion (the
+// uncached core of RunManualSingle), compiled or interpreted like
+// execute. full is the expanded all-single configuration including
+// hidden sites.
 func (r *Runner) executeManualSingle(b Benchmark, full Config) Result {
+	if r.Compiled {
+		return r.executeCompiled(b, runcache.Source, b.Name(), full)
+	}
+	return r.interpretManualSingle(b, full)
+}
+
+// interpretManualSingle runs the whole-program conversion against a
+// fresh interpreted tape.
+func (r *Runner) interpretManualSingle(b Benchmark, full Config) Result {
 	tape := mp.NewTape(len(full))
 	for i := range full {
 		tape.SetPrec(mp.VarID(i), mp.F32)

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/compile"
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -99,6 +100,11 @@ type Options struct {
 	// engine creates one. Sharing never changes results (see
 	// bench.Runner.Cache).
 	Cache *bench.Cache
+	// Compiler is the shared compile cache every compiled campaign joins;
+	// nil means the engine creates one. Tenants proposing the same
+	// configuration then share one precision-specialized kernel (see
+	// bench.Runner.Compiler).
+	Compiler *compile.Compiler
 	// HistoryDir, when set, persists every terminal campaign (status,
 	// results, event log) to one JSON document per campaign, written
 	// with full fsync discipline, and restores them on boot - so a
@@ -130,6 +136,12 @@ type SubmitOptions struct {
 	ResumePath     string
 	// NoCache opts this campaign out of the shared run cache.
 	NoCache bool
+	// Interpreted disables compiled evaluation for this campaign: every
+	// uncached execution interprets against a fresh tape instead of
+	// running a precision-specialized kernel from the engine's shared
+	// compile cache. Results are identical either way; the escape hatch
+	// and the compiler's benchmarking baseline.
+	Interpreted bool
 	// OnJobDone, when non-nil, is called once per finished job from
 	// whichever worker finished it (see harness.Scheduler.OnJobDone).
 	OnJobDone func(idx int, r harness.JobResult)
@@ -220,6 +232,7 @@ func (c *campaign) jobDone(user func(int, harness.JobResult)) func(int, harness.
 type Engine struct {
 	opts       Options
 	cache      *bench.Cache
+	compiler   *compile.Compiler
 	rootCtx    context.Context //mixplint:ignore ctxfirst -- the engine-lifetime context parents every campaign context and dies in Close; it is state, not a request scope
 	rootCancel context.CancelFunc
 	queue      chan *campaign
@@ -251,9 +264,14 @@ func New(opts Options) *Engine {
 		cache = bench.NewCache(nil)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	compiler := opts.Compiler
+	if compiler == nil {
+		compiler = compile.New(nil)
+	}
 	e := &Engine{
 		opts:       opts,
 		cache:      cache,
+		compiler:   compiler,
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		queue:      make(chan *campaign, opts.QueueDepth),
@@ -269,6 +287,13 @@ func New(opts Options) *Engine {
 
 // Cache returns the engine's shared run cache.
 func (e *Engine) Cache() *bench.Cache { return e.cache }
+
+// CompileStats returns the engine-wide compile cache's activity counters:
+// resident kernels and recorded input streams, hit/miss splits, stream
+// records and replays. Like the run-cache attribution these are live
+// diagnostics - which tenant compiles a kernel first is a race - so they
+// feed /cachediag, never the deterministic campaign artifacts.
+func (e *Engine) CompileStats() compile.Stats { return e.compiler.Stats() }
 
 // Submit parses a YAML campaign configuration (the harness Listing 4
 // format, faults clause included) and enqueues it.
@@ -335,6 +360,8 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 		ResumePath:     opts.ResumePath,
 		Cache:          cache,
 		NoCache:        opts.NoCache,
+		Interpreted:    opts.Interpreted,
+		Compiler:       e.compiler,
 		OnJobDone:      c.jobDone(opts.OnJobDone),
 		TraceDiag:      c.diag,
 	}
@@ -664,7 +691,7 @@ func (e *Engine) seal() {
 // calling the harness directly. A zero opts.Seed means the canonical
 // study seed.
 func RunOnce(ctx context.Context, specs []harness.Spec, opts harness.CampaignOptions) ([]harness.JobResult, error) {
-	e := New(Options{Workers: opts.Workers, QueueDepth: 1, MaxConcurrent: 1, Cache: opts.Cache})
+	e := New(Options{Workers: opts.Workers, QueueDepth: 1, MaxConcurrent: 1, Cache: opts.Cache, Compiler: opts.Compiler})
 	defer e.Close()
 	id, err := e.SubmitCampaign(
 		harness.Campaign{Specs: specs, Faults: opts.Faults, Retry: opts.Retry},
@@ -675,6 +702,7 @@ func RunOnce(ctx context.Context, specs []harness.Spec, opts harness.CampaignOpt
 			CheckpointPath: opts.CheckpointPath,
 			ResumePath:     opts.ResumePath,
 			NoCache:        opts.NoCache,
+			Interpreted:    opts.Interpreted,
 			OnJobDone:      opts.OnJobDone,
 		})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/compile"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -37,6 +38,16 @@ type CampaignOptions struct {
 	// this exists for benchmarking the cache itself and as an escape
 	// hatch.
 	NoCache bool
+	// Interpreted disables compiled evaluation for this campaign: every
+	// uncached execution interprets against a fresh tape instead of
+	// running its precision-specialized kernel. Output is identical
+	// either way (see Scheduler.Interpreted); the escape hatch and the
+	// compiler's benchmarking baseline.
+	Interpreted bool
+	// Compiler, when non-nil, is the compile cache to install on the
+	// scheduler; nil compiled campaigns use the process-wide shared
+	// compiler.
+	Compiler *compile.Compiler
 	// OnJobDone, when non-nil, is called once per completed job from
 	// whichever worker finished it (see Scheduler.OnJobDone).
 	OnJobDone func(idx int, r JobResult)
@@ -104,15 +115,17 @@ func RunCampaignContext(ctx context.Context, specs []Spec, opts CampaignOptions)
 		cache = bench.NewCache(nil)
 	}
 	s := Scheduler{
-		Workers:   opts.Workers,
-		Telemetry: opts.Telemetry,
-		Faults:    inj,
-		Retry:     opts.Retry,
-		Journal:   journal,
-		Resume:    resume,
-		Cache:     cache,
-		OnJobDone: opts.OnJobDone,
-		TraceDiag: opts.TraceDiag,
+		Workers:     opts.Workers,
+		Telemetry:   opts.Telemetry,
+		Faults:      inj,
+		Retry:       opts.Retry,
+		Journal:     journal,
+		Resume:      resume,
+		Cache:       cache,
+		Interpreted: opts.Interpreted,
+		Compiler:    opts.Compiler,
+		OnJobDone:   opts.OnJobDone,
+		TraceDiag:   opts.TraceDiag,
 	}
 	results := s.RunContext(ctx, jobs)
 	if err := journal.Close(); err != nil {

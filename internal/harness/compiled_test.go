@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// evalCampaign runs the telemetry campaign with the evaluation path and
+// caching tier under test, returning the results, the metrics
+// exposition, and the event stream.
+func evalCampaign(t *testing.T, workers int, interpreted bool, cache *bench.Cache, comp *compile.Compiler) ([]JobResult, string, []telemetry.Event) {
+	t.Helper()
+	mem := telemetry.NewMemorySink()
+	tel := telemetry.New(mem)
+	s := Scheduler{Workers: workers, Telemetry: tel, Cache: cache, Interpreted: interpreted, Compiler: comp}
+	results := s.Run(telemetryJobs(t))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return results, buf.String(), mem.Events()
+}
+
+// TestSchedulerCompiledEquivalence locks the compiler's campaign-level
+// byte-identity contract: a campaign evaluated through
+// precision-specialized compiled kernels produces reports, metric
+// snapshots, and event streams identical to the interpreted baseline -
+// at any worker count, with the run cache off, on, or backed by the
+// durable store tier. Run under -race with Workers > 1 it also locks
+// the shared compile cache's data-race-free claim.
+func TestSchedulerCompiledEquivalence(t *testing.T) {
+	fp := bench.StoreFingerprint(bench.NewRunner(42).ModelFingerprint())
+	for _, workers := range []int{1, 2, 4} {
+		baseResults, baseMetrics, baseEvents := evalCampaign(t, workers, true, nil, nil)
+
+		checkEqual := func(label string, results []JobResult, metrics string, events []telemetry.Event) {
+			t.Helper()
+			if !reflect.DeepEqual(results, baseResults) {
+				t.Errorf("workers=%d: %s reports diverge from the interpreted baseline", workers, label)
+			}
+			if metrics != baseMetrics {
+				t.Errorf("workers=%d: %s metric snapshot diverges:\n--- interpreted ---\n%s\n--- %s ---\n%s",
+					workers, label, baseMetrics, label, metrics)
+			}
+			if !reflect.DeepEqual(events, baseEvents) {
+				t.Errorf("workers=%d: %s event stream diverges (%d vs %d events)",
+					workers, label, len(events), len(baseEvents))
+			}
+		}
+
+		// Compiled, no run cache: every execution goes through a kernel.
+		// A campaign-private compiler proves the kernels were exercised.
+		comp := compile.New(nil)
+		results, metrics, events := evalCampaign(t, workers, false, nil, comp)
+		checkEqual("compiled", results, metrics, events)
+		if s := comp.Stats(); s.Kernels == 0 || s.Misses == 0 {
+			t.Fatalf("workers=%d: compiled campaign never compiled a kernel: %+v", workers, s)
+		} else if s.Hits == 0 {
+			t.Errorf("workers=%d: revisited configurations never hit the compile cache: %+v", workers, s)
+		}
+
+		// Compiled over the in-memory run cache.
+		results, metrics, events = evalCampaign(t, workers, false, bench.NewCache(nil), compile.New(nil))
+		checkEqual("compiled+cache", results, metrics, events)
+
+		// Compiled over the durable store tier, cold then warm: the warm
+		// generation serves executions from disk, so the kernels only run
+		// for what the store has not seen - output still identical.
+		dir := filepath.Join(t.TempDir(), "results")
+		for _, gen := range []string{"cold", "warm"} {
+			st, err := store.Open(dir, store.Options{Fingerprint: fp})
+			if err != nil {
+				t.Fatalf("workers=%d %s: Open: %v", workers, gen, err)
+			}
+			results, metrics, events = evalCampaign(t, workers, false, bench.NewStoredCache(nil, st), compile.New(nil))
+			checkEqual("compiled+store/"+gen, results, metrics, events)
+			if err := st.Close(); err != nil {
+				t.Fatalf("workers=%d %s: Close: %v", workers, gen, err)
+			}
+		}
+	}
+}

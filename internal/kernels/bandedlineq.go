@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -52,7 +50,7 @@ func NewBandedLinEq() bench.Benchmark {
 
 func (k *bandedLinEq) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(bandedScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	x := t.NewArray(k.vX, bandedN)
 	y := t.NewArray(k.vY, bandedN)
 	fillRand(x, rng, 0.05, 0.35)

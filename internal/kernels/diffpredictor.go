@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -55,7 +53,7 @@ func NewDiffPredictor() bench.Benchmark {
 
 func (k *diffPredictor) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(dpScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	px := t.NewArray(k.vPx, dpN*dpDepth)
 	cx := t.NewArray(k.vCx, dpN)
 	fillRand(cx, rng, 0.01, 0.09)
@@ -63,7 +61,7 @@ func (k *diffPredictor) Run(t *mp.Tape, seed int64) bench.Output {
 	for rep := 0; rep < dpReps; rep++ {
 		// Each repetition predicts against a fresh history window, as the
 		// original fragment receives new observations per time step.
-		repRng := rand.New(rand.NewSource(seed + 1))
+		repRng := t.Rand(seed + 1)
 		fillRand(px, repRng, 0.01, 0.09)
 		for i := 0; i < dpN; i++ {
 			ar := t.Assign(k.vAr, cx.Get(i), 0, k.vCx)

@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -57,7 +55,7 @@ func NewEOS() bench.Benchmark {
 
 func (k *eos) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(eosScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	x := t.NewArray(k.vX, eosN+7)
 	y := t.NewArray(k.vY, eosN+7)
 	z := t.NewArray(k.vZ, eosN+7)

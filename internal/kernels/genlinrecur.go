@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -52,7 +50,7 @@ func NewGenLinRecur() bench.Benchmark {
 
 func (k *genLinRecur) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(glrScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	w := t.NewArray(k.vW, glrN)
 	b := t.NewArray(k.vB, glrBands*glrN)
 	fillRand(b, rng, -0.04, 0.05)

@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -51,7 +49,7 @@ func NewHydro1D() bench.Benchmark {
 
 func (k *hydro1d) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(hydroScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	x := t.NewArray(k.vX, hydroN+11)
 	y := t.NewArray(k.vY, hydroN+11)
 	z := t.NewArray(k.vZ, hydroN+11)

@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -48,7 +46,7 @@ func NewICCG() bench.Benchmark {
 
 func (k *iccg) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(iccgScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	x := t.NewArray(k.vX, 2*iccgN)
 	v := t.NewArray(k.vV, 2*iccgN)
 	fillRand(v, rng, 0.02, 0.12)
@@ -57,7 +55,7 @@ func (k *iccg) Run(t *mp.Tape, seed int64) bench.Output {
 	for rep := 0; rep < iccgReps; rep++ {
 		// Re-seed the solution so every repetition performs identical
 		// work on identical data.
-		repRng := rand.New(rand.NewSource(seed + 1))
+		repRng := t.Rand(seed + 1)
 		fillRand(x, repRng, 0.05, 0.15)
 		ii := iccgN
 		ipntp := 0

@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -48,7 +46,7 @@ func NewInnerProd() bench.Benchmark {
 
 func (k *innerProd) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(innerScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	z := t.NewArray(k.vZ, innerN)
 	x := t.NewArray(k.vX, innerN)
 	// float32-exact inputs scaled by an exact power of two.

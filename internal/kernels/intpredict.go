@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -61,7 +59,7 @@ func NewIntPredict() bench.Benchmark {
 
 func (k *intPredict) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(ipScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	px := t.NewArray(k.vPx, ipN*ipW)
 	cx := t.NewArray(k.vCx, ipN)
 	fillRand(px, rng, 0.01, 0.1)

@@ -35,6 +35,14 @@ func (k *kernel) Description() string   { return k.desc }
 func (k *kernel) Metric() verify.Metric { return verify.MAE }
 func (k *kernel) Graph() *typedep.Graph { return k.graph }
 
+// PureInit declares that every kernel draws its random inputs in a
+// configuration-independent prefix of Run (all generators come from
+// t.Rand seeded by the workload seed alone), so compiled kernels may
+// record one input stream per seed and replay it across configurations
+// (see bench.PureIniter). The cross-configuration equivalence tests lock
+// the claim for every port.
+func (k *kernel) PureInit() bool { return true }
+
 // fillRand initialises an array with uniform values in [lo, hi) drawn from
 // rng. Initialisation stores through the array, so the values are narrowed
 // to the array's configured precision exactly as data held in a real float

@@ -2,7 +2,6 @@ package kernels
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -55,7 +54,7 @@ func NewPlanckian() bench.Benchmark {
 
 func (k *planckian) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(planckScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	u := t.NewArray(k.vU, planckN)
 	v := t.NewArray(k.vV, planckN)
 	w := t.NewArray(k.vW, planckN)

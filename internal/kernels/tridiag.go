@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"math/rand"
-
 	"repro/internal/bench"
 	"repro/internal/mp"
 	"repro/internal/typedep"
@@ -48,7 +46,7 @@ func NewTridiag() bench.Benchmark {
 
 func (k *tridiag) Run(t *mp.Tape, seed int64) bench.Output {
 	t.SetScale(tridiagScale)
-	rng := rand.New(rand.NewSource(seed))
+	rng := t.Rand(seed)
 	x := t.NewArray(k.vX, tridiagN)
 	y := t.NewArray(k.vY, tridiagN)
 	z := t.NewArray(k.vZ, tridiagN)

@@ -13,6 +13,14 @@ type Array struct {
 	tape *Tape
 	v    VarID
 	data []float64
+
+	// Frozen-mode state: fz caches the owning tape's frozen flag (tapes
+	// never unfreeze, so it is fixed at allocation), prec caches the
+	// variable's rounding precision, and pending counts deferred traffic
+	// in elements, multiplied out at the next flush (see Tape.Freeze).
+	fz      bool
+	prec    Prec
+	pending uint64
 }
 
 // NewArray allocates an n-element buffer for variable v and charges its
@@ -26,6 +34,14 @@ func (t *Tape) NewArray(v VarID, n int) *Array {
 		t.cost.Footprint16 += bytes
 	default:
 		t.cost.Footprint64 += bytes
+	}
+	if t.frozen {
+		a := t.reuseArray(v, n)
+		if a == nil {
+			a = &Array{tape: t, v: v, data: make([]float64, n), fz: true, prec: t.prec[v]}
+		}
+		t.arrays = append(t.arrays, a)
+		return a
 	}
 	return &Array{tape: t, v: v, data: make([]float64, n)}
 }
@@ -48,6 +64,11 @@ func (a *Array) Get(i int) float64 {
 // Set stores x into element i, narrowing to the array's precision and
 // charging one element of write traffic.
 func (a *Array) Set(i int, x float64) {
+	if a.fz {
+		a.pending++
+		a.data[i] = a.prec.Round(x)
+		return
+	}
 	a.charge(1)
 	a.data[i] = a.tape.prec[a.v].Round(x)
 }
@@ -55,7 +76,7 @@ func (a *Array) Set(i int, x float64) {
 // Fill stores x into every element (one rounding, n elements of traffic).
 func (a *Array) Fill(x float64) {
 	a.charge(uint64(len(a.data)))
-	r := a.tape.prec[a.v].Round(x)
+	r := a.roundPrec().Round(x)
 	for i := range a.data {
 		a.data[i] = r
 	}
@@ -74,7 +95,7 @@ func (a *Array) GetN(lo int, dst []float64) {
 // traffic - exactly equivalent to one Set per element.
 func (a *Array) SetN(lo int, src []float64) {
 	a.charge(uint64(len(src)))
-	p := a.tape.prec[a.v]
+	p := a.roundPrec()
 	if p == F64 {
 		copy(a.data[lo:lo+len(src)], src)
 		return
@@ -92,7 +113,16 @@ func (a *Array) SetN(lo int, src []float64) {
 // identical to the element-wise loop it replaces.
 func (a *Array) SetEach(f func(i int) float64) {
 	a.charge(uint64(len(a.data)))
-	p := a.tape.prec[a.v]
+	t := a.tape
+	if t.rep != nil {
+		t.rep.fill(a)
+		return
+	}
+	p := a.roundPrec()
+	if t.rec != nil {
+		t.rec.fill(a, p, f)
+		return
+	}
 	for i := range a.data {
 		a.data[i] = p.Round(f(i))
 	}
@@ -110,10 +140,38 @@ func (a *Array) Snapshot() []float64 {
 // charge records n elements of traffic at the array's current width. The
 // width switch and scale multiply are precomputed on the tape (see
 // Tape.refreshVar), leaving a single multiply and two adds on the hot
-// path of every kernel loop.
+// path of every kernel loop; a frozen tape defers even those, counting
+// elements until the next flush.
 func (a *Array) charge(n uint64) {
+	if a.fz {
+		a.pending += n
+		return
+	}
 	t := a.tape
 	bytes := n * t.byteFactor[a.v]
 	*t.byteSink[a.v] += bytes
 	t.perVar[a.v].Bytes += bytes
+}
+
+// flush settles deferred traffic. The charge factors are constant between
+// flushes (every factor change flushes first), so one multiply over the
+// summed element count equals the eager per-access charges exactly.
+func (a *Array) flush() {
+	if a.pending == 0 {
+		return
+	}
+	t := a.tape
+	bytes := a.pending * t.byteFactor[a.v]
+	*t.byteSink[a.v] += bytes
+	t.perVar[a.v].Bytes += bytes
+	a.pending = 0
+}
+
+// roundPrec is the precision stores narrow through: cached on the array
+// while the tape is frozen, read live otherwise.
+func (a *Array) roundPrec() Prec {
+	if a.fz {
+		return a.prec
+	}
+	return a.tape.prec[a.v]
 }

@@ -1,0 +1,133 @@
+package mp
+
+// Frozen tapes are the execution vehicle of compiled precision-specialized
+// kernels (see internal/compile). Freezing fixes the configuration - the
+// precision vector, the demotion semantics - so the per-access bookkeeping
+// that the interpreted tape performs eagerly can be constant-folded:
+//
+//   - Array traffic is deferred. Instead of multiplying through the
+//     precomputed charge factors on every access, a frozen Array counts
+//     elements (one add) and the totals are multiplied out once at the
+//     next observation point. The factor is constant between flushes, so
+//     sum(n_i)*f == sum(n_i*f) exactly in uint64 arithmetic and the
+//     flushed counters are bit-identical to the eager ones.
+//   - Rounding precision is cached on each Array at allocation, skipping
+//     the tape indirection on every Set; F64 arrays skip rounding
+//     entirely in the bulk stores.
+//   - Reset rewinds the tape for the next run of the same kernel without
+//     reallocating: counters zero, and the previous run's buffers are
+//     recycled when the new run repeats the allocation sequence.
+//
+// A frozen tape rejects SetPrec and SetComputeOnly - the compiled kernel
+// owns the configuration - but still accepts SetScale, which benchmark
+// Run bodies invoke themselves (deferred traffic is flushed first, so
+// scale changes observe exactly the eager accounting).
+
+// Freeze fixes the tape's configuration and switches every Array it
+// allocates to deferred traffic accounting. Call after the precision
+// vector and semantics are final and before the benchmark runs.
+func (t *Tape) Freeze() {
+	if t.frozen {
+		return
+	}
+	t.frozen = true
+	t.pendVar = make([]VarProfile, len(t.perVar))
+}
+
+// Frozen reports whether the tape is frozen.
+func (t *Tape) Frozen() bool { return t.frozen }
+
+// flushArrays settles every live Array's deferred traffic and the
+// deferred arithmetic meters into the cost and profile counters. A no-op
+// on unfrozen tapes (which charge eagerly) and when nothing is pending.
+func (t *Tape) flushArrays() {
+	for _, a := range t.arrays {
+		a.flush()
+	}
+	t.flushMeter()
+}
+
+// flushMeter settles the deferred Assign accounting. The scale is
+// constant between flushes (SetScale flushes first), so multiplying the
+// sums equals the eager per-call charges exactly.
+func (t *Tape) flushMeter() {
+	if t.pendFlops[F64] != 0 {
+		t.cost.Flops64 += t.pendFlops[F64] * t.scale
+		t.pendFlops[F64] = 0
+	}
+	if t.pendFlops[F32] != 0 {
+		t.cost.Flops32 += t.pendFlops[F32] * t.scale
+		t.pendFlops[F32] = 0
+	}
+	if t.pendFlops[F16] != 0 {
+		t.cost.Flops16 += t.pendFlops[F16] * t.scale
+		t.pendFlops[F16] = 0
+	}
+	if t.pendCasts != 0 {
+		t.cost.Casts += t.pendCasts * t.scale
+		t.pendCasts = 0
+	}
+	for v := range t.pendVar {
+		p := &t.pendVar[v]
+		if p.Flops != 0 {
+			t.perVar[v].Flops += p.Flops * t.scale
+			p.Flops = 0
+		}
+		if p.Casts != 0 {
+			t.perVar[v].Casts += p.Casts * t.scale
+			p.Casts = 0
+		}
+	}
+}
+
+// Reset rewinds a frozen tape for the next run of the same compiled
+// kernel: cost and per-variable profiles zero, the scale returns to 1,
+// any attached input stream detaches, and the run's arrays move to the
+// recycle pool so the next run's allocations can reuse their buffers.
+// The precision vector and semantics persist - they are the kernel's
+// identity.
+func (t *Tape) Reset() {
+	if !t.frozen {
+		panic("mp: Reset on an unfrozen tape; interpreted runs use a fresh tape per execution")
+	}
+	t.cost = Cost{}
+	clear(t.perVar)
+	clear(t.pendVar)
+	t.pendFlops = [3]uint64{}
+	t.pendCasts = 0
+	for _, a := range t.arrays {
+		a.pending = 0
+	}
+	// Swap the just-finished run's arrays into the recycle pool; the slice
+	// previously used as the pool becomes the (emptied) live list.
+	t.arrays, t.recycled = t.recycled[:0], t.arrays
+	t.reuseCursor = 0
+	t.rec = nil
+	t.rep = nil
+	if t.scale != 1 {
+		t.scale = 1
+		t.refreshAll()
+	}
+}
+
+// reuseArray returns a recycled buffer for (v, n) when the run's
+// allocation sequence matches the previous run's, zeroed as a fresh
+// allocation would be. Benchmarks allocate deterministically, so after
+// the first run this hits every time; on the first divergence the pool
+// is dropped for the remainder of the run.
+func (t *Tape) reuseArray(v VarID, n int) *Array {
+	if t.reuseCursor >= len(t.recycled) {
+		return nil
+	}
+	a := t.recycled[t.reuseCursor]
+	if a.v != v || len(a.data) != n {
+		t.recycled = t.recycled[:0]
+		t.reuseCursor = 0
+		return nil
+	}
+	t.reuseCursor++
+	clear(a.data)
+	a.pending = 0
+	a.prec = t.prec[v]
+	return a
+}

@@ -18,6 +18,7 @@ type VarProfile struct {
 // Profile returns the per-variable attribution of the work metered so
 // far, indexed by VarID. The caller owns the returned slice.
 func (t *Tape) Profile() []VarProfile {
+	t.flushArrays()
 	out := make([]VarProfile, len(t.perVar))
 	copy(out, t.perVar)
 	return out

@@ -23,6 +23,28 @@ type Tape struct {
 	// no branching.
 	byteFactor []uint64
 	byteSink   []*uint64
+
+	// Frozen-mode state (see Freeze): arrays lists every live Array so
+	// deferred traffic can be flushed before any observation or factor
+	// change, and recycled/reuseCursor recycle the previous run's buffers
+	// when a reset tape re-executes the same allocation sequence.
+	frozen      bool
+	arrays      []*Array
+	recycled    []*Array
+	reuseCursor int
+
+	// Deferred arithmetic meters of the frozen fast path: Assign counts
+	// unscaled flops per expression precision, casts, and per-variable
+	// attribution here, and flushMeter multiplies the sums through the
+	// scale once per observation point (exact in uint64, like the
+	// deferred array traffic).
+	pendFlops [3]uint64
+	pendCasts uint64
+	pendVar   []VarProfile
+
+	// rec/rep attach an input-stream recorder or replayer (see Stream).
+	rec *streamRecorder
+	rep *streamReplayer
 }
 
 // NewTape returns a Tape for a program with n tunable variables, all at
@@ -75,6 +97,7 @@ func (t *Tape) SetScale(k uint64) {
 	if k < 1 {
 		panic("mp: scale must be at least 1")
 	}
+	t.flushArrays() // deferred traffic was accrued under the old factors
 	t.scale = k
 	t.refreshAll()
 }
@@ -95,6 +118,9 @@ func (t *Tape) Scale() uint64 { return t.scale }
 // representation ... because the application memory is not changed" -
 // falls out of this switch; see BenchmarkAblationIRLevel.
 func (t *Tape) SetComputeOnly(on bool) {
+	if t.frozen {
+		panic("mp: SetComputeOnly on a frozen tape; semantics are fixed at Freeze")
+	}
 	t.computeOnly = on
 	t.refreshAll()
 }
@@ -119,6 +145,9 @@ func (t *Tape) NumVars() int { return len(t.prec) }
 // ID, which always indicates a benchmark declaring fewer variables than its
 // Run method uses.
 func (t *Tape) SetPrec(v VarID, p Prec) {
+	if t.frozen {
+		panic("mp: SetPrec on a frozen tape; the configuration is fixed at Freeze")
+	}
 	t.prec[v] = p
 	t.refreshVar(v)
 }
@@ -127,7 +156,10 @@ func (t *Tape) SetPrec(v VarID, p Prec) {
 func (t *Tape) Prec(v VarID) Prec { return t.prec[v] }
 
 // Cost returns the work metered so far.
-func (t *Tape) Cost() Cost { return t.cost }
+func (t *Tape) Cost() Cost {
+	t.flushArrays()
+	return t.cost
+}
 
 // AddFlops records n floating-point operations retired at precision p.
 // Benchmarks use it for work that is not tied to an Assign site, such as
@@ -169,6 +201,18 @@ func (t *Tape) AddBytes(p Prec, n uint64) {
 // precision among the destination and the named sources, so a narrow
 // store only buys narrow arithmetic when the whole expression is narrow.
 func (t *Tape) Assign(dst VarID, x float64, flops uint64, srcs ...VarID) float64 {
+	// Kept to a dispatch so call sites inline it: benchmark Run loops then
+	// jump straight into the path their tape uses instead of paying an
+	// extra call level on every scalar assignment.
+	if t.frozen {
+		return t.assignFrozen(dst, x, flops, srcs)
+	}
+	return t.assignEager(dst, x, flops, srcs)
+}
+
+// assignEager is Assign on an unfrozen tape: every charge lands in the
+// cost counters immediately.
+func (t *Tape) assignEager(dst VarID, x float64, flops uint64, srcs []VarID) float64 {
 	dp := t.prec[dst]
 	ep := dp // expression precision: the widest operand wins
 	for _, s := range srcs {
@@ -183,6 +227,31 @@ func (t *Tape) Assign(dst VarID, x float64, flops uint64, srcs ...VarID) float64
 	}
 	t.AddFlops(ep, flops)
 	t.attributeFlops(dst, flops*t.scale)
+	return dp.Round(x)
+}
+
+// assignFrozen is Assign on a frozen tape: identical semantics, with the
+// scale multiplies and the flop-counter switch deferred to flushMeter.
+func (t *Tape) assignFrozen(dst VarID, x float64, flops uint64, srcs []VarID) float64 {
+	dp := t.prec[dst]
+	ep := dp
+	attr := int(dst) < len(t.pendVar)
+	for _, s := range srcs {
+		sp := t.prec[s]
+		if sp != dp {
+			t.pendCasts++
+			if attr {
+				t.pendVar[dst].Casts++
+			}
+		}
+		if sp < ep {
+			ep = sp
+		}
+	}
+	t.pendFlops[ep] += flops
+	if attr {
+		t.pendVar[dst].Flops += flops
+	}
 	return dp.Round(x)
 }
 

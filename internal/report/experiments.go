@@ -77,6 +77,12 @@ type Options struct {
 	// key and simulated time is charged on hits); this is the escape hatch
 	// and the baseline for benchmarking the cache.
 	NoCache bool
+	// Interpreted disables compiled evaluation study-wide: every uncached
+	// execution interprets against a fresh tape instead of running its
+	// precision-specialized kernel (internal/compile). Byte-identical
+	// either way; this is the escape hatch and the interpreted side of the
+	// compiled-vs-interpreted benchmark pair.
+	Interpreted bool
 }
 
 // Run regenerates the full study.
@@ -101,7 +107,7 @@ func Run(opts Options) *Study {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sched := harness.Scheduler{Workers: opts.Workers, Cache: cache}
+	sched := harness.Scheduler{Workers: opts.Workers, Cache: cache, Interpreted: opts.Interpreted}
 
 	// Table III: kernels x 6 algorithms at the kernel threshold.
 	var kernelJobs []harness.Job
@@ -135,6 +141,7 @@ func Run(opts Options) *Study {
 	// application study also needs executes once.
 	runner := bench.NewRunner(Seed)
 	runner.Cache = cache
+	runner.Compiled = !opts.Interpreted
 	for _, a := range suite.Apps() {
 		if ctx.Err() != nil {
 			progress("study canceled during conversion study")

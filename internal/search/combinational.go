@@ -17,7 +17,12 @@ func (Combinational) Name() string { return "CB" }
 // Mode returns ByCluster.
 func (Combinational) Mode() Mode { return ByCluster }
 
-// Search enumerates every non-empty subset of the clusters.
+// Search enumerates every non-empty subset of the clusters. Enumeration
+// is pure - no subset depends on another's evaluation - so subsets are
+// proposed in chunks of searchBatchSize and handed to EvaluateBatch,
+// which prewarms the chunk's compiled kernels and then evaluates in
+// enumeration order: results, EV counts, and the budget-expiry point are
+// byte-identical to the one-at-a-time loop.
 func (c Combinational) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
 	var (
@@ -26,16 +31,32 @@ func (c Combinational) Search(e *Evaluator) Outcome {
 		found   bool
 		stopErr error
 	)
+	batch := make([]Set, 0, searchBatchSize)
+	// flush evaluates the buffered chunk; it reports false once the
+	// analysis must stop (budget exhausted, canceled, faulted).
+	flush := func() bool {
+		if len(batch) == 0 {
+			return stopErr == nil
+		}
+		res, err := e.EvaluateBatch(batch)
+		for i, r := range res {
+			if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
+				best, bestRes, found = batch[i], r, true
+			}
+		}
+		batch = batch[:0]
+		if err != nil {
+			stopErr = err
+			return false
+		}
+		return true
+	}
 enumeration:
 	for size := n; size >= 1; size-- {
 		stop := forEachSubsetOfSize(n, size, func(set Set) bool {
-			r, err := e.Evaluate(set)
-			if err != nil {
-				stopErr = err
-				return false
-			}
-			if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
-				best, bestRes, found = set, r, true
+			batch = append(batch, set)
+			if len(batch) == searchBatchSize {
+				return flush()
 			}
 			return true
 		})
@@ -43,6 +64,7 @@ enumeration:
 			break enumeration
 		}
 	}
+	flush()
 	return finish(c.Name(), e, best, bestRes, found, stopErr)
 }
 

@@ -67,7 +67,12 @@ func fitness(r Result) float64 {
 	return 1 / (2 + e)
 }
 
-// Search runs the evolutionary loop.
+// Search runs the evolutionary loop. Each generation is evaluated as one
+// batch: the genomes of a generation depend only on the previous
+// generation and the strategy RNG, never on each other's evaluations, so
+// the whole population can be proposed up front and handed to
+// EvaluateBatch (which prewarms the compiled kernels, then evaluates in
+// proposal order - results are byte-identical to the one-at-a-time loop).
 func (g Genetic) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
 	rng := rand.New(rand.NewSource(g.Seed + 0x9e3779b9))
@@ -77,31 +82,35 @@ func (g Genetic) Search(e *Evaluator) Outcome {
 		found   bool
 		stopErr error
 	)
-	evalInd := func(set Set) (individual, bool) {
-		r, err := e.Evaluate(set)
+	// evalBatch evaluates one generation's genomes and folds the results
+	// into individuals, tracking the best passing configuration.
+	evalBatch := func(genomes []Set) []individual {
+		res, err := e.EvaluateBatch(genomes)
+		inds := make([]individual, 0, len(res))
+		for i, r := range res {
+			if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
+				best, bestRes, found = genomes[i].Clone(), r, true
+			}
+			inds = append(inds, individual{set: genomes[i], res: r})
+		}
 		if err != nil {
 			stopErr = err
-			return individual{}, false
 		}
-		if r.Passed && (!found || r.Speedup > bestRes.Speedup) {
-			best, bestRes, found = set.Clone(), r, true
-		}
-		return individual{set: set, res: r}, true
+		return inds
 	}
 
 	// Initial random population.
-	pop := make([]individual, 0, g.Population)
-	for i := 0; i < g.Population && stopErr == nil; i++ {
+	genomes := make([]Set, 0, g.Population)
+	for i := 0; i < g.Population; i++ {
 		set := NewSet(n)
 		for b := 0; b < n; b++ {
 			if rng.Intn(2) == 1 {
 				set.Add(b)
 			}
 		}
-		if ind, ok := evalInd(set); ok {
-			pop = append(pop, ind)
-		}
+		genomes = append(genomes, set)
 	}
+	pop := evalBatch(genomes)
 
 	stale := 0
 	for gen := 1; gen < g.Generations && stopErr == nil && stale < g.Stagnation; gen++ {
@@ -110,17 +119,18 @@ func (g Genetic) Search(e *Evaluator) Outcome {
 		})
 		prevBest := fitness(pop[0].res)
 
-		next := []individual{pop[0]} // elitism
-		for len(next) < g.Population && stopErr == nil {
+		// Breed the full generation first - selection draws on the sorted
+		// previous generation, so offspring are independent of each other's
+		// evaluations - then evaluate it as one batch.
+		children := make([]Set, 0, g.Population-1)
+		for len(children) < g.Population-1 {
 			a := tournament(pop, rng)
 			b := tournament(pop, rng)
 			child := crossover(a.set, b.set, rng)
 			mutate(&child, rng)
-			if ind, ok := evalInd(child); ok {
-				next = append(next, ind)
-			}
+			children = append(children, child)
 		}
-		pop = next
+		pop = append([]individual{pop[0]}, evalBatch(children)...) // elitism
 
 		sort.SliceStable(pop, func(a, b int) bool {
 			return fitness(pop[a].res) > fitness(pop[b].res)

@@ -1,0 +1,105 @@
+package suite
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compile"
+	"repro/internal/mp"
+)
+
+// f64bitsEqual compares floats as raw bit patterns: the compiled path
+// promises byte-identity, which is stronger than == (it distinguishes
+// -0 from +0) and, unlike reflect.DeepEqual, holds for the NaNs that
+// aggressively demoted configurations legitimately produce (SRAD's
+// all-single run diverges to NaN on both paths, identically).
+func f64bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// resultsBitIdentical is deep Result equality at the bit level: output
+// values, metered cost, per-variable profile, modelled time, and the
+// measured-timing protocol.
+func resultsBitIdentical(a, b bench.Result) bool {
+	if len(a.Output.Values) != len(b.Output.Values) {
+		return false
+	}
+	for i := range a.Output.Values {
+		if !f64bitsEqual(a.Output.Values[i], b.Output.Values[i]) {
+			return false
+		}
+	}
+	return a.Cost == b.Cost &&
+		reflect.DeepEqual(a.Profile, b.Profile) && // uint64 fields only
+		f64bitsEqual(a.ModelTime, b.ModelTime) &&
+		a.Measured.Runs == b.Measured.Runs &&
+		f64bitsEqual(a.Measured.Mean, b.Measured.Mean) &&
+		f64bitsEqual(a.Measured.Total, b.Measured.Total)
+}
+
+// equivalenceConfigs returns the representative precision vectors the
+// compiled/interpreted comparison runs per benchmark: the all-double
+// reference, the all-single extreme, and an alternating mix that
+// exercises both the rounding and the skip-rounding specializations in
+// one run.
+func equivalenceConfigs(b bench.Benchmark) []bench.Config {
+	n := b.Graph().NumVars()
+	alt := bench.NewConfig(n)
+	for i := 0; i < n; i += 2 {
+		alt[i] = mp.F32
+	}
+	return []bench.Config{nil, bench.AllSingle(n), alt}
+}
+
+// TestCompiledInterpretedEquivalence locks the compiler's byte-identity
+// contract over the whole suite: for all 17 ports, every evaluation
+// entry point (Run, RunIR, RunManualSingle) and representative
+// configuration returns a deeply equal Result - output values, metered
+// cost, per-variable profile, modelled time, and the measured-timing
+// protocol - whether it executes through a precision-specialized
+// compiled kernel or a fresh interpreted tape. Each compiled
+// configuration runs twice so the second run exercises kernel reuse,
+// tape recycling, and input-stream replay.
+func TestCompiledInterpretedEquivalence(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			compiled := bench.NewRunner(42)
+			compiled.Compiler = compile.New(nil) // private cache: counters below are test-local
+			interp := bench.NewRunner(42)
+			interp.Compiled = false
+
+			check := func(what string, got, want bench.Result) {
+				t.Helper()
+				if !resultsBitIdentical(got, want) {
+					t.Errorf("%s: compiled result diverges from interpreted\ncompiled:    %+v\ninterpreted: %+v", what, got, want)
+				}
+			}
+			for _, cfg := range equivalenceConfigs(b) {
+				label := "reference"
+				if cfg != nil {
+					label = cfg.Key()
+				}
+				want := interp.Run(b, cfg)
+				check("Run/"+label, compiled.Run(b, cfg), want)
+				check("Run/"+label+"/again", compiled.Run(b, cfg), want)
+				wantIR := interp.RunIR(b, cfg)
+				check("RunIR/"+label, compiled.RunIR(b, cfg), wantIR)
+			}
+			check("RunManualSingle", compiled.RunManualSingle(b), interp.RunManualSingle(b))
+
+			// The comparisons above must have gone through kernels at all -
+			// a silently interpreting "compiled" runner would pass trivially.
+			s := compiled.Compiler.Stats()
+			if s.Kernels == 0 || s.Misses == 0 {
+				t.Errorf("compiled runner never compiled a kernel: %+v", s)
+			}
+			if s.Hits == 0 {
+				t.Errorf("repeated configurations never hit the compile cache: %+v", s)
+			}
+		})
+	}
+}

@@ -329,6 +329,12 @@ type TuneOptions struct {
 	// skip re-executing configurations they share. Results are identical
 	// with or without it.
 	Cache *RunCache
+	// Interpreted disables compiled evaluation: every uncached execution
+	// interprets against a fresh tape instead of running its
+	// precision-specialized kernel (the default). Results are identical
+	// either way; this is the escape hatch and the baseline for
+	// benchmarking the compiler.
+	Interpreted bool
 }
 
 // TuneResult is what Tune reports.
@@ -386,6 +392,7 @@ func TuneContext(ctx context.Context, b BenchmarkProgram, opts TuneOptions) (Tun
 	runner := bench.NewRunner(opts.Seed)
 	runner.Telemetry = opts.Telemetry
 	runner.Cache = opts.Cache
+	runner.Compiled = !opts.Interpreted
 	eval := search.NewEvaluator(space, runner, b, opts.Threshold)
 	if opts.BudgetSeconds > 0 {
 		eval.SetBudget(opts.BudgetSeconds)
