@@ -46,21 +46,22 @@ tables:
 
 # bench runs the performance suite 5 times with allocation stats: the tape
 # and cache micro-benchmarks plus the campaign pairs - shared-vs-cold
-# cache (BenchmarkCampaignSharedCache / BenchmarkCampaignColdCache) and
+# cache (BenchmarkCampaignSharedCache / BenchmarkCampaignColdCache),
 # compiled-vs-interpreted evaluation (BenchmarkCampaignCompiled /
-# BenchmarkCampaignInterpreted). The campaign benchmarks pin
-# -benchtime=5x so both halves of each pair do identical work and the
-# numbers compare across runs. Raw output lands in artifacts/, then
-# benchjson aggregates it into the machine-readable BENCH_8.json perf
-# trajectory and refreshes the compiled-vs-interpreted section of
+# BenchmarkCampaignInterpreted), and two-vs-three-rung ladder depth
+# (BenchmarkCampaignLadder2 / BenchmarkCampaignLadder3). The campaign
+# benchmarks pin -benchtime=5x so both halves of each pair do identical
+# work and the numbers compare across runs. Raw output lands in
+# artifacts/, then benchjson aggregates it into the machine-readable
+# BENCH_9.json perf trajectory and refreshes the pair sections of
 # artifacts/comparison.md; EXPERIMENTS.md records the reference numbers.
 bench:
 	@mkdir -p artifacts
 	$(GO) test -run '^$$' -bench . -benchmem -count=5 ./internal/mp ./internal/bench | tee artifacts/bench-micro.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkCampaign|BenchmarkTableIII|BenchmarkEvaluatorThroughput' -benchmem -benchtime=5x -count=5 . | tee artifacts/bench-campaign.txt
-	$(GO) run ./cmd/benchjson -out BENCH_8.json -comparison artifacts/comparison.md \
+	$(GO) run ./cmd/benchjson -out BENCH_9.json -comparison artifacts/comparison.md \
 		artifacts/bench-micro.txt artifacts/bench-campaign.txt
-	@echo "bench: BENCH_8.json artifacts/comparison.md"
+	@echo "bench: BENCH_9.json artifacts/comparison.md"
 
 # trace-smoke runs the small fault-injection campaign, exports its
 # deterministic trace and profile into artifacts/, and validates the

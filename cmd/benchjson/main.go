@@ -99,11 +99,17 @@ func run(out, comparison string, args []string) error {
 	return nil
 }
 
-// resultLine matches one `go test -bench` result line. The -benchmem
-// columns are optional; the GOMAXPROCS suffix (-8) is stripped so the
-// trajectory compares across machines.
-var resultLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// resultLine matches one `go test -bench` result line up to its ns/op
+// column; the GOMAXPROCS suffix (-8) is stripped so the trajectory
+// compares across machines. The -benchmem columns are matched
+// separately (memLine, allocsLine) because b.ReportMetric custom
+// metrics land between ns/op and B/op.
+var (
+	resultLine = regexp.MustCompile(
+		`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	memLine    = regexp.MustCompile(`\s([\d.]+) B/op`)
+	allocsLine = regexp.MustCompile(`\s(\d+) allocs/op`)
+)
 
 // Parse reads benchmark output and returns the aggregated records
 // sorted by benchmark name. Non-result lines (headers, PASS/ok, test
@@ -117,13 +123,14 @@ func Parse(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := resultLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := resultLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
 		s := sums[m[1]]
 		if s == nil {
@@ -132,12 +139,12 @@ func Parse(r io.Reader) ([]Record, error) {
 		}
 		s.n++
 		s.ns += ns
-		if m[4] != "" {
-			v, _ := strconv.ParseFloat(m[4], 64)
+		if mm := memLine.FindStringSubmatch(line); mm != nil {
+			v, _ := strconv.ParseFloat(mm[1], 64)
 			s.bytes += v
 		}
-		if m[5] != "" {
-			v, _ := strconv.ParseFloat(m[5], 64)
+		if am := allocsLine.FindStringSubmatch(line); am != nil {
+			v, _ := strconv.ParseFloat(am[1], 64)
 			s.allocs += v
 		}
 	}
@@ -159,71 +166,100 @@ func Parse(r io.Reader) ([]Record, error) {
 	return records, nil
 }
 
-// The campaign pair the comparison section reports: one identical
-// kernel campaign, evaluated through compiled kernels and through the
-// interpreted tape (see bench_test.go).
-const (
-	compiledBench    = "BenchmarkCampaignCompiled"
-	interpretedBench = "BenchmarkCampaignInterpreted"
-	sectionHeader    = "## Compiled vs interpreted evaluation"
-)
+// A pairSpec is one maintained comparison section: an identical workload
+// measured two ways, reported side by side with the ns/op ratio.
+type pairSpec struct {
+	header string
+	intro  string
+	// column is the table's first-column heading.
+	column string
+	// baseBench/baseLabel are the denominator of the ratio; otherBench/
+	// otherLabel the numerator.
+	baseBench, baseLabel   string
+	otherBench, otherLabel string
+	ratioLabel             string
+}
 
-// comparisonSection renders the side-by-side pair table.
-func comparisonSection(compiled, interpreted Record) string {
+// pairs lists the comparison sections `make bench` maintains (see
+// bench_test.go for each benchmark pair's definition).
+var pairs = []pairSpec{
+	{
+		header: "## Compiled vs interpreted evaluation",
+		intro: "One identical kernel campaign (2 workers, run cache off), evaluated\n" +
+			"through precision-specialized compiled kernels vs the interpreted\n" +
+			"tape. Outputs are byte-identical; only wall-clock moves.\n",
+		column:     "Evaluation path",
+		baseBench:  "BenchmarkCampaignCompiled",
+		baseLabel:  "compiled",
+		otherBench: "BenchmarkCampaignInterpreted",
+		otherLabel: "interpreted",
+		ratioLabel: "Speedup (interpreted / compiled)",
+	},
+	{
+		header: "## Ladder depth cost",
+		intro: "One kernel campaign (2 workers, shared run cache) over the paper's\n" +
+			"two-level double/single axis vs the three-rung f64,f32,bf16 ladder:\n" +
+			"the campaign-level price of one extra precision rung.\n",
+		column:     "Precision ladder",
+		baseBench:  "BenchmarkCampaignLadder2",
+		baseLabel:  "f64,f32 (2 rungs)",
+		otherBench: "BenchmarkCampaignLadder3",
+		otherLabel: "f64,f32,bf16 (3 rungs)",
+		ratioLabel: "Cost (3-rung / 2-rung)",
+	},
+}
+
+// pairSection renders one side-by-side pair table.
+func pairSection(p pairSpec, base, other Record) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n\n", sectionHeader)
-	b.WriteString("One identical kernel campaign (2 workers, run cache off), evaluated\n")
-	b.WriteString("through precision-specialized compiled kernels vs the interpreted\n")
-	b.WriteString("tape. Outputs are byte-identical; only wall-clock moves.\n\n")
-	b.WriteString("| Evaluation path | ns/op | B/op | allocs/op |\n")
+	fmt.Fprintf(&b, "%s\n\n%s\n", p.header, p.intro)
+	fmt.Fprintf(&b, "| %s | ns/op | B/op | allocs/op |\n", p.column)
 	b.WriteString("|---|---|---|---|\n")
 	row := func(label string, r Record) {
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %.0f |\n", label, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
-	row("compiled", compiled)
-	row("interpreted", interpreted)
-	fmt.Fprintf(&b, "\nSpeedup (interpreted / compiled): **%.2fx**\n", interpreted.NsPerOp/compiled.NsPerOp)
+	row(p.baseLabel, base)
+	row(p.otherLabel, other)
+	fmt.Fprintf(&b, "\n%s: **%.2fx**\n", p.ratioLabel, other.NsPerOp/base.NsPerOp)
 	return b.String()
 }
 
-// updateComparison rewrites the comparison file's compiled-vs-interpreted
-// section from the parsed records: replaced in place when present,
-// appended otherwise. Missing pair benchmarks are an error - the
-// artifact must never silently report a stale pair.
+// updateComparison rewrites the comparison file's pair sections from the
+// parsed records: each is replaced in place when present and appended
+// otherwise. Missing pair benchmarks are an error - the artifact must
+// never silently report a stale pair.
 func updateComparison(path string, records []Record) error {
-	var compiled, interpreted *Record
-	for i := range records {
-		switch records[i].Benchmark {
-		case compiledBench:
-			compiled = &records[i]
-		case interpretedBench:
-			interpreted = &records[i]
-		}
+	byName := map[string]Record{}
+	for _, r := range records {
+		byName[r.Benchmark] = r
 	}
-	if compiled == nil || interpreted == nil {
-		return fmt.Errorf("input lacks the %s / %s pair needed for -comparison", compiledBench, interpretedBench)
-	}
-	section := comparisonSection(*compiled, *interpreted)
-
 	existing, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	text := string(existing)
-	if start := strings.Index(text, sectionHeader); start >= 0 {
-		end := len(text)
-		if next := strings.Index(text[start+len(sectionHeader):], "\n## "); next >= 0 {
-			end = start + len(sectionHeader) + next + 1
+	for _, p := range pairs {
+		base, okB := byName[p.baseBench]
+		other, okO := byName[p.otherBench]
+		if !okB || !okO {
+			return fmt.Errorf("input lacks the %s / %s pair needed for -comparison", p.baseBench, p.otherBench)
 		}
-		text = text[:start] + section + text[end:]
-	} else {
-		if text != "" && !strings.HasSuffix(text, "\n") {
-			text += "\n"
+		section := pairSection(p, base, other)
+		if start := strings.Index(text, p.header); start >= 0 {
+			end := len(text)
+			if next := strings.Index(text[start+len(p.header):], "\n## "); next >= 0 {
+				end = start + len(p.header) + next + 1
+			}
+			text = text[:start] + section + text[end:]
+		} else {
+			if text != "" && !strings.HasSuffix(text, "\n") {
+				text += "\n"
+			}
+			if text != "" {
+				text += "\n"
+			}
+			text += section
 		}
-		if text != "" {
-			text += "\n"
-		}
-		text += section
 	}
 	return os.WriteFile(path, []byte(text), 0o644)
 }

@@ -16,6 +16,8 @@ cpu: SomeCPU
 BenchmarkCampaignCompiled-8    	       5	 209000000 ns/op	 1200000 B/op	    9000 allocs/op
 BenchmarkCampaignCompiled-8    	       5	 211000000 ns/op	 1200000 B/op	    9000 allocs/op
 BenchmarkCampaignInterpreted-8 	       5	 457000000 ns/op	 2400000 B/op	   18000 allocs/op
+BenchmarkCampaignLadder2-8     	       5	 100000000 ns/op	         1.684 hydro-DD-speedup	 1000000 B/op	    8000 allocs/op
+BenchmarkCampaignLadder3-8     	       5	 260000000 ns/op	         1.684 hydro-DD-speedup	 2600000 B/op	   20000 allocs/op
 BenchmarkTapeProbe/fast-8      	12345678	        88.5 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	repro	12.3s
@@ -29,6 +31,8 @@ func TestParse(t *testing.T) {
 	want := []Record{
 		{Benchmark: "BenchmarkCampaignCompiled", Samples: 2, NsPerOp: 210000000, BytesPerOp: 1200000, AllocsPerOp: 9000},
 		{Benchmark: "BenchmarkCampaignInterpreted", Samples: 1, NsPerOp: 457000000, BytesPerOp: 2400000, AllocsPerOp: 18000},
+		{Benchmark: "BenchmarkCampaignLadder2", Samples: 1, NsPerOp: 100000000, BytesPerOp: 1000000, AllocsPerOp: 8000},
+		{Benchmark: "BenchmarkCampaignLadder3", Samples: 1, NsPerOp: 260000000, BytesPerOp: 2600000, AllocsPerOp: 20000},
 		{Benchmark: "BenchmarkTapeProbe/fast", Samples: 1, NsPerOp: 88.5},
 	}
 	if !reflect.DeepEqual(records, want) {
@@ -56,8 +60,8 @@ func TestRunWritesArtifactAndComparison(t *testing.T) {
 	out := filepath.Join(dir, "BENCH.json")
 	cmp := filepath.Join(dir, "comparison.md")
 	// Pre-seed the comparison file with other sections plus a stale pair
-	// section; the update must replace only the pair section.
-	seed := "## Table III\n\n| a |\n\n" + sectionHeader + "\n\nstale\n\n## Table IV\n\n| b |\n"
+	// section; the update must replace only the pair sections.
+	seed := "## Table III\n\n| a |\n\n" + pairs[0].header + "\n\nstale\n\n## Table IV\n\n| b |\n"
 	if err := os.WriteFile(cmp, []byte(seed), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +77,8 @@ func TestRunWritesArtifactAndComparison(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact is not JSON: %v", err)
 	}
-	if len(rep.Records) != 3 {
-		t.Errorf("artifact has %d records, want 3", len(rep.Records))
+	if len(rep.Records) != 5 {
+		t.Errorf("artifact has %d records, want 5", len(rep.Records))
 	}
 
 	text, err := os.ReadFile(cmp)
@@ -84,10 +88,14 @@ func TestRunWritesArtifactAndComparison(t *testing.T) {
 	got := string(text)
 	for _, want := range []string{
 		"## Table III", "## Table IV", // surrounding sections survive
-		sectionHeader,
+		pairs[0].header,
 		"| compiled | 210000000 |",
 		"| interpreted | 457000000 |",
 		"**2.18x**",
+		pairs[1].header,
+		"| f64,f32 (2 rungs) | 100000000 |",
+		"| f64,f32,bf16 (3 rungs) | 260000000 |",
+		"**2.60x**",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("comparison.md missing %q:\n%s", want, got)
@@ -96,8 +104,10 @@ func TestRunWritesArtifactAndComparison(t *testing.T) {
 	if strings.Contains(got, "stale") {
 		t.Errorf("stale pair section survived the update:\n%s", got)
 	}
-	if strings.Count(got, sectionHeader) != 1 {
-		t.Errorf("pair section duplicated:\n%s", got)
+	for _, p := range pairs {
+		if strings.Count(got, p.header) != 1 {
+			t.Errorf("pair section %q duplicated:\n%s", p.header, got)
+		}
 	}
 }
 

@@ -91,6 +91,8 @@ func main() {
 		storeStats  = flag.String("store-stats", "", `with -config and -store: write the store's stats as JSON on exit ("-" = stdout)`)
 		timeout     = flag.Float64("timeout", 0, "wall-clock deadline in seconds for -config or -tune (0 = none); expiry exits with code 4")
 		compiled    = flag.Bool("compiled", true, "evaluate configurations through precision-specialized compiled kernels (-compiled=false interprets; results are identical)")
+		precisions  = flag.String("precisions", "", `precision ladder to search, e.g. "f64,f32,bf16" (default: the two-level double/single study)`)
+		objective   = flag.String("objective", "", `analysis objective: "threshold" (default) or "pareto" (records the time/energy/error Pareto front)`)
 	)
 	flag.Parse()
 
@@ -98,6 +100,8 @@ func main() {
 		workers:     *workers,
 		seed:        *seed,
 		interpreted: !*compiled,
+		precisions:  *precisions,
+		objective:   *objective,
 		timeout:     *timeout,
 		jsonOut:     *jsonOut,
 		faultSpec:   *faultSpec,
@@ -130,7 +134,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *evallog, !*compiled, tel)
+		canceled, err := tuneOne(ctx, os.Stdout, *tune, *algorithm, *threshold, *seed, *evallog, !*compiled, *precisions, *objective, tel)
 		if err != nil {
 			fatal(err)
 		}
@@ -196,6 +200,8 @@ type campaignFlags struct {
 	workers     int
 	seed        int64
 	interpreted bool
+	precisions  string
+	objective   string
 	timeout     float64
 	jsonOut     bool
 	faultSpec   string
@@ -281,6 +287,16 @@ func validateFlags(configPath string, threshold float64, tune, algorithm string,
 	if cf.faultSpec != "" {
 		if _, err := mixpbench.ParseFaultSpec(cf.faultSpec); err != nil {
 			return fmt.Errorf("-faults: %w", err)
+		}
+	}
+	if cf.precisions != "" {
+		if _, err := mixpbench.ParsePrecisions(cf.precisions); err != nil {
+			return fmt.Errorf("-precisions: %w", err)
+		}
+	}
+	if cf.objective != "" {
+		if _, err := mixpbench.ParseObjective(cf.objective); err != nil {
+			return fmt.Errorf("-objective: %w", err)
 		}
 	}
 	return nil
@@ -463,7 +479,7 @@ func listBenchmarks(w io.Writer) {
 	}
 }
 
-func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, evallog, interpreted bool, tel *mixpbench.Telemetry) (canceled bool, err error) {
+func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold float64, seed int64, evallog, interpreted bool, precisions, objective string, tel *mixpbench.Telemetry) (canceled bool, err error) {
 	b, err := mixpbench.Benchmark(name)
 	if err != nil {
 		return false, err
@@ -475,6 +491,8 @@ func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold
 		Trace:       evallog,
 		Telemetry:   tel,
 		Interpreted: interpreted,
+		Precisions:  precisions,
+		Objective:   objective,
 	})
 	if err != nil {
 		return false, err
@@ -508,8 +526,23 @@ func tuneOne(ctx context.Context, w io.Writer, name, algorithm string, threshold
 	}
 	fmt.Fprintf(w, "speedup   : %.3fx\n", res.Speedup)
 	fmt.Fprintf(w, "error     : %.3g (%s)\n", res.Error, b.Metric())
-	fmt.Fprintf(w, "demoted   : %d of %d variables to single precision\n",
-		res.Config.Singles(), b.Graph().NumVars())
+	if precisions == "" {
+		fmt.Fprintf(w, "demoted   : %d of %d variables to single precision\n",
+			res.Config.Singles(), b.Graph().NumVars())
+	} else {
+		fmt.Fprintf(w, "demoted   : %d of %d variables below working precision (ladder %s)\n",
+			res.Config.Demoted(), b.Graph().NumVars(), precisions)
+	}
+	if res.Energy > 0 && objective != "" {
+		fmt.Fprintf(w, "energy    : %.4g J per run\n", res.Energy)
+	}
+	if len(res.Front) > 0 {
+		fmt.Fprintf(w, "pareto    : %d non-dominated points (time, energy, error)\n", len(res.Front))
+		for _, p := range res.Front {
+			fmt.Fprintf(w, "  %-24s time=%.4gs energy=%.4gJ err=%.3g speedup=%.3fx\n",
+				p.Config, p.Time, p.Energy, p.Error, p.Speedup)
+		}
+	}
 	return res.Canceled, nil
 }
 
@@ -547,6 +580,8 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 		CheckpointPath: cf.checkpoint,
 		ResumePath:     cf.resume,
 		Interpreted:    cf.interpreted,
+		Precisions:     cf.precisions,
+		Objective:      cf.objective,
 	}
 	var st *mixpbench.ResultStore
 	if cf.storeDir != "" {
@@ -612,10 +647,17 @@ func runConfig(ctx context.Context, w io.Writer, path string, cf campaignFlags, 
 			if math.IsNaN(r.Quality) {
 				quality = "NaN"
 			}
-			fmt.Fprintf(w, "speedup %.3fx, quality %s, %d/%d vars single, %d configs evaluated",
-				r.Speedup, quality, r.Demoted, r.Variables, r.Evaluated)
+			demoted := "single"
+			if r.Precisions != "" {
+				demoted = "demoted [" + r.Precisions + "]"
+			}
+			fmt.Fprintf(w, "speedup %.3fx, quality %s, %d/%d vars %s, %d configs evaluated",
+				r.Speedup, quality, r.Demoted, r.Variables, demoted, r.Evaluated)
 			if n := len(res.Attempts); n > 1 {
 				fmt.Fprintf(w, " (%d attempts)", n)
+			}
+			if len(r.Front) > 0 {
+				fmt.Fprintf(w, ", pareto front %d points", len(r.Front))
 			}
 			fmt.Fprintln(w)
 		}

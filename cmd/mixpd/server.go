@@ -237,6 +237,10 @@ func submit(e *engine.Engine, interpreted bool, w http.ResponseWriter, r *http.R
 			return
 		}
 	}
+	// Submit validates both before accepting the campaign, so a typo'd
+	// ladder or objective is a 400 here, not a failed campaign later.
+	opts.Precisions = r.URL.Query().Get("precisions")
+	opts.Objective = r.URL.Query().Get("objective")
 	id, err := e.Submit(string(body), opts)
 	if err != nil {
 		writeError(w, err)

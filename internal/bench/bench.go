@@ -133,17 +133,40 @@ func (c Config) Singles() int {
 	return n
 }
 
+// Demoted returns the number of variables assigned any format below
+// double precision. On the default {f64, f32} ladder it equals Singles.
+func (c Config) Demoted() int {
+	n := 0
+	for _, p := range c {
+		if p != mp.F64 {
+			n++
+		}
+	}
+	return n
+}
+
+// appendPrec appends p's key spelling to dst: one digit for a built-in
+// format (the historical encoding, so default-ladder keys are unchanged),
+// and an injective "(e.m)" escape for a custom format - '(' can never be
+// confused with a digit, so distinct configurations always have distinct
+// keys.
+func appendPrec(dst []byte, p mp.Prec) []byte {
+	if !p.IsCustom() {
+		return append(dst, '0'+byte(p))
+	}
+	dst = append(dst, '(')
+	dst = strconv.AppendInt(dst, int64(p.ExpBits()), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendInt(dst, int64(p.MantBits()), 10)
+	return append(dst, ')')
+}
+
 // Key returns a compact string identity usable as a cache key.
 func (c Config) Key() string {
 	if len(c) == 0 {
 		return ""
 	}
-	var b strings.Builder
-	b.Grow(len(c))
-	for _, p := range c {
-		b.WriteByte('0' + byte(p))
-	}
-	return b.String()
+	return string(c.AppendKey(make([]byte, 0, len(c))))
 }
 
 // AppendKey appends the compact key to dst and returns the extended
@@ -152,9 +175,50 @@ func (c Config) Key() string {
 // string(buf) does not materialise the string).
 func (c Config) AppendKey(dst []byte) []byte {
 	for _, p := range c {
-		dst = append(dst, '0'+byte(p))
+		dst = appendPrec(dst, p)
 	}
 	return dst
+}
+
+// ParseKey is the inverse of Config.Key: it parses the compact key
+// spelling back into a configuration. The journal uses it to rebuild
+// ladder configurations from checkpointed records.
+func ParseKey(s string) (Config, error) {
+	if s == "" {
+		return nil, nil
+	}
+	c := make(Config, 0, len(s))
+	for i := 0; i < len(s); {
+		b := s[i]
+		switch {
+		case b >= '0' && b <= '3':
+			c = append(c, mp.Prec(b-'0'))
+			i++
+		case b == '(':
+			j := strings.IndexByte(s[i:], ')')
+			if j < 0 {
+				return nil, fmt.Errorf("bench: config key %q: unterminated custom format", s)
+			}
+			e, m, found := strings.Cut(s[i+1:i+j], ".")
+			if !found {
+				return nil, fmt.Errorf("bench: config key %q: malformed custom format", s)
+			}
+			eBits, err1 := strconv.Atoi(e)
+			mBits, err2 := strconv.Atoi(m)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bench: config key %q: malformed custom format", s)
+			}
+			p, err := mp.Custom(eBits, mBits)
+			if err != nil {
+				return nil, fmt.Errorf("bench: config key %q: %w", s, err)
+			}
+			c = append(c, p)
+			i += j + 1
+		default:
+			return nil, fmt.Errorf("bench: config key %q: invalid byte %q at %d", s, b, i)
+		}
+	}
+	return c, nil
 }
 
 // AllSingle returns a configuration demoting every variable.
@@ -178,6 +242,10 @@ type Result struct {
 	Profile []mp.VarProfile
 	// ModelTime is the noiseless modelled execution time in seconds.
 	ModelTime float64
+	// Energy is the modelled energy of one execution in joules (dynamic
+	// work plus idle power for the modelled duration; see
+	// perfmodel.Machine.Energy).
+	Energy float64
 	// Measured is the paper-protocol timing (trimmed mean of repeated
 	// jittered runs).
 	Measured perfmodel.Measurement
@@ -296,7 +364,7 @@ func (r *Runner) executeCompiled(b Benchmark, sem runcache.Semantics, name strin
 		Semantics: sem,
 		Model:     r.modelFingerprint(),
 		Config:    cfg.Key(),
-	}, prog, cfg, r.Machine.Time)
+	}, prog, cfg, r.Machine.Time, r.Machine.Energy)
 	if k.NumSites() != prog.NumSites() {
 		// A benchmark-name collision across distinct shapes (only test
 		// doubles do this; names identify suite benchmarks). Interpret
@@ -320,6 +388,7 @@ func (r *Runner) executeCompiled(b Benchmark, sem runcache.Semantics, name strin
 		Cost:      cost,
 		Profile:   prof,
 		ModelTime: modelTime,
+		Energy:    k.Energy(cost),
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
 }
@@ -340,7 +409,7 @@ func (r *Runner) Prewarm(b Benchmark, cfg Config) {
 		Semantics: runcache.Source,
 		Model:     r.modelFingerprint(),
 		Config:    cfg.Key(),
-	}, program{b}, cfg, r.Machine.Time)
+	}, program{b}, cfg, r.Machine.Time, r.Machine.Energy)
 }
 
 // Run evaluates one configuration. A nil cfg runs the original program. The
@@ -402,6 +471,7 @@ func (r *Runner) interpret(b Benchmark, cfg Config) Result {
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
+		Energy:    r.Machine.Energy(cost),
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
 }
@@ -447,6 +517,17 @@ func (r *Runner) modelFingerprint() uint64 {
 		mix(c.Size)
 		mix(math.Float64bits(c.Bandwidth))
 	}
+	for i := range m.CastMatrix {
+		for j := range m.CastMatrix[i] {
+			mix(math.Float64bits(m.CastMatrix[i][j]))
+		}
+	}
+	for _, f := range m.EnergyModel.FlopJoules {
+		mix(math.Float64bits(f))
+	}
+	mix(math.Float64bits(m.EnergyModel.ByteJoules))
+	mix(math.Float64bits(m.EnergyModel.CastJoules))
+	mix(math.Float64bits(m.EnergyModel.IdleWatts))
 	mix(uint64(r.Runs))
 	return h
 }
@@ -515,6 +596,7 @@ func (r *Runner) interpretIR(b Benchmark, cfg Config) Result {
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
+		Energy:    r.Machine.Energy(cost),
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
 }
@@ -566,6 +648,7 @@ func (r *Runner) interpretManualSingle(b Benchmark, full Config) Result {
 		Cost:      cost,
 		Profile:   tape.Profile(),
 		ModelTime: modelTime,
+		Energy:    r.Machine.Energy(cost),
 		Measured:  perfmodel.Measure(modelTime, r.Runs, rng),
 	}
 }
@@ -587,7 +670,13 @@ func (r *Runner) jitterSeed(name string, cfg Config) int64 {
 	}
 	h = (h ^ '/') * runcache.FNVPrime64
 	for _, p := range cfg {
-		h = (h ^ uint64('0'+byte(p))) * runcache.FNVPrime64
+		if !p.IsCustom() {
+			h = (h ^ uint64('0'+byte(p))) * runcache.FNVPrime64
+			continue
+		}
+		for _, b := range appendPrec(buf[:0], p) {
+			h = (h ^ uint64(b)) * runcache.FNVPrime64
+		}
 	}
 	return int64(h)
 }

@@ -134,12 +134,13 @@ func New(tel *telemetry.Recorder) *Compiler {
 // Compile returns the compiled kernel for key, specializing it from prog
 // and cfg on first use. cfg may be shorter than prog.NumSites (unlisted
 // trailing sites stay F64, exactly as the interpreted tape leaves them)
-// and must be the configuration key identified by key.Config. time is the
-// perf-model charge function of the machine model key.Model fingerprints;
-// it is prebound onto the kernel so per-run post-processing is a straight
-// call (callers with the same fingerprint compute identical times, so
-// whichever caller compiles first is irrelevant).
-func (c *Compiler) Compile(key Key, prog Program, cfg []mp.Prec, time func(mp.Cost) float64) *Kernel {
+// and must be the configuration key identified by key.Config. time and
+// energy are the perf-model charge functions of the machine model
+// key.Model fingerprints; they are prebound onto the kernel so per-run
+// post-processing is a straight call (callers with the same fingerprint
+// compute identical values, so whichever caller compiles first is
+// irrelevant).
+func (c *Compiler) Compile(key Key, prog Program, cfg []mp.Prec, time, energy func(mp.Cost) float64) *Kernel {
 	c.mu.RLock()
 	k := c.kernels[key]
 	c.mu.RUnlock()
@@ -163,6 +164,7 @@ func (c *Compiler) Compile(key Key, prog Program, cfg []mp.Prec, time func(mp.Co
 		precs:       precs,
 		computeOnly: key.Semantics == runcache.IR,
 		Time:        time,
+		Energy:      energy,
 	}
 	c.kernels[key] = k
 	c.misses.Add(1)
@@ -233,6 +235,9 @@ type Kernel struct {
 	// as a function of metered cost under the machine model the kernel
 	// was compiled for.
 	Time func(mp.Cost) float64
+	// Energy is the prebound perf-model energy function: modelled joules
+	// as a function of metered cost under the same machine model.
+	Energy func(mp.Cost) float64
 
 	c           *Compiler
 	name        string

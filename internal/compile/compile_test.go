@@ -64,8 +64,8 @@ func TestCompileCacheHitsAndMisses(t *testing.T) {
 	prog := toyProgram{name: "toy", sites: 2, pure: true}
 	key := Key{Bench: "toy", Semantics: runcache.Source, Model: 7, Config: ""}
 
-	k1 := c.Compile(key, prog, nil, noTime)
-	k2 := c.Compile(key, prog, nil, noTime)
+	k1 := c.Compile(key, prog, nil, noTime, noTime)
+	k2 := c.Compile(key, prog, nil, noTime, noTime)
 	if k1 != k2 {
 		t.Error("same key compiled two distinct kernels")
 	}
@@ -81,7 +81,7 @@ func TestCompileCacheHitsAndMisses(t *testing.T) {
 		{Bench: "toy2", Semantics: runcache.Source, Model: 7, Config: ""},
 	}
 	for _, v := range variants {
-		if c.Compile(v, prog, nil, noTime) == k1 {
+		if c.Compile(v, prog, nil, noTime, noTime) == k1 {
 			t.Errorf("key %+v shared the kernel of %+v", v, key)
 		}
 	}
@@ -110,7 +110,7 @@ func TestKernelMatchesInterpreter(t *testing.T) {
 		c := New(nil)
 		for _, cfg := range configs {
 			wantVals, wantCost, wantProf := interpret(prog, cfg, sem, 42)
-			k := c.Compile(Key{Bench: "toy", Semantics: sem, Model: 1, Config: cfgKey(cfg)}, prog, cfg, noTime)
+			k := c.Compile(Key{Bench: "toy", Semantics: sem, Model: 1, Config: cfgKey(cfg)}, prog, cfg, noTime, noTime)
 			for run := 0; run < 3; run++ {
 				vals, cost, prof := k.Run(prog, 42)
 				if !reflect.DeepEqual(vals, wantVals) {
@@ -133,8 +133,8 @@ func TestKernelMatchesInterpreter(t *testing.T) {
 func TestStreamSharing(t *testing.T) {
 	c := New(nil)
 	prog := toyProgram{name: "toy", sites: 2, pure: true}
-	src := c.Compile(Key{Bench: "toy", Semantics: runcache.Source, Model: 1}, prog, nil, noTime)
-	ir := c.Compile(Key{Bench: "toy", Semantics: runcache.IR, Model: 1}, prog, nil, noTime)
+	src := c.Compile(Key{Bench: "toy", Semantics: runcache.Source, Model: 1}, prog, nil, noTime, noTime)
+	ir := c.Compile(Key{Bench: "toy", Semantics: runcache.IR, Model: 1}, prog, nil, noTime, noTime)
 
 	src.Run(prog, 1) // records seed 1
 	ir.Run(prog, 1)  // replays it: streams cross semantics
@@ -144,7 +144,7 @@ func TestStreamSharing(t *testing.T) {
 	}
 
 	impure := toyProgram{name: "impure", sites: 2, pure: false}
-	k := c.Compile(Key{Bench: "impure", Semantics: runcache.Source, Model: 1}, impure, nil, noTime)
+	k := c.Compile(Key{Bench: "impure", Semantics: runcache.Source, Model: 1}, impure, nil, noTime, noTime)
 	k.Run(impure, 1)
 	k.Run(impure, 1)
 	if s := c.Stats(); s.Streams != 2 || s.StreamRecords != 2 || s.StreamReplays != 1 {
@@ -159,7 +159,7 @@ func TestKernelConcurrentRuns(t *testing.T) {
 	c := New(nil)
 	prog := toyProgram{name: "toy", sites: 2, pure: true}
 	cfg := []mp.Prec{mp.F32, mp.F64}
-	k := c.Compile(Key{Bench: "toy", Semantics: runcache.Source, Model: 1, Config: cfgKey(cfg)}, prog, cfg, noTime)
+	k := c.Compile(Key{Bench: "toy", Semantics: runcache.Source, Model: 1, Config: cfgKey(cfg)}, prog, cfg, noTime, noTime)
 	wantVals, wantCost, wantProf := interpret(prog, cfg, runcache.Source, 7)
 
 	var wg sync.WaitGroup

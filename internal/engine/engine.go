@@ -21,7 +21,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/harness"
+	"repro/internal/mp"
 	"repro/internal/report"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -142,6 +144,13 @@ type SubmitOptions struct {
 	// compile cache. Results are identical either way; the escape hatch
 	// and the compiler's benchmarking baseline.
 	Interpreted bool
+	// Precisions, when non-empty, is the campaign's default precision
+	// ladder (e.g. "f64,f32,bf16"), applied to every spec that does not
+	// set its own precisions clause (see harness.CampaignOptions).
+	Precisions string
+	// Objective, when non-empty, is the campaign's default analysis
+	// objective ("threshold" or "pareto"; see harness.CampaignOptions).
+	Objective string
 	// OnJobDone, when non-nil, is called once per finished job from
 	// whichever worker finished it (see harness.Scheduler.OnJobDone).
 	OnJobDone func(idx int, r harness.JobResult)
@@ -319,6 +328,14 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 	if _, err := harness.JobsFromSpecs(hc.Specs, seed); err != nil {
 		return "", err
 	}
+	if opts.Precisions != "" {
+		if _, err := mp.ParseLadder(opts.Precisions); err != nil {
+			return "", fmt.Errorf("engine: precisions: %w", err)
+		}
+	}
+	if _, err := search.ParseObjective(opts.Objective); err != nil {
+		return "", fmt.Errorf("engine: objective: %w", err)
+	}
 	workers := opts.Workers
 	if workers == 0 {
 		workers = e.opts.Workers
@@ -362,6 +379,8 @@ func (e *Engine) SubmitCampaign(hc harness.Campaign, opts SubmitOptions) (string
 		NoCache:        opts.NoCache,
 		Interpreted:    opts.Interpreted,
 		Compiler:       e.compiler,
+		Precisions:     opts.Precisions,
+		Objective:      opts.Objective,
 		OnJobDone:      c.jobDone(opts.OnJobDone),
 		TraceDiag:      c.diag,
 	}
@@ -703,6 +722,8 @@ func RunOnce(ctx context.Context, specs []harness.Spec, opts harness.CampaignOpt
 			ResumePath:     opts.ResumePath,
 			NoCache:        opts.NoCache,
 			Interpreted:    opts.Interpreted,
+			Precisions:     opts.Precisions,
+			Objective:      opts.Objective,
 			OnJobDone:      opts.OnJobDone,
 		})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/compile"
+	"repro/internal/mp"
 	"repro/internal/search"
 	"repro/internal/telemetry"
 )
@@ -99,8 +100,22 @@ type Report struct {
 	// abort, service shutdown, deadline). The report still carries the
 	// best-so-far the strategy had when the context fired.
 	Canceled bool
-	// Demoted counts variables converted to single precision.
+	// Demoted counts variables converted below the working precision
+	// (all singles on the default ladder).
 	Demoted int
+	// Energy is the modelled energy per run of the chosen configuration
+	// in joules (the baseline's energy when nothing was found, zero when
+	// the analysis never measured a baseline).
+	Energy float64
+	// Precisions names the campaign ladder (empty: the default
+	// double/single study).
+	Precisions string
+	// Objective names the analysis objective ("threshold" or "pareto").
+	Objective string
+	// Front is the Pareto front over every evaluated configuration,
+	// recorded only under the pareto objective: deterministic,
+	// worker-count-invariant, sorted by configuration key.
+	Front []search.ParetoPoint
 	// Config is the converged precision assignment (nil when nothing was
 	// found) - the analysis artifact, the analog of the transformed
 	// executable the original harness returns a path to.
@@ -173,13 +188,18 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		return Report{}, err
 	}
 	g := job.Benchmark.Graph()
-	space := search.NewSpace(g, algo.Mode())
+	ladder := job.Spec.Analysis.Precisions
+	if ladder == nil {
+		ladder = mp.DefaultLadder()
+	}
+	space := search.NewSpaceWithLadder(g, algo.Mode(), ladder)
 	runner := bench.NewRunner(job.Seed)
 	runner.Telemetry = job.Telemetry
 	runner.Cache = job.Cache
 	runner.Compiled = !job.Interpreted
 	runner.Compiler = job.Compiler
 	eval := search.NewEvaluator(space, runner, job.Benchmark, job.Spec.Analysis.Threshold)
+	eval.SetObjective(job.Spec.Analysis.Objective)
 	if job.BudgetSeconds > 0 {
 		eval.SetBudget(job.BudgetSeconds)
 	}
@@ -206,8 +226,16 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 		Found:        out.Found,
 		TimedOut:     out.TimedOut,
 		Canceled:     out.Canceled,
+		Energy:       eval.Reference().Energy,
+		Objective:    job.Spec.Analysis.Objective.String(),
 		Clusters:     g.NumClusters(),
 		Variables:    g.NumVars(),
+	}
+	if job.Spec.Analysis.Precisions != nil {
+		rep.Precisions = job.Spec.Analysis.Precisions.String()
+	}
+	if job.Spec.Analysis.Objective == search.ObjectivePareto {
+		rep.Front = eval.ParetoFront()
 	}
 	if out.Err != nil {
 		// The attempt died mid-search (a transient fault). Return the
@@ -219,8 +247,9 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 	if out.Found {
 		rep.Speedup = out.BestResult.Speedup
 		rep.Quality = out.BestResult.Verdict.Error
+		rep.Energy = out.BestResult.Energy
 		cfg, _ := space.Expand(out.Best, algoName == "CM")
-		rep.Demoted = cfg.Singles()
+		rep.Demoted = cfg.Demoted()
 		rep.Config = cfg
 	}
 	if (rep.TimedOut || rep.Canceled) && !rep.Found {
@@ -238,11 +267,20 @@ func (FloatSmith) Analyze(job Job) (Report, error) {
 }
 
 // gaSeed mixes the job identity into the strategy seed so repeated runs
-// are reproducible but distinct jobs decorrelate.
+// are reproducible but distinct jobs decorrelate. Non-default ladders and
+// objectives join the mix; default campaigns hash exactly the historical
+// bytes, so their strategy seeds - and hence their GA walks - are
+// unchanged.
 func gaSeed(job Job) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%s/%g/%d", job.Benchmark.Name(), job.Spec.Analysis.Algorithm,
 		job.Spec.Analysis.Threshold, job.Seed)
+	if job.Spec.Analysis.Precisions != nil {
+		fmt.Fprintf(h, "/%s", job.Spec.Analysis.Precisions)
+	}
+	if job.Spec.Analysis.Objective != search.ObjectiveThreshold {
+		fmt.Fprintf(h, "/%s", job.Spec.Analysis.Objective)
+	}
 	return int64(h.Sum64())
 }
 

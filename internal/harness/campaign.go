@@ -7,6 +7,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/compile"
 	"repro/internal/faults"
+	"repro/internal/mp"
+	"repro/internal/search"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -48,6 +50,15 @@ type CampaignOptions struct {
 	// scheduler; nil compiled campaigns use the process-wide shared
 	// compiler.
 	Compiler *compile.Compiler
+	// Precisions, when non-empty, is the default precision ladder (e.g.
+	// "f64,f32,bf16") applied to every spec whose analysis clause does not
+	// set its own precisions. The default ladder leaves specs - and hence
+	// the campaign fingerprint - untouched.
+	Precisions string
+	// Objective, when non-empty, is the default analysis objective
+	// ("threshold" or "pareto") applied to every spec whose analysis
+	// clause leaves the objective at its threshold default.
+	Objective string
 	// OnJobDone, when non-nil, is called once per completed job from
 	// whichever worker finished it (see Scheduler.OnJobDone).
 	OnJobDone func(idx int, r JobResult)
@@ -73,6 +84,10 @@ func RunCampaign(specs []Spec, opts CampaignOptions) ([]JobResult, error) {
 // checkpoint journal records only what actually ran, so a canceled
 // campaign resumes exactly like an interrupted one.
 func RunCampaignContext(ctx context.Context, specs []Spec, opts CampaignOptions) ([]JobResult, error) {
+	specs, err := applyCampaignDefaults(specs, opts)
+	if err != nil {
+		return nil, err
+	}
 	jobs, err := JobsFromSpecs(specs, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -132,4 +147,44 @@ func RunCampaignContext(ctx context.Context, specs []Spec, opts CampaignOptions)
 		return results, fmt.Errorf("harness: checkpoint journal: %w", err)
 	}
 	return results, nil
+}
+
+// applyCampaignDefaults resolves the campaign-wide precisions and
+// objective options onto the specs that do not set their own, before jobs
+// and the fingerprint are built (the applied values are part of the
+// campaign definition). Specs are copied; the caller's slice is never
+// mutated. Empty options - and the default ladder - change nothing.
+func applyCampaignDefaults(specs []Spec, opts CampaignOptions) ([]Spec, error) {
+	if opts.Precisions == "" && opts.Objective == "" {
+		return specs, nil
+	}
+	var ladder mp.Ladder
+	if opts.Precisions != "" {
+		l, err := mp.ParseLadder(opts.Precisions)
+		if err != nil {
+			return nil, fmt.Errorf("harness: campaign precisions: %w", err)
+		}
+		if !l.IsDefault() {
+			ladder = l
+		}
+	}
+	objective := search.ObjectiveThreshold
+	if opts.Objective != "" {
+		o, err := search.ParseObjective(opts.Objective)
+		if err != nil {
+			return nil, fmt.Errorf("harness: campaign objective: %w", err)
+		}
+		objective = o
+	}
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		if ladder != nil && out[i].Analysis.Precisions == nil {
+			out[i].Analysis.Precisions = ladder
+		}
+		if objective != search.ObjectiveThreshold && out[i].Analysis.Objective == search.ObjectiveThreshold {
+			out[i].Analysis.Objective = objective
+		}
+	}
+	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/faults"
+	"repro/internal/mp"
 	"repro/internal/search"
 	"repro/internal/suite"
 	"repro/internal/verify"
@@ -38,6 +39,11 @@ type AnalysisSpec struct {
 	Algorithm string
 	// Threshold is the quality bound configurations must meet.
 	Threshold float64
+	// Precisions is the campaign-scoped precision ladder (nil: the
+	// default double/single two-level study).
+	Precisions mp.Ladder
+	// Objective selects threshold-only search or Pareto-front recording.
+	Objective search.Objective
 }
 
 // OutputSpec is the output clause: how the original program names its
@@ -336,6 +342,30 @@ func parseSpec(name string, m *yamlite.Map) (Spec, error) {
 			// every search into a foregone failure.
 			if s.Analysis.Threshold <= 0 {
 				return s, fmt.Errorf("threshold %g must be positive", s.Analysis.Threshold)
+			}
+		}
+		if raw, ok := extra.Get("precisions"); ok {
+			str, isStr := raw.(string)
+			if !isStr {
+				return s, fmt.Errorf("bad precisions type %T", raw)
+			}
+			ladder, err := mp.ParseLadder(str)
+			if err != nil {
+				return s, err
+			}
+			// The default ladder stays nil so fingerprints, seeds, and
+			// journals of two-level campaigns are untouched.
+			if !ladder.IsDefault() {
+				s.Analysis.Precisions = ladder
+			}
+		}
+		if raw, ok := extra.Get("objective"); ok {
+			str, isStr := raw.(string)
+			if !isStr {
+				return s, fmt.Errorf("bad objective type %T", raw)
+			}
+			if s.Analysis.Objective, err = search.ParseObjective(str); err != nil {
+				return s, err
 			}
 		}
 	}

@@ -13,7 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/faults"
-	"repro/internal/mp"
+	"repro/internal/search"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -127,7 +127,14 @@ type journalReport struct {
 	TimedOut     bool    `json:"timed_out"`
 	Canceled     bool    `json:"canceled,omitempty"`
 	Demoted      int     `json:"demoted"`
-	// Config is the precision assignment as its digit key (one digit per
+	Energy       jfloat  `json:"energy,omitempty"`
+	Precisions   string  `json:"precisions,omitempty"`
+	Objective    string  `json:"objective,omitempty"`
+	// Front is the Pareto front under the pareto objective; its points
+	// never carry non-finite values (NaN-error points are excluded at
+	// recording time), so plain floats are JSON-safe.
+	Front []search.ParetoPoint `json:"front,omitempty"`
+	// Config is the precision assignment as its key (one symbol per
 	// variable; "" when the analysis converged to nothing).
 	Config    string `json:"config,omitempty"`
 	Clusters  int    `json:"clusters"`
@@ -151,8 +158,16 @@ func toJournalReport(r Report) journalReport {
 		TimedOut:     r.TimedOut,
 		Canceled:     r.Canceled,
 		Demoted:      r.Demoted,
+		Energy:       jfloat(r.Energy),
+		Precisions:   r.Precisions,
+		Front:        r.Front,
 		Clusters:     r.Clusters,
 		Variables:    r.Variables,
+	}
+	// The default threshold objective stays off the wire, so default
+	// campaigns journal exactly the historical record shape.
+	if r.Objective != "" && r.Objective != "threshold" {
+		j.Objective = r.Objective
 	}
 	if r.Config != nil {
 		j.Config = r.Config.Key()
@@ -177,15 +192,21 @@ func (j journalReport) report() Report {
 		TimedOut:     j.TimedOut,
 		Canceled:     j.Canceled,
 		Demoted:      j.Demoted,
+		Energy:       float64(j.Energy),
+		Precisions:   j.Precisions,
+		Objective:    j.Objective,
+		Front:        j.Front,
 		Clusters:     j.Clusters,
 		Variables:    j.Variables,
 	}
+	if r.Objective == "" {
+		r.Objective = "threshold"
+	}
 	if j.Config != "" {
-		cfg := bench.NewConfig(len(j.Config))
-		for i := 0; i < len(j.Config); i++ {
-			cfg[i] = mp.Prec(j.Config[i] - '0')
+		cfg, err := bench.ParseKey(j.Config)
+		if err == nil {
+			r.Config = cfg
 		}
-		r.Config = cfg
 	}
 	return r
 }
@@ -232,6 +253,16 @@ func CampaignFingerprint(specs []Spec, seed int64, plan faults.Plan) string {
 		seed, plan.Transient, plan.Crash, plan.Straggler, plan.Slowdown, plan.Window, plan.Seed)
 	for _, s := range specs {
 		fmt.Fprintf(h, "|%s|%s|%s|%g", s.Name, s.Bin, s.Analysis.Algorithm, s.Analysis.Threshold)
+		// Non-default ladders and objectives change the work a journal's
+		// records describe, so they join the fingerprint; default specs
+		// hash exactly the historical bytes and old journals stay
+		// resumable.
+		if s.Analysis.Precisions != nil {
+			fmt.Fprintf(h, "|precisions=%s", s.Analysis.Precisions)
+		}
+		if s.Analysis.Objective != search.ObjectiveThreshold {
+			fmt.Fprintf(h, "|objective=%s", s.Analysis.Objective)
+		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

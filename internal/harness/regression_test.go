@@ -1,0 +1,248 @@
+package harness_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/harness"
+	"repro/internal/suite"
+)
+
+// goldenPath holds the pre-refactor snapshot of every default-ladder
+// (two-level {f64,f32}) evaluation surface. The file was generated at the
+// commit introducing the precision ladder, BEFORE any ladder code landed,
+// so the test proves the ladder refactor left the paper's two-level study
+// bit-identical. Regenerate only on an intentional numeric change:
+//
+//	MIXP_UPDATE_GOLDEN=1 go test ./internal/harness -run TestDefaultLadderGolden
+const goldenPath = "testdata/default_ladder.json"
+
+// bitsHex renders a float64 as its exact bit pattern, so the golden file
+// is byte-stable and diffs point at real numeric drift, not formatting.
+func bitsHex(f float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(f))
+}
+
+// hashFloats folds a float slice into one FNV-1a word over the raw bits.
+func hashFloats(vals []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// runGolden is one Result projected onto the fields that existed before
+// the ladder refactor (new additive fields are deliberately absent, so
+// the comparison pins the pre-refactor surface only).
+type runGolden struct {
+	Output   string     `json:"output"`
+	Cost     [10]uint64 `json:"cost"`
+	Profile  string     `json:"profile"`
+	Model    string     `json:"model"`
+	Mean     string     `json:"mean"`
+	Total    string     `json:"total"`
+	Runs     int        `json:"runs"`
+	Profiled int        `json:"profiled"`
+}
+
+// jobGolden is one campaign job report projected the same way.
+type jobGolden struct {
+	Entry     string `json:"entry"`
+	Algorithm string `json:"algorithm"`
+	Evaluated int    `json:"evaluated"`
+	Spent     string `json:"spent"`
+	Build     string `json:"build"`
+	Run       string `json:"run"`
+	CacheHits int    `json:"cache_hits"`
+	Speedup   string `json:"speedup"`
+	Quality   string `json:"quality"`
+	Found     bool   `json:"found"`
+	TimedOut  bool   `json:"timed_out"`
+	Demoted   int    `json:"demoted"`
+	Config    string `json:"config"`
+	Clusters  int    `json:"clusters"`
+	Variables int    `json:"variables"`
+}
+
+type defaultLadderGolden struct {
+	Runs     map[string]map[string]runGolden `json:"runs"`
+	Campaign []jobGolden                     `json:"campaign"`
+}
+
+func projectResult(r bench.Result) runGolden {
+	c := r.Cost
+	var prof []float64
+	for _, p := range r.Profile {
+		prof = append(prof, float64(p.Bytes), float64(p.Flops), float64(p.Casts))
+	}
+	return runGolden{
+		Output: hashFloats(r.Output.Values),
+		Cost: [10]uint64{
+			c.Flops64, c.Flops32, c.Flops16, c.Casts,
+			c.Bytes64, c.Bytes32, c.Bytes16,
+			c.Footprint64, c.Footprint32, c.Footprint16,
+		},
+		Profile:  hashFloats(prof),
+		Model:    bitsHex(r.ModelTime),
+		Mean:     bitsHex(r.Measured.Mean),
+		Total:    bitsHex(r.Measured.Total),
+		Runs:     r.Measured.Runs,
+		Profiled: len(r.Profile),
+	}
+}
+
+func projectReport(entry string, r harness.Report) jobGolden {
+	cfgKey := ""
+	if r.Config != nil {
+		cfgKey = r.Config.Key()
+	}
+	return jobGolden{
+		Entry:     entry,
+		Algorithm: r.Algorithm,
+		Evaluated: r.Evaluated,
+		Spent:     bitsHex(r.SpentSeconds),
+		Build:     bitsHex(r.BuildSeconds),
+		Run:       bitsHex(r.RunSeconds),
+		CacheHits: r.CacheHits,
+		Speedup:   bitsHex(r.Speedup),
+		Quality:   bitsHex(r.Quality),
+		Found:     r.Found,
+		TimedOut:  r.TimedOut,
+		Demoted:   r.Demoted,
+		Config:    cfgKey,
+		Clusters:  r.Clusters,
+		Variables: r.Variables,
+	}
+}
+
+// computeDefaultLadderGolden executes the whole pre-refactor surface:
+// every port through Run / RunIR / RunManualSingle at representative
+// two-level configurations, plus the kernel campaign (10 kernels x 6
+// algorithms) through the scheduler at the given worker count.
+func computeDefaultLadderGolden(t *testing.T, workers int) defaultLadderGolden {
+	t.Helper()
+	g := defaultLadderGolden{Runs: make(map[string]map[string]runGolden)}
+
+	for _, b := range suite.All() {
+		r := bench.NewRunner(42)
+		n := b.Graph().NumVars()
+		alt := bench.NewConfig(n)
+		for i := 0; i < n; i += 2 {
+			alt[i] = 1 // F32 in the default ladder
+		}
+		entry := map[string]runGolden{
+			"reference":    projectResult(r.Reference(b)),
+			"all-single":   projectResult(r.Run(b, bench.AllSingle(n))),
+			"alternating":  projectResult(r.Run(b, alt)),
+			"ir-single":    projectResult(r.RunIR(b, bench.AllSingle(n))),
+			"manual":       projectResult(r.RunManualSingle(b)),
+			"ir-reference": projectResult(r.RunIR(b, nil)),
+		}
+		g.Runs[b.Name()] = entry
+	}
+
+	var specs []harness.Spec
+	for _, k := range suite.Kernels() {
+		for _, algo := range []string{"CB", "CM", "DD", "HR", "HC", "GA"} {
+			specs = append(specs, harness.Spec{
+				Name:   k.Name() + "/" + algo,
+				Bin:    k.Name(),
+				Metric: k.Metric(),
+				Analysis: harness.AnalysisSpec{
+					ID:        "floatsmith",
+					Name:      "floatSmith",
+					Algorithm: algo,
+					Threshold: 1e-8,
+				},
+			})
+		}
+	}
+	results, err := harness.RunCampaign(specs, harness.CampaignOptions{Workers: workers, Seed: 42})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, specs[i].Name, jr.Err)
+		}
+		g.Campaign = append(g.Campaign, projectReport(specs[i].Name, jr.Report))
+	}
+	return g
+}
+
+// TestDefaultLadderGolden locks default-ladder campaigns byte-identical
+// to the pre-refactor seed output: all 17 ports through every evaluation
+// entry point and the full kernel campaign must project onto exactly the
+// snapshot taken before the precision-ladder refactor, at more than one
+// worker count.
+func TestDefaultLadderGolden(t *testing.T) {
+	got := computeDefaultLadderGolden(t, 2)
+
+	if os.Getenv("MIXP_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with MIXP_UPDATE_GOLDEN=1 go test ./internal/harness -run TestDefaultLadderGolden): %v", err)
+	}
+	var want defaultLadderGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, wantRuns := range want.Runs {
+		gotRuns, ok := got.Runs[name]
+		if !ok {
+			t.Errorf("%s: benchmark missing from suite", name)
+			continue
+		}
+		for label, w := range wantRuns {
+			if g, ok := gotRuns[label]; !ok || g != w {
+				t.Errorf("%s/%s: result drifted from pre-refactor golden\n got: %+v\nwant: %+v", name, label, g, w)
+			}
+		}
+	}
+	if len(got.Campaign) != len(want.Campaign) {
+		t.Fatalf("campaign produced %d jobs, golden has %d", len(got.Campaign), len(want.Campaign))
+	}
+	for i := range want.Campaign {
+		if got.Campaign[i] != want.Campaign[i] {
+			t.Errorf("job %d: report drifted from pre-refactor golden\n got: %+v\nwant: %+v", i, got.Campaign[i], want.Campaign[i])
+		}
+	}
+
+	// Worker-count invariance of the same projection: the golden holds at
+	// any pool size, not just the one it was generated with.
+	if !testing.Short() {
+		at4 := computeDefaultLadderGolden(t, 4)
+		for i := range want.Campaign {
+			if at4.Campaign[i] != want.Campaign[i] {
+				t.Errorf("job %d: workers=4 report diverges from golden", i)
+			}
+		}
+	}
+}

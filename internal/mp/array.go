@@ -26,11 +26,12 @@ type Array struct {
 // NewArray allocates an n-element buffer for variable v and charges its
 // footprint at the width the configuration assigns to v.
 func (t *Tape) NewArray(v VarID, n int) *Array {
-	bytes := uint64(n) * t.storageWidth(v).Size() * t.scale
-	switch t.storageWidth(v) {
-	case F32:
+	w := t.storageWidth(v)
+	bytes := uint64(n) * w.Size() * t.scale
+	switch w.wclass() {
+	case 1:
 		t.cost.Footprint32 += bytes
-	case F16:
+	case 2:
 		t.cost.Footprint16 += bytes
 	default:
 		t.cost.Footprint64 += bytes

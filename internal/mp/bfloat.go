@@ -1,0 +1,44 @@
+package mp
+
+import "math"
+
+// bfloat16 support: the truncated-significand single-precision format of
+// ML accelerators (1 sign, 8 exponent, 7 mantissa bits). Its exponent
+// field matches binary32 exactly, so every bfloat16 value - normals,
+// subnormals, infinities - is the float32 value whose low 16 mantissa
+// bits are zero; the bit codecs below lean on that. Rounding must still
+// happen directly from float64 (a float64 -> float32 -> bfloat16 trip
+// would double-round), so roundToBfloat goes through the generic
+// round-to-nearest-even machinery.
+
+// bfloat16 limits.
+const (
+	// bfloatMaxFinite is the largest finite bfloat16 value, (2-2^-7)*2^127.
+	bfloatMaxFinite = 3.3895313892515355e+38
+	// bfloatMinNormal is the smallest normal bfloat16 value, 2^-126.
+	bfloatMinNormal = 1.1754943508222875e-38
+	// bfloatSubQuantum is the subnormal quantum, 2^-133.
+	bfloatSubQuantum = 9.183549615799121e-41
+)
+
+// roundToBfloat rounds x to the nearest bfloat16 value
+// (round-to-nearest-even), returning it as a float64.
+func roundToBfloat(x float64) float64 {
+	return roundBinary(x, 8, 7)
+}
+
+// bfloatBits encodes a bfloat16-rounded value as its bit pattern (used by
+// the mixed-precision file IO). A rounded value is exactly representable
+// in float32 with zero low mantissa bits, so the encoding is the top half
+// of the float32 pattern.
+func bfloatBits(x float64) uint16 {
+	if x != x {
+		return 0x7FC0 // canonical quiet NaN
+	}
+	return uint16(math.Float32bits(float32(x)) >> 16)
+}
+
+// bfloatFromBits decodes a bfloat16 bit pattern.
+func bfloatFromBits(b uint16) float64 {
+	return float64(math.Float32frombits(uint32(b) << 16))
+}

@@ -1,0 +1,43 @@
+package mp
+
+import "math"
+
+// roundBinary rounds x to the nearest value of the binary floating-point
+// format with eBits exponent bits and mBits mantissa bits
+// (round-to-nearest-even), returning it as a float64. It is the generic
+// form of roundToHalf: every format the ladder can name is a subset of
+// float64 (e <= 11, m <= 52), the arithmetic runs entirely in float64
+// whose 53-bit significand represents every intermediate exactly, so no
+// double rounding occurs. For e=11, m=52 the function is the float64
+// identity on every input.
+func roundBinary(x float64, eBits, mBits int) float64 {
+	if x != x || math.IsInf(x, 0) || x == 0 {
+		return x
+	}
+	bias := 1<<(eBits-1) - 1
+	// Values at or beyond the midpoint between the largest finite value,
+	// (2 - 2^-m) * 2^bias, and the next representable step round to
+	// infinity. For the full float64 widths this midpoint overflows to
+	// +Inf and the comparison is never true, as it must be.
+	overflow := math.Ldexp(2-math.Ldexp(1, -(mBits+1)), bias)
+	ax := math.Abs(x)
+	if ax >= overflow {
+		return math.Inf(int(math.Copysign(1, x)))
+	}
+	minNormal := math.Ldexp(1, 1-bias)
+	if ax < minNormal {
+		// Subnormal range: fixed quantum of 2^(1-bias-m).
+		q := math.Ldexp(1, 1-bias-mBits)
+		return math.RoundToEven(x/q) * q
+	}
+	// Normal range: m+1 significant bits.
+	f, e := math.Frexp(x) // x = f * 2^e with |f| in [0.5, 1)
+	s := math.Ldexp(1, mBits+1)
+	m := math.RoundToEven(f*s) / s
+	y := math.Ldexp(m, e)
+	if math.Abs(y) >= overflow {
+		// Rounding carried the significand past the largest finite value.
+		return math.Inf(int(math.Copysign(1, x)))
+	}
+	return y
+}

@@ -1,0 +1,231 @@
+package mp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCustomValidation(t *testing.T) {
+	for _, c := range []struct {
+		e, m int
+		ok   bool
+	}{
+		{5, 10, true}, {8, 7, true}, {11, 52, true}, {2, 1, true},
+		{8, 23, true}, {8, 40, true},
+		{1, 10, false}, {12, 10, false}, {5, 0, false}, {5, 53, false},
+	} {
+		p, err := Custom(c.e, c.m)
+		if c.ok != (err == nil) {
+			t.Errorf("Custom(%d,%d) err = %v, want ok=%v", c.e, c.m, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if !p.IsCustom() || p.ExpBits() != c.e || p.MantBits() != c.m {
+			t.Errorf("Custom(%d,%d) widths = (%d,%d)", c.e, c.m, p.ExpBits(), p.MantBits())
+		}
+	}
+}
+
+func TestCustomSizes(t *testing.T) {
+	for _, c := range []struct {
+		e, m int
+		size uint64
+	}{
+		{5, 10, 2},  // 16 bits: binary16 shape
+		{4, 10, 2},  // 15 bits fits a 2-byte container
+		{8, 7, 2},   // bfloat16 shape
+		{8, 23, 4},  // binary32 shape
+		{8, 8, 4},   // 17 bits spills to 4 bytes
+		{11, 52, 8}, // binary64 shape
+		{8, 40, 8},  // 49 bits needs 8 bytes
+	} {
+		if got := MustCustom(c.e, c.m).Size(); got != c.size {
+			t.Errorf("custom(%d,%d).Size() = %d, want %d", c.e, c.m, got, c.size)
+		}
+	}
+}
+
+// The generic rounder must agree exactly with the hand-written format
+// rounders when parameterized to the same widths, and be the identity at
+// full float64 width.
+func TestRoundBinaryMatchesHalf(t *testing.T) {
+	f := func(x float64) bool {
+		a, b := roundBinary(x, 5, 10), roundToHalf(x)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsNaN(a) && math.IsNaN(b)
+		}
+		return a == b || (math.IsInf(a, 0) && a == b)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+	// The quick generator rarely lands in half's narrow dynamic range, so
+	// sweep every binary16 value and its neighbourhood explicitly.
+	for b := 0; b < 1<<16; b++ {
+		v := halfFromBits(uint16(b))
+		if math.IsNaN(v) {
+			continue
+		}
+		for _, x := range []float64{v, math.Nextafter(v, math.Inf(1)), v * 1.0001} {
+			a, h := roundBinary(x, 5, 10), roundToHalf(x)
+			if a != h && !(math.IsInf(a, 0) && a == h) {
+				t.Fatalf("roundBinary(%v,5,10) = %v, roundToHalf = %v", x, a, h)
+			}
+		}
+	}
+}
+
+func TestRoundBinaryIdentityAtFullWidth(t *testing.T) {
+	f := func(x float64) bool {
+		y := roundBinary(x, 11, 52)
+		if math.IsNaN(x) {
+			return math.IsNaN(y)
+		}
+		return y == x
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomMatchesBuiltins(t *testing.T) {
+	pairs := []struct {
+		custom  Prec
+		builtin Prec
+	}{
+		{MustCustom(5, 10), F16},
+		{MustCustom(8, 7), BF16},
+		{MustCustom(8, 23), F32},
+		{MustCustom(11, 52), F64},
+	}
+	for _, pr := range pairs {
+		f := func(x float64) bool {
+			a, b := pr.custom.Round(x), pr.builtin.Round(x)
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return math.IsNaN(a) && math.IsNaN(b)
+			}
+			return a == b
+		}
+		if err := quick.Check(f, quickConfig()); err != nil {
+			t.Errorf("custom(%d,%d) vs %s: %v", pr.custom.ExpBits(), pr.custom.MantBits(), pr.builtin, err)
+		}
+	}
+}
+
+// ladderFormats is the menu the property tests sweep: every built-in plus
+// custom formats at the container boundaries.
+func ladderFormats() []Prec {
+	return []Prec{
+		F64, F32, F16, BF16,
+		MustCustom(5, 10), MustCustom(8, 7), MustCustom(11, 52),
+		MustCustom(3, 2), MustCustom(8, 40), MustCustom(8, 23),
+	}
+}
+
+func quickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 2000}
+}
+
+// Round must be idempotent for every format a ladder can name: rounding a
+// rounded value is the identity.
+func TestRoundIdempotentAllFormats(t *testing.T) {
+	for _, p := range ladderFormats() {
+		f := func(x float64) bool {
+			once := p.Round(x)
+			twice := p.Round(once)
+			if math.IsNaN(once) {
+				return math.IsNaN(twice)
+			}
+			return once == twice
+		}
+		if err := quick.Check(f, quickConfig()); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// Round must be monotone for every format: a <= b implies
+// Round(a) <= Round(b), the property that makes narrowing order-safe.
+func TestRoundMonotoneAllFormats(t *testing.T) {
+	for _, p := range ladderFormats() {
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return true
+			}
+			if a > b {
+				a, b = b, a
+			}
+			return p.Round(a) <= p.Round(b)
+		}
+		if err := quick.Check(f, quickConfig()); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// Specials survive every format: NaN stays NaN, infinities and signed
+// zero pass through.
+func TestRoundSpecialsAllFormats(t *testing.T) {
+	for _, p := range ladderFormats() {
+		if !math.IsNaN(p.Round(math.NaN())) {
+			t.Errorf("%s: NaN not preserved", p.Name())
+		}
+		if !math.IsInf(p.Round(math.Inf(1)), 1) || !math.IsInf(p.Round(math.Inf(-1)), -1) {
+			t.Errorf("%s: infinities not preserved", p.Name())
+		}
+		nz := p.Round(math.Copysign(0, -1))
+		if nz != 0 || !math.Signbit(nz) {
+			t.Errorf("%s: negative zero not preserved", p.Name())
+		}
+	}
+}
+
+func TestCustomIO(t *testing.T) {
+	// Custom formats serialize as rounded float64 payloads (8-byte
+	// stride): no interchange encoding exists for an (e,m) format, but
+	// the round trip must still be value-exact.
+	p := MustCustom(6, 9)
+	vals := []float64{0, 1, -1.5, 0.1, 1e-12, 12345.678}
+	var buf bytes.Buffer
+	if err := WriteValues(&buf, p, vals); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(vals)*8 {
+		t.Fatalf("wrote %d bytes, want 8-byte stride", buf.Len())
+	}
+	back, err := ReadValues(&buf, p, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := p.Round(v); back[i] != want {
+			t.Errorf("[%d] = %v, want %v", i, back[i], want)
+		}
+	}
+}
+
+func TestWiderPrec(t *testing.T) {
+	cases := []struct {
+		a, b Prec
+		want bool
+	}{
+		{F64, F32, true}, {F32, F64, false},
+		{F32, F16, true}, {F32, BF16, true},
+		{F16, BF16, true}, {BF16, F16, false}, // mantissa bits decide
+		{F64, F64, false},
+		{MustCustom(11, 52), F32, true},
+		{F32, MustCustom(8, 23), false}, // same widths: not strictly wider
+		{MustCustom(8, 23), F32, false},
+		{MustCustom(5, 10), MustCustom(8, 7), true},
+		{MustCustom(8, 7), MustCustom(5, 7), true}, // mantissa tie: exponent decides
+	}
+	for _, c := range cases {
+		if got := widerPrec(c.a, c.b); got != c.want {
+			t.Errorf("widerPrec(%s, %s) = %v, want %v", c.a.Name(), c.b.Name(), got, c.want)
+		}
+	}
+}

@@ -51,21 +51,29 @@ func (t *Tape) flushArrays() {
 // constant between flushes (SetScale flushes first), so multiplying the
 // sums equals the eager per-call charges exactly.
 func (t *Tape) flushMeter() {
-	if t.pendFlops[F64] != 0 {
-		t.cost.Flops64 += t.pendFlops[F64] * t.scale
-		t.pendFlops[F64] = 0
+	if t.pendFlops[0] != 0 {
+		t.cost.Flops64 += t.pendFlops[0] * t.scale
+		t.pendFlops[0] = 0
 	}
-	if t.pendFlops[F32] != 0 {
-		t.cost.Flops32 += t.pendFlops[F32] * t.scale
-		t.pendFlops[F32] = 0
+	if t.pendFlops[1] != 0 {
+		t.cost.Flops32 += t.pendFlops[1] * t.scale
+		t.pendFlops[1] = 0
 	}
-	if t.pendFlops[F16] != 0 {
-		t.cost.Flops16 += t.pendFlops[F16] * t.scale
-		t.pendFlops[F16] = 0
+	if t.pendFlops[2] != 0 {
+		t.cost.Flops16 += t.pendFlops[2] * t.scale
+		t.pendFlops[2] = 0
 	}
 	if t.pendCasts != 0 {
 		t.cost.Casts += t.pendCasts * t.scale
 		t.pendCasts = 0
+		for i := range t.pendCastPairs {
+			for j := range t.pendCastPairs[i] {
+				if n := t.pendCastPairs[i][j]; n != 0 {
+					t.cost.CastPairs[i][j] += n * t.scale
+					t.pendCastPairs[i][j] = 0
+				}
+			}
+		}
 	}
 	for v := range t.pendVar {
 		p := &t.pendVar[v]
@@ -95,6 +103,7 @@ func (t *Tape) Reset() {
 	clear(t.pendVar)
 	t.pendFlops = [3]uint64{}
 	t.pendCasts = 0
+	t.pendCastPairs = [3][3]uint64{}
 	for _, a := range t.arrays {
 		a.pending = 0
 	}

@@ -19,18 +19,31 @@ import (
 // little-endian.
 var byteOrder = binary.LittleEndian
 
+// ioStride returns the on-disk bytes per value for stored precision p.
+// The interchange formats serialize at their container width; custom
+// formats have no interchange encoding, so their values (a subset of
+// float64) are stored as rounded float64 payloads.
+func ioStride(p Prec) int {
+	if p.IsCustom() {
+		return 8
+	}
+	return int(p.Size())
+}
+
 // WriteValues writes vals to w at the stored precision p, narrowing each
 // value as needed. It is the serialisation half of mp_fwrite.
 func WriteValues(w io.Writer, p Prec, vals []float64) error {
-	buf := make([]byte, len(vals)*int(p.Size()))
+	buf := make([]byte, len(vals)*ioStride(p))
 	for i, v := range vals {
 		switch p {
 		case F32:
 			byteOrder.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
 		case F16:
 			byteOrder.PutUint16(buf[i*2:], halfBits(roundToHalf(v)))
+		case BF16:
+			byteOrder.PutUint16(buf[i*2:], bfloatBits(roundToBfloat(v)))
 		default:
-			byteOrder.PutUint64(buf[i*8:], math.Float64bits(v))
+			byteOrder.PutUint64(buf[i*8:], math.Float64bits(p.Round(v)))
 		}
 	}
 	_, err := w.Write(buf)
@@ -40,7 +53,7 @@ func WriteValues(w io.Writer, p Prec, vals []float64) error {
 // ReadValues reads n values stored at precision p from r, widening each to
 // float64. It is the deserialisation half of mp_fread.
 func ReadValues(r io.Reader, p Prec, n int) ([]float64, error) {
-	buf := make([]byte, n*int(p.Size()))
+	buf := make([]byte, n*ioStride(p))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("mp: reading %d %s values: %w", n, p, err)
 	}
@@ -51,6 +64,8 @@ func ReadValues(r io.Reader, p Prec, n int) ([]float64, error) {
 			out[i] = float64(math.Float32frombits(byteOrder.Uint32(buf[i*4:])))
 		case F16:
 			out[i] = halfFromBits(byteOrder.Uint16(buf[i*2:]))
+		case BF16:
+			out[i] = bfloatFromBits(byteOrder.Uint16(buf[i*2:]))
 		default:
 			out[i] = math.Float64frombits(byteOrder.Uint64(buf[i*8:]))
 		}
@@ -69,7 +84,7 @@ func ReadInto(r io.Reader, stored Prec, dst *Array) error {
 		return err
 	}
 	if stored != dst.Prec() {
-		dst.tape.AddCasts(uint64(dst.Len()))
+		dst.tape.AddCastsBetween(stored, dst.Prec(), uint64(dst.Len()))
 	}
 	dst.SetN(0, vals)
 	return nil
@@ -82,7 +97,7 @@ func ReadInto(r io.Reader, stored Prec, dst *Array) error {
 // approximate and exact runs byte-compatibly.
 func WriteFrom(w io.Writer, stored Prec, src *Array) error {
 	if stored != src.Prec() {
-		src.tape.AddCasts(uint64(src.Len()))
+		src.tape.AddCastsBetween(src.Prec(), stored, uint64(src.Len()))
 	}
 	src.charge(uint64(src.Len()))
 	return WriteValues(w, stored, src.data)

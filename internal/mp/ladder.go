@@ -1,0 +1,147 @@
+package mp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ladder is a campaign's ordered precision menu: rung 0 is the baseline
+// format every variable starts at, and each later rung is a strictly
+// narrower demotion target. The paper's study is the two-rung default
+// {f64, f32}; the search space over loc locations has len(Ladder)^loc
+// points (the paper's p^loc with p = 2).
+//
+// A configuration assigns each variable a rung, and the search layer's
+// digit-vector encoding (internal/search) indexes into the ladder.
+// Ladders are campaign-scoped: they ride through harness and engine
+// options, never through global state, so concurrent campaigns with
+// different ladders share one process, one run cache, and one compiler.
+type Ladder []Prec
+
+// DefaultLadder returns the paper's two-level study ladder {f64, f32}.
+// Every campaign that does not name a ladder runs on it, which is what
+// keeps the default study byte-identical to the pre-ladder runtime.
+func DefaultLadder() Ladder { return Ladder{F64, F32} }
+
+// Validate checks the ladder shape: at least two rungs, rung 0 is f64
+// (the reference every speedup and error is measured against), no
+// repeated formats, and strictly narrowing - each rung must be strictly
+// narrower than the one before it (fewer mantissa bits, or equal mantissa
+// and fewer exponent bits), so "demote further" is monotone for every
+// search strategy.
+func (l Ladder) Validate() error {
+	if len(l) < 2 {
+		return fmt.Errorf("mp: ladder needs at least two rungs, has %d", len(l))
+	}
+	if l[0] != F64 {
+		return fmt.Errorf("mp: ladder rung 0 must be f64 (the reference format), got %s", l[0].Name())
+	}
+	for i := 1; i < len(l); i++ {
+		if !widerPrec(l[i-1], l[i]) {
+			return fmt.Errorf("mp: ladder rung %d (%s) must be strictly narrower than rung %d (%s)",
+				i, l[i].Name(), i-1, l[i-1].Name())
+		}
+	}
+	return nil
+}
+
+// IsDefault reports whether the ladder is the paper's {f64, f32} study
+// ladder (or nil/empty, which every consumer treats as the default).
+func (l Ladder) IsDefault() bool {
+	return len(l) == 0 || (len(l) == 2 && l[0] == F64 && l[1] == F32)
+}
+
+// Equal reports element-wise equality.
+func (l Ladder) Equal(o Ladder) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the ladder in the precisions-clause grammar:
+// comma-joined short format names, e.g. "f64,f32,f16".
+func (l Ladder) String() string {
+	names := make([]string, len(l))
+	for i, p := range l {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// ParsePrec parses one format name: f64/double, f32/single, f16/half,
+// bf16/bfloat16, or custom(e,m). Names are case-insensitive.
+func ParsePrec(s string) (Prec, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	switch name {
+	case "f64", "double", "fp64":
+		return F64, nil
+	case "f32", "single", "float", "fp32":
+		return F32, nil
+	case "f16", "half", "fp16":
+		return F16, nil
+	case "bf16", "bfloat16":
+		return BF16, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "custom("); ok {
+		body, ok := strings.CutSuffix(rest, ")")
+		if !ok {
+			return 0, fmt.Errorf("mp: malformed custom format %q (want custom(e,m))", s)
+		}
+		e, m, found := strings.Cut(body, ",")
+		if !found {
+			return 0, fmt.Errorf("mp: malformed custom format %q (want custom(e,m))", s)
+		}
+		eBits, err1 := strconv.Atoi(strings.TrimSpace(e))
+		mBits, err2 := strconv.Atoi(strings.TrimSpace(m))
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("mp: malformed custom format %q (want custom(e,m))", s)
+		}
+		return Custom(eBits, mBits)
+	}
+	return 0, fmt.Errorf("mp: unknown precision format %q (valid: f64, f32, f16, bf16, custom(e,m))", s)
+}
+
+// ParseLadder parses the precisions-clause grammar: a comma-separated
+// list of format names, commas inside custom(e,m) excluded, validated
+// with Validate. The empty string parses to the default {f64, f32}
+// ladder, so an unset flag or clause means the paper's study.
+func ParseLadder(s string) (Ladder, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultLadder(), nil
+	}
+	var l Ladder
+	depth, start := 0, 0
+	fields := make([]string, 0, 4)
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				fields = append(fields, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	fields = append(fields, s[start:])
+	for _, f := range fields {
+		p, err := ParsePrec(f)
+		if err != nil {
+			return nil, err
+		}
+		l = append(l, p)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -297,7 +297,7 @@ func TestCostAdd(t *testing.T) {
 func TestTapeString(t *testing.T) {
 	tape := NewTape(3)
 	tape.SetPrec(1, F32)
-	if got := tape.String(); got != "tape{vars: 3, single: 1}" {
+	if got := tape.String(); got != "tape{vars: 3, demoted: 1}" {
 		t.Errorf("String() = %q", got)
 	}
 }

@@ -34,13 +34,14 @@ type Tape struct {
 	reuseCursor int
 
 	// Deferred arithmetic meters of the frozen fast path: Assign counts
-	// unscaled flops per expression precision, casts, and per-variable
-	// attribution here, and flushMeter multiplies the sums through the
-	// scale once per observation point (exact in uint64, like the
-	// deferred array traffic).
-	pendFlops [3]uint64
-	pendCasts uint64
-	pendVar   []VarProfile
+	// unscaled flops per expression width class, casts (total and by
+	// width-class pair), and per-variable attribution here, and flushMeter
+	// multiplies the sums through the scale once per observation point
+	// (exact in uint64, like the deferred array traffic).
+	pendFlops     [3]uint64
+	pendCasts     uint64
+	pendCastPairs [3][3]uint64
+	pendVar       []VarProfile
 
 	// rec/rep attach an input-stream recorder or replayer (see Stream).
 	rec *streamRecorder
@@ -67,10 +68,10 @@ func NewTape(n int) *Tape {
 func (t *Tape) refreshVar(v VarID) {
 	w := t.storageWidth(v)
 	t.byteFactor[v] = w.Size() * t.scale
-	switch w {
-	case F32:
+	switch w.wclass() {
+	case 1:
 		t.byteSink[v] = &t.cost.Bytes32
-	case F16:
+	case 2:
 		t.byteSink[v] = &t.cost.Bytes16
 	default:
 		t.byteSink[v] = &t.cost.Bytes64
@@ -161,30 +162,40 @@ func (t *Tape) Cost() Cost {
 	return t.cost
 }
 
-// AddFlops records n floating-point operations retired at precision p.
-// Benchmarks use it for work that is not tied to an Assign site, such as
-// reductions folded into library calls.
+// AddFlops records n floating-point operations retired at precision p;
+// the counter is picked by p's width class (a custom format retires at
+// its container width). Benchmarks use it for work that is not tied to an
+// Assign site, such as reductions folded into library calls.
 func (t *Tape) AddFlops(p Prec, n uint64) {
-	switch p {
-	case F32:
+	switch p.wclass() {
+	case 1:
 		t.cost.Flops32 += n * t.scale
-	case F16:
+	case 2:
 		t.cost.Flops16 += n * t.scale
 	default:
 		t.cost.Flops64 += n * t.scale
 	}
 }
 
-// AddCasts records n precision-conversion operations.
+// AddCasts records n precision-conversion operations with no width-pair
+// attribution (they price at the machine's scalar cast rate).
 func (t *Tape) AddCasts(n uint64) { t.cost.Casts += n * t.scale }
 
-// AddBytes records n bytes of array traffic at precision p, for work that
-// is not routed through an Array accessor.
+// AddCastsBetween records n conversions between formats a and b,
+// attributed to their width-class pair so a machine model with a cast
+// matrix can price them; the Casts total includes them.
+func (t *Tape) AddCastsBetween(a, b Prec, n uint64) {
+	t.cost.Casts += n * t.scale
+	t.cost.CastPairs[a.wclass()][b.wclass()] += n * t.scale
+}
+
+// AddBytes records n bytes of array traffic at precision p (by width
+// class), for work that is not routed through an Array accessor.
 func (t *Tape) AddBytes(p Prec, n uint64) {
-	switch p {
-	case F32:
+	switch p.wclass() {
+	case 1:
 		t.cost.Bytes32 += n * t.scale
-	case F16:
+	case 2:
 		t.cost.Bytes16 += n * t.scale
 	default:
 		t.cost.Bytes64 += n * t.scale
@@ -214,14 +225,15 @@ func (t *Tape) Assign(dst VarID, x float64, flops uint64, srcs ...VarID) float64
 // cost counters immediately.
 func (t *Tape) assignEager(dst VarID, x float64, flops uint64, srcs []VarID) float64 {
 	dp := t.prec[dst]
-	ep := dp // expression precision: the widest operand wins
+	ep := dp // expression precision: the widest operand wins (widerPrec)
 	for _, s := range srcs {
 		sp := t.prec[s]
 		if sp != dp {
 			t.cost.Casts += t.scale
+			t.cost.CastPairs[sp.wclass()][dp.wclass()] += t.scale
 			t.attributeCasts(dst, t.scale)
 		}
-		if sp < ep { // Prec values order widest-first (F64 < F32 < F16)
+		if widerPrec(sp, ep) {
 			ep = sp
 		}
 	}
@@ -240,15 +252,16 @@ func (t *Tape) assignFrozen(dst VarID, x float64, flops uint64, srcs []VarID) fl
 		sp := t.prec[s]
 		if sp != dp {
 			t.pendCasts++
+			t.pendCastPairs[sp.wclass()][dp.wclass()]++
 			if attr {
 				t.pendVar[dst].Casts++
 			}
 		}
-		if sp < ep {
+		if widerPrec(sp, ep) {
 			ep = sp
 		}
 	}
-	t.pendFlops[ep] += flops
+	t.pendFlops[ep.wclass()] += flops
 	if attr {
 		t.pendVar[dst].Flops += flops
 	}
@@ -261,14 +274,14 @@ func (t *Tape) Value(v VarID, x float64) float64 {
 	return t.prec[v].Round(x)
 }
 
-// String summarises the configuration, listing the single-precision
-// variables by ID.
+// String summarises the configuration: the variable count and how many
+// variables the configuration demotes below double precision.
 func (t *Tape) String() string {
-	singles := 0
+	demoted := 0
 	for _, p := range t.prec {
-		if p == F32 {
-			singles++
+		if p != F64 {
+			demoted++
 		}
 	}
-	return fmt.Sprintf("tape{vars: %d, single: %d}", len(t.prec), singles)
+	return fmt.Sprintf("tape{vars: %d, demoted: %d}", len(t.prec), demoted)
 }

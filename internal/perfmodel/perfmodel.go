@@ -60,6 +60,16 @@ type Machine struct {
 	// CastRate is the rate of precision-conversion instructions in
 	// casts/second.
 	CastRate float64
+	// CastMatrix optionally prices conversions per width-class pair
+	// [from][to] in casts/second (classes 0, 1, 2 for 8-, 4-, 2-byte
+	// containers). A zero matrix - the default - prices every cast at
+	// CastRate through the exact legacy expression, so models that never
+	// set it are bit-identical to the pre-ladder runtime; a zero entry in
+	// an otherwise set matrix also falls back to CastRate. Casts recorded
+	// without pair attribution always price at CastRate.
+	CastMatrix [3][3]float64
+	// EnergyModel prices the same work counters in joules; see Energy.
+	EnergyModel EnergyModel
 	// Caches lists the hierarchy from smallest to largest; a working set
 	// larger than every level is served from DRAM.
 	Caches []CacheLevel
@@ -88,6 +98,29 @@ func Default() Machine {
 		},
 		DRAMBandwidth: 13e9,
 		RunOverhead:   1e-4,
+		// Energy coefficients follow the usual CPU scaling: a narrower
+		// flop costs proportionally less dynamic energy, data movement
+		// costs more per byte than arithmetic per flop, and the idle/static
+		// draw of a server-class socket dominates short runs.
+		EnergyModel: EnergyModel{
+			FlopJoules: [3]float64{20e-12, 10e-12, 5e-12},
+			ByteJoules: 30e-12,
+			CastJoules: 15e-12,
+			IdleWatts:  50,
+		},
+	}
+}
+
+// Rate returns the sustained floating-point rate in flops/second for a
+// width class (0, 1, 2 for 8-, 4-, 2-byte containers).
+func (m Machine) Rate(class int) float64 {
+	switch class {
+	case 1:
+		return m.Rate32
+	case 2:
+		return m.Rate16
+	default:
+		return m.Rate64
 	}
 }
 
@@ -113,7 +146,65 @@ func (m Machine) Time(c mp.Cost) float64 {
 	if mem > t {
 		t = mem
 	}
-	return m.RunOverhead + t + float64(c.Casts)/m.CastRate
+	return m.RunOverhead + t + m.castTime(c)
+}
+
+// castTime prices the run's precision conversions. With a zero CastMatrix
+// this is exactly the legacy Casts/CastRate expression - the same float
+// operations in the same order, which keeps default-machine campaigns
+// bit-identical. With a matrix, pair-attributed casts price per entry and
+// the unattributed remainder stays at CastRate.
+func (m Machine) castTime(c mp.Cost) float64 {
+	if m.CastMatrix == ([3][3]float64{}) {
+		return float64(c.Casts) / m.CastRate
+	}
+	var t float64
+	var attributed uint64
+	for i := range c.CastPairs {
+		for j, n := range c.CastPairs[i] {
+			if n == 0 {
+				continue
+			}
+			attributed += n
+			r := m.CastMatrix[i][j]
+			if r == 0 {
+				r = m.CastRate
+			}
+			t += float64(n) / r
+		}
+	}
+	return t + float64(c.Casts-attributed)/m.CastRate
+}
+
+// EnergyModel prices the work counters of one execution in joules: a
+// dynamic cost per retired flop by width class, per byte of array traffic,
+// and per precision conversion, plus the node's idle (static) power drawn
+// for the modelled duration. The idle term is what makes energy a genuine
+// second objective rather than a rescaled copy of time: a configuration
+// that shortens the run saves static energy even when its dynamic work is
+// unchanged, and one that adds casts can win time yet lose energy.
+type EnergyModel struct {
+	// FlopJoules is the dynamic energy per floating-point operation by
+	// width class (0, 1, 2 for 8-, 4-, 2-byte containers).
+	FlopJoules [3]float64
+	// ByteJoules is the dynamic energy per byte of array traffic.
+	ByteJoules float64
+	// CastJoules is the dynamic energy per precision conversion.
+	CastJoules float64
+	// IdleWatts is the static power drawn for the run's modelled duration.
+	IdleWatts float64
+}
+
+// Energy converts one execution's cost into modelled joules:
+// dynamic work priced by the EnergyModel plus idle power times Time.
+func (m Machine) Energy(c mp.Cost) float64 {
+	e := m.EnergyModel
+	dyn := float64(c.Flops64)*e.FlopJoules[0] +
+		float64(c.Flops32)*e.FlopJoules[1] +
+		float64(c.Flops16)*e.FlopJoules[2] +
+		float64(c.Bytes())*e.ByteJoules +
+		float64(c.Casts)*e.CastJoules
+	return dyn + e.IdleWatts*m.Time(c)
 }
 
 // Measurement is the result of the paper's timing protocol applied to one
@@ -189,5 +280,19 @@ func Accelerator() Machine {
 		},
 		DRAMBandwidth: 500e9,
 		RunOverhead:   5e-5,
+		// Down-converts are cheap on accelerator pipelines (a pack
+		// instruction); widening back to 8-byte lanes costs more, and
+		// 2-byte <-> 8-byte moves are the most expensive pair.
+		CastMatrix: [3][3]float64{
+			{0, 200e9, 150e9},
+			{100e9, 0, 200e9},
+			{60e9, 150e9, 0},
+		},
+		EnergyModel: EnergyModel{
+			FlopJoules: [3]float64{8e-12, 4e-12, 2e-12},
+			ByteJoules: 15e-12,
+			CastJoules: 6e-12,
+			IdleWatts:  120,
+		},
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/harness"
+	"repro/internal/mp"
 	"repro/internal/suite"
 	"repro/internal/verify"
 )
@@ -83,6 +84,12 @@ type Options struct {
 	// either way; this is the escape hatch and the interpreted side of the
 	// compiled-vs-interpreted benchmark pair.
 	Interpreted bool
+	// Precisions, when non-empty, runs the study over this precision
+	// ladder (e.g. "f64,f32,bf16") instead of the paper's two-level
+	// double/single axis. The default ladder changes nothing; deeper
+	// ladders are the ladder-depth cost benchmarks' study, not the
+	// paper's.
+	Precisions string
 }
 
 // Run regenerates the full study.
@@ -110,10 +117,22 @@ func Run(opts Options) *Study {
 	sched := harness.Scheduler{Workers: opts.Workers, Cache: cache, Interpreted: opts.Interpreted}
 
 	// Table III: kernels x 6 algorithms at the kernel threshold.
+	var ladder mp.Ladder
+	if opts.Precisions != "" {
+		l, err := mp.ParseLadder(opts.Precisions)
+		if err != nil {
+			panic("report: precisions: " + err.Error())
+		}
+		if !l.IsDefault() {
+			ladder = l
+		}
+	}
 	var kernelJobs []harness.Job
 	for _, k := range suite.Kernels() {
 		for _, algo := range KernelAlgorithms {
-			kernelJobs = append(kernelJobs, makeJob(k, algo, KernelThreshold))
+			j := makeJob(k, algo, KernelThreshold)
+			j.Spec.Analysis.Precisions = ladder
+			kernelJobs = append(kernelJobs, j)
 		}
 	}
 	for i, jr := range sched.RunContext(ctx, kernelJobs) {

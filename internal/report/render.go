@@ -53,14 +53,18 @@ func tableIIRow(kind string, b interface {
 	return []string{
 		kind, b.Name(),
 		fmt.Sprint(g.NumVars()), fmt.Sprint(g.NumClusters()),
-		spaceSize(g.NumVars()), spaceSize(g.NumClusters()),
+		spaceSize(len(mp.DefaultLadder()), g.NumVars()),
+		spaceSize(len(mp.DefaultLadder()), g.NumClusters()),
 	}
 }
 
-// spaceSize formats 2^n compactly: exact below 2^20, scientific above.
-func spaceSize(n int) string {
-	size := typedep.SearchSpaceSize(mp.NumPrecs, n)
-	if n <= 20 {
+// spaceSize formats p^n compactly for a p-rung ladder: exact up to 2^20
+// (the historical table threshold), scientific above. Table II is the
+// paper's two-level inventory, so its callers pass the default ladder's
+// length; campaign-scoped renderings pass their own ladder's.
+func spaceSize(levels, n int) string {
+	size := typedep.SearchSpaceSize(levels, n)
+	if size.Cmp(big.NewInt(1<<20)) <= 0 {
 		return size.String()
 	}
 	f := new(big.Float).SetInt(size)

@@ -17,14 +17,20 @@ func (Combinational) Name() string { return "CB" }
 // Mode returns ByCluster.
 func (Combinational) Mode() Mode { return ByCluster }
 
-// Search enumerates every non-empty subset of the clusters. Enumeration
-// is pure - no subset depends on another's evaluation - so subsets are
-// proposed in chunks of searchBatchSize and handed to EvaluateBatch,
-// which prewarms the chunk's compiled kernels and then evaluates in
-// enumeration order: results, EV counts, and the budget-expiry point are
-// byte-identical to the one-at-a-time loop.
+// Search enumerates every non-baseline rung assignment. On the default
+// two-rung ladder this is every non-empty subset of the clusters, visited
+// by descending size in lexicographic order - the exact historical
+// enumeration. On deeper ladders it is every digit vector over the rungs,
+// visited by descending rung sum so the most aggressive configurations
+// still come first. Enumeration is pure - no assignment depends on
+// another's evaluation - so assignments are proposed in chunks of
+// searchBatchSize and handed to EvaluateBatch, which prewarms the chunk's
+// compiled kernels and then evaluates in enumeration order: results, EV
+// counts, and the budget-expiry point are byte-identical to the
+// one-at-a-time loop.
 func (c Combinational) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
+	p := e.Space().NumRungs()
 	var (
 		best    Set
 		bestRes Result
@@ -51,15 +57,23 @@ func (c Combinational) Search(e *Evaluator) Outcome {
 		}
 		return true
 	}
+	propose := func(set Set) bool {
+		batch = append(batch, set)
+		if len(batch) == searchBatchSize {
+			return flush()
+		}
+		return true
+	}
 enumeration:
-	for size := n; size >= 1; size-- {
-		stop := forEachSubsetOfSize(n, size, func(set Set) bool {
-			batch = append(batch, set)
-			if len(batch) == searchBatchSize {
-				return flush()
-			}
-			return true
-		})
+	for sum := n * (p - 1); sum >= 1; sum-- {
+		var stop bool
+		if p == 2 {
+			// The historical two-level order: subsets of size sum as sorted
+			// index lists, lexicographically.
+			stop = forEachSubsetOfSize(n, sum, propose)
+		} else {
+			stop = forEachVectorOfSum(n, p, sum, propose)
+		}
 		if stop {
 			break enumeration
 		}
@@ -97,4 +111,36 @@ func forEachSubsetOfSize(n, k int, fn func(Set) bool) bool {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// forEachVectorOfSum visits every rung assignment over n units and p
+// ladder rungs whose digits total sum, in lexicographic digit order,
+// calling fn for each. fn returns false to stop; forEachVectorOfSum then
+// returns true. Enumeration is lazy - nothing proportional to p^n is ever
+// materialised.
+func forEachVectorOfSum(n, p, sum int, fn func(Set) bool) bool {
+	digits := make([]uint8, n)
+	var rec func(i, rem int) bool // true = stop requested
+	rec = func(i, rem int) bool {
+		if i == n {
+			set := Set{digits: make([]uint8, n), n: n}
+			copy(set.digits, digits)
+			return !fn(set)
+		}
+		for d := 0; d < p; d++ {
+			if d > rem {
+				break
+			}
+			if rem-d > (n-i-1)*(p-1) {
+				continue // the remaining units cannot absorb the rest
+			}
+			digits[i] = uint8(d)
+			if rec(i+1, rem-d) {
+				return true
+			}
+		}
+		digits[i] = 0
+		return false
+	}
+	return rec(0, sum)
 }

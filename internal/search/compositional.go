@@ -45,17 +45,22 @@ func (c Compositional) Search(e *Evaluator) Outcome {
 		}
 	}
 
-	// Phase 1: every variable individually. The singleton proposals are
+	// Phase 1: every variable individually - once per ladder rung below
+	// the working precision, shallowest rung first (on the default ladder
+	// this is the single historical pass). The singleton proposals are
 	// fixed up front, so the whole phase is one batch: EvaluateBatch
 	// prewarms the compiled kernels and evaluates in variable order,
 	// byte-identical to the one-at-a-time loop.
 	var passing []cmCand
 	seen := map[string]bool{}
-	singles := make([]Set, 0, n)
-	for i := 0; i < n; i++ {
-		set := NewSet(n)
-		set.Add(i)
-		singles = append(singles, set)
+	p := e.Space().NumRungs()
+	singles := make([]Set, 0, n*(p-1))
+	for r := 1; r < p; r++ {
+		for i := 0; i < n; i++ {
+			set := NewSet(n)
+			set.SetRung(i, uint8(r))
+			singles = append(singles, set)
+		}
 	}
 	res, err := e.EvaluateBatch(singles)
 	for i, r := range res {

@@ -7,6 +7,12 @@ package search
 // demoted, and descending into halves that cannot. It terminates at a
 // local minimum where no remaining cluster can be converted.
 //
+// On a ladder with more than two rungs the bisection deepens in stages:
+// stage r takes the clusters accepted at rung r-1 as candidates and
+// bisects over raising them to rung r, on top of everything already
+// accepted. The default ladder runs exactly one stage - the historical
+// search.
+//
 // The paper's findings about DD fall out of this structure: at loose
 // thresholds the whole program passes at once (two evaluations and done);
 // as the threshold tightens, more bisection levels fail and the number of
@@ -22,55 +28,62 @@ func (DeltaDebug) Name() string { return "DD" }
 // Mode returns ByCluster.
 func (DeltaDebug) Mode() Mode { return ByCluster }
 
-// Search runs the recursive bisection.
+// Search runs the recursive bisection, once per ladder stage.
 func (d DeltaDebug) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
+	p := e.Space().NumRungs()
 	lowered := NewSet(n)
 	var stopErr error
 
-	// test evaluates lowered+candidates and accepts the candidates when
-	// the combined configuration passes.
-	test := func(candidates []int) (bool, Result) {
-		set := lowered.Clone()
-		for _, i := range candidates {
-			set.Add(i)
-		}
-		r, err := e.Evaluate(set)
-		if err != nil {
-			stopErr = err
-			return false, r
-		}
-		return r.Passed, r
-	}
-
-	var descend func(candidates []int)
-	descend = func(candidates []int) {
-		if len(candidates) == 0 || stopErr != nil {
-			return
-		}
-		ok, _ := test(candidates)
-		if stopErr != nil {
-			return
-		}
-		if ok {
+	for r := uint8(1); int(r) < p && stopErr == nil; r++ {
+		// test evaluates lowered with the candidates raised to rung r and
+		// accepts the candidates when the combined configuration passes.
+		test := func(candidates []int) (bool, Result) {
+			set := lowered.Clone()
 			for _, i := range candidates {
-				lowered.Add(i)
+				set.SetRung(i, r)
 			}
-			return
+			res, err := e.Evaluate(set)
+			if err != nil {
+				stopErr = err
+				return false, res
+			}
+			return res.Passed, res
 		}
-		if len(candidates) == 1 {
-			return // this cluster cannot be converted
-		}
-		mid := len(candidates) / 2
-		descend(candidates[:mid])
-		descend(candidates[mid:])
-	}
 
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+		var descend func(candidates []int)
+		descend = func(candidates []int) {
+			if len(candidates) == 0 || stopErr != nil {
+				return
+			}
+			ok, _ := test(candidates)
+			if stopErr != nil {
+				return
+			}
+			if ok {
+				for _, i := range candidates {
+					lowered.SetRung(i, r)
+				}
+				return
+			}
+			if len(candidates) == 1 {
+				return // this cluster cannot be converted further
+			}
+			mid := len(candidates) / 2
+			descend(candidates[:mid])
+			descend(candidates[mid:])
+		}
+
+		// Stage candidates: the clusters sitting exactly one rung above
+		// (at stage 1, every cluster).
+		var all []int
+		for i := 0; i < n; i++ {
+			if lowered.Rung(i) == int(r)-1 {
+				all = append(all, i)
+			}
+		}
+		descend(all)
 	}
-	descend(all)
 
 	if stopErr != nil || lowered.Count() == 0 {
 		return finish(d.Name(), e, Set{}, Result{}, false, stopErr)

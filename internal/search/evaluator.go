@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bench"
@@ -40,9 +41,60 @@ type Result struct {
 	Verdict verify.Verdict
 	// Speedup is baseline time over configuration time, the paper's SU.
 	Speedup float64
+	// Energy is the configuration's modelled energy per run in joules
+	// (zero when !Valid).
+	Energy float64
 	// Passed is the bottom line: the configuration compiled, ran, and met
 	// the quality threshold.
 	Passed bool
+}
+
+// Objective selects what an analysis optimises.
+type Objective uint8
+
+const (
+	// ObjectiveThreshold is the paper's mode: maximise speedup subject to
+	// the quality threshold.
+	ObjectiveThreshold Objective = iota
+	// ObjectivePareto additionally records every valid evaluation as a
+	// (time, energy, error) point and exposes the non-dominated front;
+	// the threshold still steers the strategies' accept/reject decisions.
+	ObjectivePareto
+)
+
+// String returns the objective's configuration-grammar name.
+func (o Objective) String() string {
+	if o == ObjectivePareto {
+		return "pareto"
+	}
+	return "threshold"
+}
+
+// ParseObjective parses an objective clause; the empty string is the
+// default threshold objective.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "threshold":
+		return ObjectiveThreshold, nil
+	case "pareto":
+		return ObjectivePareto, nil
+	default:
+		return ObjectiveThreshold, fmt.Errorf("search: unknown objective %q (want threshold or pareto)", s)
+	}
+}
+
+// ParetoPoint is one configuration's coordinates in objective space.
+type ParetoPoint struct {
+	// Config is the expanded variable-level configuration key.
+	Config string `json:"config"`
+	// Time is the measured (trimmed-mean) run time in seconds.
+	Time float64 `json:"time_seconds"`
+	// Energy is the modelled energy per run in joules.
+	Energy float64 `json:"energy_joules"`
+	// Error is the verification error against the baseline output.
+	Error float64 `json:"error"`
+	// Speedup is baseline time over configuration time.
+	Speedup float64 `json:"speedup"`
 }
 
 // Evaluator runs configurations for one (benchmark, threshold) pair. It is
@@ -63,6 +115,13 @@ type Evaluator struct {
 	// typeforgeExpand controls whether unit selections pull whole
 	// type-change sets (see Space.Expand).
 	typeforgeExpand bool
+
+	// objective selects threshold-only or Pareto-front recording; pareto
+	// holds the recorded points in paid-evaluation order, refPoint the
+	// baseline's coordinates.
+	objective Objective
+	pareto    []ParetoPoint
+	refPoint  ParetoPoint
 
 	// Budget accounting, in simulated seconds. buildSpent is the portion
 	// of spent charged to configuration builds; the run portion is
@@ -107,10 +166,12 @@ type TraceEntry struct {
 	// Seq is the 1-based evaluation index (equals the EV counter at the
 	// time of evaluation).
 	Seq int
-	// Config is the expanded variable-level configuration key (one digit
-	// per variable, 0=double 1=single).
+	// Config is the expanded variable-level configuration key (one symbol
+	// per variable: 0=double 1=single on the default ladder, further
+	// rung digits and custom-format escapes on wider ladders).
 	Config string
-	// Singles is the number of demoted variables.
+	// Singles is the number of variables below the working precision
+	// (historically all singles, hence the name).
 	Singles int
 	// Result is the evaluation outcome.
 	Result Result
@@ -159,9 +220,76 @@ func NewEvaluator(space *Space, runner *bench.Runner, b bench.Benchmark, thresho
 		Valid:   true,
 		Verdict: verify.Verdict{Error: 0, Passed: true},
 		Speedup: 1.0,
+		Energy:  e.reference.Energy,
 		Passed:  true,
 	}
+	e.refPoint = ParetoPoint{
+		Config:  emptyCfg.Key(),
+		Time:    e.reference.Measured.Mean,
+		Energy:  e.reference.Energy,
+		Error:   0,
+		Speedup: 1.0,
+	}
 	return e
+}
+
+// SetObjective selects the analysis objective. Under ObjectivePareto
+// every paid valid evaluation is also recorded as a ParetoPoint; the
+// threshold objective records nothing and is byte-identical to the
+// pre-objective evaluator.
+func (e *Evaluator) SetObjective(o Objective) { e.objective = o }
+
+// Objective returns the analysis objective.
+func (e *Evaluator) Objective() Objective { return e.objective }
+
+// ParetoFront returns the non-dominated front over every recorded point
+// plus the baseline, minimising (time, energy, error) simultaneously.
+// Points whose error is NaN (destroyed output) are excluded. The front is
+// sorted by configuration key, and - because points are recorded once per
+// distinct configuration in deterministic job order - it is invariant to
+// worker count and scheduling. Empty under ObjectiveThreshold unless no
+// evaluations ran (the baseline alone is then the front under pareto).
+func (e *Evaluator) ParetoFront() []ParetoPoint {
+	if e.objective != ObjectivePareto {
+		return nil
+	}
+	points := make([]ParetoPoint, 0, len(e.pareto)+1)
+	points = append(points, e.refPoint)
+	for _, p := range e.pareto {
+		if math.IsNaN(p.Error) {
+			continue
+		}
+		points = append(points, p)
+	}
+	var front []ParetoPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Config < front[j].Config })
+	return front
+}
+
+// dominates reports whether q is at least as good as p on every
+// objective and strictly better on one, minimising time, energy, and
+// error. Ties on all three leave both points on the front (distinct
+// configurations with identical coordinates are both reported).
+func dominates(q, p ParetoPoint) bool {
+	if q.Time > p.Time || q.Energy > p.Energy || q.Error > p.Error {
+		return false
+	}
+	return q.Time < p.Time || q.Energy < p.Energy || q.Error < p.Error
 }
 
 // SetBudget overrides the analysis budget (seconds of simulated time).
@@ -275,7 +403,7 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 	if r, ok := e.cache[string(e.keyBuf)]; ok {
 		e.memoHits++
 		if e.tel != nil {
-			e.observe(string(e.keyBuf), cfg.Singles(), r, true)
+			e.observe(string(e.keyBuf), cfg.Demoted(), r, true)
 		}
 		return r, nil
 	}
@@ -316,8 +444,8 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		e.buildSpent += e.buildCost
 		r := Result{Valid: false}
 		e.cache[key] = r
-		e.record(key, cfg.Singles(), r)
-		e.observe(key, cfg.Singles(), r, false)
+		e.record(key, cfg.Demoted(), r)
+		e.observe(key, cfg.Demoted(), r, false)
 		return r, nil
 	}
 	res, err := e.runner.RunContext(e.ctx, e.benchmark, cfg)
@@ -338,11 +466,23 @@ func (e *Evaluator) Evaluate(set Set) (Result, error) {
 		Valid:   true,
 		Verdict: v,
 		Speedup: e.reference.Measured.Mean / res.Measured.Mean,
+		Energy:  res.Energy,
 		Passed:  v.Passed,
 	}
+	if e.objective == ObjectivePareto {
+		// One point per distinct configuration: repeats are memo hits and
+		// never reach this paid path.
+		e.pareto = append(e.pareto, ParetoPoint{
+			Config:  key,
+			Time:    res.Measured.Mean,
+			Energy:  res.Energy,
+			Error:   v.Error,
+			Speedup: r.Speedup,
+		})
+	}
 	e.cache[key] = r
-	e.record(key, cfg.Singles(), r)
-	e.observe(key, cfg.Singles(), r, false)
+	e.record(key, cfg.Demoted(), r)
+	e.observe(key, cfg.Demoted(), r, false)
 	return r, nil
 }
 

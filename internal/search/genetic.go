@@ -7,7 +7,8 @@ import (
 
 // Genetic is the paper's GA strategy, added to CRAFT for the study: it
 // mimics natural selection over precision configurations. A configuration
-// is a bit array over the clusters; the population starts random, the
+// is a rung vector over the clusters (a bit array on the default
+// two-rung ladder); the population starts random, the
 // fittest individuals (fastest among those satisfying the error
 // criterion) produce offspring by crossover, offspring mutate, and the
 // loop stops after a fixed number of generations or when the best
@@ -75,6 +76,7 @@ func fitness(r Result) float64 {
 // proposal order - results are byte-identical to the one-at-a-time loop).
 func (g Genetic) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
+	p := e.Space().NumRungs()
 	rng := rand.New(rand.NewSource(g.Seed + 0x9e3779b9))
 	var (
 		best    Set
@@ -99,13 +101,14 @@ func (g Genetic) Search(e *Evaluator) Outcome {
 		return inds
 	}
 
-	// Initial random population.
+	// Initial random population: each unit draws a uniform rung. On the
+	// default ladder this is the historical coin flip, same RNG draws.
 	genomes := make([]Set, 0, g.Population)
 	for i := 0; i < g.Population; i++ {
 		set := NewSet(n)
 		for b := 0; b < n; b++ {
-			if rng.Intn(2) == 1 {
-				set.Add(b)
+			if d := rng.Intn(p); d > 0 {
+				set.SetRung(b, uint8(d))
 			}
 		}
 		genomes = append(genomes, set)
@@ -127,7 +130,7 @@ func (g Genetic) Search(e *Evaluator) Outcome {
 			a := tournament(pop, rng)
 			b := tournament(pop, rng)
 			child := crossover(a.set, b.set, rng)
-			mutate(&child, rng)
+			mutate(&child, p, rng)
 			children = append(children, child)
 		}
 		pop = append([]individual{pop[0]}, evalBatch(children)...) // elitism
@@ -154,7 +157,7 @@ func tournament(pop []individual, rng *rand.Rand) individual {
 	return b
 }
 
-// crossover mixes two genomes bit-wise (uniform crossover).
+// crossover mixes two genomes rung-wise (uniform crossover).
 func crossover(a, b Set, rng *rand.Rand) Set {
 	child := NewSet(a.Len())
 	for i := 0; i < a.Len(); i++ {
@@ -162,22 +165,27 @@ func crossover(a, b Set, rng *rand.Rand) Set {
 		if rng.Intn(2) == 1 {
 			src = b
 		}
-		if src.Has(i) {
-			child.Add(i)
-		}
+		child.SetRung(i, uint8(src.Rung(i)))
 	}
 	return child
 }
 
-// mutate flips each bit with probability 1/n.
-func mutate(s *Set, rng *rand.Rand) {
+// mutate reassigns each unit's rung with probability 1/n. On the default
+// two-rung ladder the reassignment is the historical bit flip and draws
+// nothing extra from the RNG; on deeper ladders it draws one of the p-1
+// other rungs uniformly.
+func mutate(s *Set, p int, rng *rand.Rand) {
 	n := s.Len()
 	for i := 0; i < n; i++ {
 		if rng.Intn(n) == 0 {
-			if s.Has(i) {
-				s.Remove(i)
+			if p == 2 {
+				if s.Has(i) {
+					s.Remove(i)
+				} else {
+					s.Add(i)
+				}
 			} else {
-				s.Add(i)
+				s.SetRung(i, uint8((s.Rung(i)+1+rng.Intn(p-1))%p))
 			}
 		}
 	}

@@ -52,16 +52,26 @@ func (g GreedyProfile) Search(e *Evaluator) Outcome {
 		found       bool
 		stopErr     error
 	)
-	for _, u := range order {
-		trial := accepted.Clone()
-		trial.Add(u)
-		r, err := e.Evaluate(trial)
-		if err != nil {
-			stopErr = err
-			break
-		}
-		if r.Passed {
-			accepted, acceptedRes, found = trial, r, true
+	// One greedy pass per ladder rung, shallowest first: stage r raises
+	// each cluster accepted at rung r-1 (most profitable first) and keeps
+	// it when the trial still passes. The default ladder runs exactly one
+	// pass - the historical search.
+	rungs := space.NumRungs()
+	for r := uint8(1); int(r) < rungs && stopErr == nil; r++ {
+		for _, u := range order {
+			if accepted.Rung(u) != int(r)-1 {
+				continue
+			}
+			trial := accepted.Clone()
+			trial.SetRung(u, r)
+			res, err := e.Evaluate(trial)
+			if err != nil {
+				stopErr = err
+				break
+			}
+			if res.Passed {
+				accepted, acceptedRes, found = trial, res, true
+			}
 		}
 	}
 	if !found {

@@ -55,9 +55,13 @@ func buildHierarchy(s *Space) *hierNode {
 }
 
 // Search walks the hierarchy, accumulating every component that can be
-// demoted on top of what was already accepted.
+// demoted on top of what was already accepted. On ladders with more than
+// two rungs the walk repeats per stage: stage r raises the components
+// sitting at rung r-1 to rung r on top of everything accepted so far (one
+// stage, the historical walk, on the default ladder).
 func (h Hierarchical) Search(e *Evaluator) Outcome {
 	n := e.Space().NumUnits()
+	p := e.Space().NumRungs()
 	root := buildHierarchy(e.Space())
 	accepted := NewSet(n)
 	var (
@@ -66,32 +70,36 @@ func (h Hierarchical) Search(e *Evaluator) Outcome {
 		stopErr     error
 	)
 
-	var walk func(node *hierNode)
-	walk = func(node *hierNode) {
-		if stopErr != nil {
-			return
+	for r := uint8(1); int(r) < p && stopErr == nil; r++ {
+		var walk func(node *hierNode)
+		walk = func(node *hierNode) {
+			if stopErr != nil {
+				return
+			}
+			set := accepted.Clone()
+			for _, u := range node.units {
+				if set.Rung(u) == int(r)-1 {
+					set.SetRung(u, r)
+				}
+			}
+			if set.Equal(accepted) {
+				return
+			}
+			res, err := e.Evaluate(set)
+			if err != nil {
+				stopErr = err
+				return
+			}
+			if res.Passed {
+				accepted, acceptedRes, found = set, res, true
+				return
+			}
+			for _, c := range node.children {
+				walk(c)
+			}
 		}
-		set := accepted.Clone()
-		for _, u := range node.units {
-			set.Add(u)
-		}
-		if set.Equal(accepted) {
-			return
-		}
-		r, err := e.Evaluate(set)
-		if err != nil {
-			stopErr = err
-			return
-		}
-		if r.Passed {
-			accepted, acceptedRes, found = set, r, true
-			return
-		}
-		for _, c := range node.children {
-			walk(c)
-		}
+		walk(root)
 	}
-	walk(root)
 
 	if !found {
 		return finish(h.Name(), e, Set{}, Result{}, false, stopErr)

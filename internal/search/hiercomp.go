@@ -40,31 +40,37 @@ func (h HierComp) Search(e *Evaluator) Outcome {
 	}
 
 	// Phase 1: find independently replaceable components, descending only
-	// where a component fails.
-	var discover func(node *hierNode)
-	discover = func(node *hierNode) {
-		if stopErr != nil {
-			return
+	// where a component fails. On deeper ladders discovery repeats per
+	// rung, shallowest first, so components that tolerate narrower formats
+	// enter the composition pool at each depth they pass (one pass, the
+	// historical discovery, on the default ladder).
+	rungs := e.Space().NumRungs()
+	for r := uint8(1); int(r) < rungs && stopErr == nil; r++ {
+		var discover func(node *hierNode)
+		discover = func(node *hierNode) {
+			if stopErr != nil {
+				return
+			}
+			set := NewSet(n)
+			for _, u := range node.units {
+				set.SetRung(u, r)
+			}
+			res, err := e.Evaluate(set)
+			if err != nil {
+				stopErr = err
+				return
+			}
+			consider(set, res)
+			if res.Passed {
+				components = append(components, set)
+				return
+			}
+			for _, c := range node.children {
+				discover(c)
+			}
 		}
-		set := NewSet(n)
-		for _, u := range node.units {
-			set.Add(u)
-		}
-		r, err := e.Evaluate(set)
-		if err != nil {
-			stopErr = err
-			return
-		}
-		consider(set, r)
-		if r.Passed {
-			components = append(components, set)
-			return
-		}
-		for _, c := range node.children {
-			discover(c)
-		}
+		discover(root)
 	}
-	discover(root)
 
 	// Phase 2: compose passing components, exactly as CM composes passing
 	// configurations.

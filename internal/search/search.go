@@ -18,11 +18,17 @@
 //   - HR's structural groups (functions, modules) can split a cluster, and
 //     such configurations do not compile: they are charged as failed
 //     evaluations, the "useless configurations" of Section IV-B.
+//
+// The space is parameterised by a precision ladder (mp.Ladder): rung 0 is
+// the working precision and higher rungs are successively narrower
+// formats. A Set assigns each unit a rung, and every strategy deepens the
+// ladder in stages - stage r proposes raising units from rung r-1 to rung
+// r - so that on the default two-rung ladder each strategy executes
+// exactly its historical two-level search.
 package search
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bench"
 	"repro/internal/mp"
@@ -54,14 +60,26 @@ type Unit struct {
 
 // Space is the search space over one benchmark's dependence graph.
 type Space struct {
-	graph *typedep.Graph
-	mode  Mode
-	units []Unit
+	graph  *typedep.Graph
+	mode   Mode
+	ladder mp.Ladder
+	units  []Unit
 }
 
-// NewSpace builds the search space for g at the given granularity.
+// NewSpace builds the search space for g at the given granularity over
+// the default two-rung ladder (double, single).
 func NewSpace(g *typedep.Graph, mode Mode) *Space {
-	s := &Space{graph: g, mode: mode}
+	return NewSpaceWithLadder(g, mode, mp.DefaultLadder())
+}
+
+// NewSpaceWithLadder builds the search space for g at the given
+// granularity over an explicit precision ladder. The ladder must be
+// valid (see mp.Ladder.Validate); rung 0 is the working precision.
+func NewSpaceWithLadder(g *typedep.Graph, mode Mode, ladder mp.Ladder) *Space {
+	if err := ladder.Validate(); err != nil {
+		panic(fmt.Sprintf("search: %v", err))
+	}
+	s := &Space{graph: g, mode: mode, ladder: ladder}
 	switch mode {
 	case ByCluster:
 		for _, c := range g.Clusters() {
@@ -97,57 +115,72 @@ func (s *Space) Graph() *typedep.Graph { return s.graph }
 // Mode returns the unit granularity.
 func (s *Space) Mode() Mode { return s.mode }
 
-// Expand materialises a unit selection as a variable-level precision
-// configuration. For ByVariable spaces expand reports, in its second
-// result, whether the configuration compiles: a selection that demotes
-// part of a cluster but not all of it does not.
+// Ladder returns the space's precision ladder.
+func (s *Space) Ladder() mp.Ladder { return s.ladder }
+
+// NumRungs returns the number of ladder rungs (2 for the default ladder).
+func (s *Space) NumRungs() int { return len(s.ladder) }
+
+// Expand materialises a unit-rung assignment as a variable-level
+// precision configuration. For ByVariable spaces expand reports, in its
+// second result, whether the configuration compiles: a selection that
+// demotes part of a cluster but not all of it does not.
 //
 // When typeforgeExpand is true (the compositional strategies), each
-// selected variable pulls its whole type-change set, as Typeforge's
-// transformation does to keep the refactored source compilable.
+// selected variable pulls its whole type-change set to its deepest
+// selected rung, as Typeforge's transformation does to keep the
+// refactored source compilable.
 func (s *Space) Expand(set Set, typeforgeExpand bool) (bench.Config, bool) {
-	cfg := make(bench.Config, s.graph.NumVars())
+	rung := make([]uint8, s.graph.NumVars())
 	for i := 0; i < len(s.units); i++ {
-		if !set.Has(i) {
+		r := uint8(set.Rung(i))
+		if r == 0 {
 			continue
 		}
 		for _, v := range s.units[i].Vars {
-			cfg[v] = mp.F32
+			if r > rung[v] {
+				rung[v] = r
+			}
 		}
 	}
 	if s.mode == ByVariable && typeforgeExpand {
-		// Pull every selected variable's cluster.
+		// Pull every selected variable's cluster to its deepest rung.
 		for _, c := range s.graph.Clusters() {
-			demoted := false
+			var deepest uint8
 			for _, m := range c.Members {
-				if cfg[m] == mp.F32 {
-					demoted = true
-					break
+				if rung[m] > deepest {
+					deepest = rung[m]
 				}
 			}
-			if demoted {
+			if deepest > 0 {
 				for _, m := range c.Members {
-					cfg[m] = mp.F32
+					rung[m] = deepest
 				}
 			}
 		}
+	}
+	cfg := make(bench.Config, len(rung))
+	for v, r := range rung {
+		cfg[v] = s.ladder[r]
 	}
 	valid := s.graph.Valid(func(v mp.VarID) mp.Prec { return cfg[v] })
 	return cfg, valid
 }
 
-// Set is a fixed-capacity bitset over search units.
+// Set assigns each search unit a ladder rung: 0 is the working
+// precision, higher rungs are narrower formats. On a two-rung ladder it
+// degenerates to the historical membership bitset (rung 1 = member).
 type Set struct {
-	bits []uint64
-	n    int
+	digits []uint8
+	n      int
 }
 
-// NewSet returns an empty set over n units.
+// NewSet returns the all-working-precision set over n units.
 func NewSet(n int) Set {
-	return Set{bits: make([]uint64, (n+63)/64), n: n}
+	return Set{digits: make([]uint8, n), n: n}
 }
 
-// FullSet returns the set containing every unit.
+// FullSet returns the set with every unit at rung 1.
 func FullSet(n int) Set {
 	s := NewSet(n)
 	for i := 0; i < n; i++ {
@@ -159,47 +192,68 @@ func FullSet(n int) Set {
 // Len returns the capacity (number of units addressed).
 func (s Set) Len() int { return s.n }
 
-// Has reports membership of unit i.
-func (s Set) Has(i int) bool { return s.bits[i/64]&(1<<(i%64)) != 0 }
+// Has reports whether unit i sits below the working precision.
+func (s Set) Has(i int) bool { return s.digits[i] != 0 }
 
-// Add inserts unit i.
-func (s *Set) Add(i int) { s.bits[i/64] |= 1 << (i % 64) }
+// Rung returns unit i's ladder rung.
+func (s Set) Rung(i int) int { return int(s.digits[i]) }
 
-// Remove deletes unit i.
-func (s *Set) Remove(i int) { s.bits[i/64] &^= 1 << (i % 64) }
+// Add moves unit i to rung 1 (the historical two-level demotion).
+func (s *Set) Add(i int) { s.digits[i] = 1 }
 
-// Count returns the number of members.
+// SetRung moves unit i to rung r.
+func (s *Set) SetRung(i int, r uint8) { s.digits[i] = r }
+
+// Remove restores unit i to the working precision.
+func (s *Set) Remove(i int) { s.digits[i] = 0 }
+
+// Count returns the number of units below the working precision.
 func (s Set) Count() int {
 	c := 0
-	for _, w := range s.bits {
-		c += bits.OnesCount64(w)
+	for _, d := range s.digits {
+		if d != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// RungSum returns the total rung depth across units, the generalisation
+// of Count that orders configurations by aggressiveness.
+func (s Set) RungSum() int {
+	c := 0
+	for _, d := range s.digits {
+		c += int(d)
 	}
 	return c
 }
 
 // Clone returns an independent copy.
 func (s Set) Clone() Set {
-	out := Set{bits: make([]uint64, len(s.bits)), n: s.n}
-	copy(out.bits, s.bits)
+	out := Set{digits: make([]uint8, len(s.digits)), n: s.n}
+	copy(out.digits, s.digits)
 	return out
 }
 
-// Union returns s | o.
+// Union returns the per-unit deepest rung of s and o. On a two-rung
+// ladder this is exactly the historical bitwise union.
 func (s Set) Union(o Set) Set {
 	out := s.Clone()
-	for i, w := range o.bits {
-		out.bits[i] |= w
+	for i, d := range o.digits {
+		if d > out.digits[i] {
+			out.digits[i] = d
+		}
 	}
 	return out
 }
 
-// Equal reports whether both sets have identical members.
+// Equal reports whether both sets assign identical rungs.
 func (s Set) Equal(o Set) bool {
 	if s.n != o.n {
 		return false
 	}
-	for i := range s.bits {
-		if s.bits[i] != o.bits[i] {
+	for i := range s.digits {
+		if s.digits[i] != o.digits[i] {
 			return false
 		}
 	}
@@ -208,10 +262,11 @@ func (s Set) Equal(o Set) bool {
 
 // Key returns a canonical string identity.
 func (s Set) Key() string {
-	return fmt.Sprintf("%x", s.bits)
+	return s.String()
 }
 
-// Members returns the member indices in ascending order.
+// Members returns the indices of units below the working precision in
+// ascending order.
 func (s Set) Members() []int {
 	var out []int
 	for i := 0; i < s.n; i++ {
@@ -222,14 +277,15 @@ func (s Set) Members() []int {
 	return out
 }
 
-// String renders the set as a 0/1 mask for traces.
+// String renders the set as a rung-digit mask for traces (0/1 on the
+// default ladder).
 func (s Set) String() string {
 	b := make([]byte, s.n)
-	for i := 0; i < s.n; i++ {
-		if s.Has(i) {
-			b[i] = '1'
+	for i, d := range s.digits {
+		if d < 10 {
+			b[i] = '0' + d
 		} else {
-			b[i] = '0'
+			b[i] = 'a' + d - 10
 		}
 	}
 	return string(b)

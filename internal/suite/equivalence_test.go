@@ -41,16 +41,38 @@ func resultsBitIdentical(a, b bench.Result) bool {
 
 // equivalenceConfigs returns the representative precision vectors the
 // compiled/interpreted comparison runs per benchmark: the all-double
-// reference, the all-single extreme, and an alternating mix that
-// exercises both the rounding and the skip-rounding specializations in
-// one run.
+// reference, the all-single extreme, an alternating mix that exercises
+// both the rounding and the skip-rounding specializations in one run, a
+// three-level ladder mix (f64/f32/bf16), and a four-level mix adding
+// half precision and a custom format - so the byte-identity contract is
+// locked over every rounding routine the ladder can reach.
 func equivalenceConfigs(b bench.Benchmark) []bench.Config {
 	n := b.Graph().NumVars()
 	alt := bench.NewConfig(n)
 	for i := 0; i < n; i += 2 {
 		alt[i] = mp.F32
 	}
-	return []bench.Config{nil, bench.AllSingle(n), alt}
+	mix3 := bench.NewConfig(n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 1:
+			mix3[i] = mp.F32
+		case 2:
+			mix3[i] = mp.BF16
+		}
+	}
+	mix4 := bench.NewConfig(n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 1:
+			mix4[i] = mp.F32
+		case 2:
+			mix4[i] = mp.F16
+		case 3:
+			mix4[i] = mp.MustCustom(8, 12)
+		}
+	}
+	return []bench.Config{nil, bench.AllSingle(n), alt, mix3, mix4}
 }
 
 // TestCompiledInterpretedEquivalence locks the compiler's byte-identity

@@ -299,6 +299,28 @@ func CanonicalAlgorithm(name string) (string, error) {
 	return harness.CanonicalAlgorithm(name)
 }
 
+// ParsePrecisions validates a precision-ladder specification such as
+// "f64,f32,bf16" and returns its canonical rendering. An empty spec is
+// the default two-level double/single ladder. It is the validation the
+// CLI flags and harness configs share.
+func ParsePrecisions(spec string) (string, error) {
+	ladder, err := mp.ParseLadder(spec)
+	if err != nil {
+		return "", err
+	}
+	return ladder.String(), nil
+}
+
+// ParseObjective validates an analysis-objective name ("threshold" or
+// "pareto"; empty = threshold) and returns its canonical rendering.
+func ParseObjective(name string) (string, error) {
+	o, err := search.ParseObjective(name)
+	if err != nil {
+		return "", err
+	}
+	return o.String(), nil
+}
+
 // NewRunner returns a Runner with the calibrated default machine model,
 // the paper's ten-repetition measurement protocol, and the given workload
 // seed.
@@ -335,6 +357,15 @@ type TuneOptions struct {
 	// either way; this is the escape hatch and the baseline for
 	// benchmarking the compiler.
 	Interpreted bool
+	// Precisions is the precision ladder to search over, e.g.
+	// "f64,f32,bf16" or "f64,f32,f16"; empty means the paper's two-level
+	// double/single study.
+	Precisions string
+	// Objective selects "threshold" (the default) or "pareto", which
+	// additionally records every evaluated configuration's (time, energy,
+	// error) point and returns the non-dominated front in
+	// TuneResult.Front.
+	Objective string
 }
 
 // TuneResult is what Tune reports.
@@ -356,6 +387,14 @@ type TuneResult struct {
 	// Canceled reports that the tuning context was canceled before the
 	// strategy terminated; the result is the best found so far.
 	Canceled bool
+	// Energy is the modelled energy per run of the converged
+	// configuration in joules.
+	Energy float64
+	// Front is the Pareto front over every evaluated configuration
+	// (only under the pareto objective): deterministic,
+	// worker-count-invariant, sorted by configuration key, each point
+	// carrying modelled time, energy, and verified error.
+	Front []search.ParetoPoint
 	// Trace is the per-configuration log (only when TuneOptions.Trace).
 	Trace []search.TraceEntry
 }
@@ -388,12 +427,21 @@ func TuneContext(ctx context.Context, b BenchmarkProgram, opts TuneOptions) (Tun
 	if err != nil {
 		return TuneResult{}, err
 	}
-	space := search.NewSpace(b.Graph(), algo.Mode())
+	ladder, err := mp.ParseLadder(opts.Precisions)
+	if err != nil {
+		return TuneResult{}, fmt.Errorf("mixpbench: %w", err)
+	}
+	objective, err := search.ParseObjective(opts.Objective)
+	if err != nil {
+		return TuneResult{}, fmt.Errorf("mixpbench: %w", err)
+	}
+	space := search.NewSpaceWithLadder(b.Graph(), algo.Mode(), ladder)
 	runner := bench.NewRunner(opts.Seed)
 	runner.Telemetry = opts.Telemetry
 	runner.Cache = opts.Cache
 	runner.Compiled = !opts.Interpreted
 	eval := search.NewEvaluator(space, runner, b, opts.Threshold)
+	eval.SetObjective(objective)
 	if opts.BudgetSeconds > 0 {
 		eval.SetBudget(opts.BudgetSeconds)
 	}
@@ -415,6 +463,10 @@ func TuneContext(ctx context.Context, b BenchmarkProgram, opts TuneOptions) (Tun
 		res.Config = cfg
 		res.Speedup = out.BestResult.Speedup
 		res.Error = out.BestResult.Verdict.Error
+		res.Energy = out.BestResult.Energy
+	}
+	if objective == search.ObjectivePareto {
+		res.Front = eval.ParetoFront()
 	}
 	return res, nil
 }
