@@ -18,11 +18,13 @@ verify: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# lint always runs mixplint (the in-repo multichecker: typedepcheck plus
-# the determinism analyzers; see DESIGN.md "Static analysis"), then
-# staticcheck and govulncheck when they are installed — verify works on
-# machines without the external tools; CI installs both and runs them
-# unconditionally.
+# lint always runs mixplint (the in-repo multichecker: typedepcheck, the
+# determinism analyzers, and the soundness suite — puritycheck, keycheck,
+# fsyncpath; see DESIGN.md "Static analysis"), then staticcheck and
+# govulncheck when they are installed — verify works on machines without
+# the external tools; CI installs both and runs them unconditionally.
+# New analyzers registered in cmd/mixplint are picked up here
+# automatically.
 lint:
 	$(GO) run ./cmd/mixplint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -30,12 +32,14 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
-# lint-report writes the machine-readable mixplint report (including the
-# suppressed findings and their justifications) to artifacts/lint.json.
+# lint-report writes the machine-readable mixplint reports (including
+# the suppressed findings and their justifications): artifacts/lint.json
+# for tooling and artifacts/lint.sarif for code-scanning upload.
 lint-report:
 	@mkdir -p artifacts
 	$(GO) run ./cmd/mixplint -json ./... > artifacts/lint.json || true
-	@echo "lint-report: artifacts/lint.json"
+	$(GO) run ./cmd/mixplint -sarif ./... > artifacts/lint.sarif || true
+	@echo "lint-report: artifacts/lint.json artifacts/lint.sarif"
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

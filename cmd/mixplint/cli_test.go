@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestCLIJSON re-execs the real binary against two throwaway modules:
+// a clean one must exit 0, and one with a wall-clock read must exit 1
+// with well-formed, stably-ordered JSON on stdout. This pins the CLI
+// contract CI depends on (exit code drives the build result, the JSON
+// feeds lint-report artifacts).
+func TestCLIJSON(t *testing.T) {
+	if os.Getenv("MIXPLINT_RUN_MAIN") == "1" {
+		flag.CommandLine = flag.NewFlagSet("mixplint", flag.ExitOnError)
+		os.Args = append([]string{"mixplint"},
+			strings.Split(os.Getenv("MIXPLINT_ARGS"), "\x1f")...)
+		if err := os.Chdir(os.Getenv("MIXPLINT_DIR")); err != nil {
+			t.Fatal(err)
+		}
+		main()
+		os.Exit(0)
+	}
+
+	writeModule := func(name string, files map[string]string) string {
+		dir := filepath.Join(t.TempDir(), name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		files["go.mod"] = "module " + name + "\n\ngo 1.22\n"
+		for rel, src := range files {
+			if err := os.WriteFile(filepath.Join(dir, rel), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	runMain := func(dir string, args ...string) (int, string, string) {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCLIJSON")
+		cmd.Env = append(os.Environ(),
+			"MIXPLINT_RUN_MAIN=1",
+			"MIXPLINT_DIR="+dir,
+			"MIXPLINT_ARGS="+strings.Join(args, "\x1f"))
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("run %v: %v", args, err)
+			}
+			code = ee.ExitCode()
+		}
+		return code, stdout.String(), stderr.String()
+	}
+
+	clean := writeModule("cleanmod", map[string]string{
+		"lib.go": "package cleanmod\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	dirty := writeModule("dirtymod", map[string]string{
+		"lib.go": "package dirtymod\n\nimport \"time\"\n\n" +
+			"func Stamp() int64 { return time.Now().UnixNano() }\n",
+	})
+
+	if code, stdout, stderr := runMain(clean, "-json"); code != 0 {
+		t.Fatalf("clean module: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	code, stdout, stderr := runMain(dirty, "-json")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	var rep analysis.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not well-formed report JSON: %v\n%s", err, stdout)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("dirty module reported no findings")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Analyzer == "simclock" && f.File == "lib.go" && strings.Contains(f.Message, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no simclock finding for lib.go time.Now: %+v", rep.Findings)
+	}
+
+	// Ordering is part of the contract: a second run must be
+	// byte-identical so CI diffs and caches are stable.
+	if _, again, _ := runMain(dirty, "-json"); again != stdout {
+		t.Errorf("JSON output is not stable across runs:\n--- first ---\n%s\n--- second ---\n%s", stdout, again)
+	}
+
+	// -sarif on the same module: exit 1 and parseable SARIF with the
+	// same finding.
+	code, sarifOut, stderr := runMain(dirty, "-sarif")
+	if code != 1 {
+		t.Fatalf("dirty module -sarif: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sarifOut), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, sarifOut)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("unexpected SARIF shape: %s", sarifOut)
+	}
+
+	// The flags are mutually exclusive: usage errors exit 2.
+	if code, _, stderr := runMain(dirty, "-json", "-sarif"); code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("-json -sarif: exit %d, stderr:\n%s", code, stderr)
+	}
+}

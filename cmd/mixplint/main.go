@@ -8,7 +8,19 @@
 //   - simclock, seededrand, orderedemit, ctxfirst: the determinism
 //     invariants the campaign layers rely on (no wall-clock reads, no
 //     global RNG, no map-order-dependent emission, contexts threaded
-//     first-parameter).
+//     first-parameter);
+//   - puritycheck: interprocedural taint over every Run/RunIR body —
+//     results must derive only from the purity key (bench, seed,
+//     semantics, machine fingerprint, config); runs on the port and
+//     compile packages;
+//   - keycheck: fingerprint completeness — every field of a
+//     //mixplint:key-annotated struct must be written by its
+//     fingerprint/codec function or carry a justified
+//     //mixplint:keyexempt; runs module-wide (annotation-driven);
+//   - fsyncpath: durability — creates and renames on
+//     durability-critical paths need a file fsync and a parent-dir
+//     fsync before success; runs on the store, harness, and engine
+//     packages.
 //
 // Findings are suppressed only by //mixplint:ignore or
 // //mixplint:package directives carrying a justification; a directive
@@ -17,7 +29,11 @@
 //
 // Usage:
 //
-//	mixplint [-json] [packages]
+//	mixplint [-json | -sarif] [packages]
+//
+// -json emits the full report as JSON; -sarif emits SARIF 2.1.0 for
+// code-scanning upload. Both include suppressed findings with their
+// justifications.
 //
 // Package patterns are import paths with an optional /... suffix;
 // ./... and module-relative forms are accepted. The default is the
@@ -32,7 +48,10 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/fsyncpath"
+	"repro/internal/analysis/keycheck"
 	"repro/internal/analysis/orderedemit"
+	"repro/internal/analysis/puritycheck"
 	"repro/internal/analysis/seededrand"
 	"repro/internal/analysis/simclock"
 	"repro/internal/analysis/typedepcheck"
@@ -45,6 +64,9 @@ var analyzers = []*analysis.Analyzer{
 	seededrand.Analyzer,
 	orderedemit.Analyzer,
 	ctxfirst.Analyzer,
+	puritycheck.Analyzer,
+	keycheck.Analyzer,
+	fsyncpath.Analyzer,
 }
 
 // portPatterns are the packages that declare typedep graphs;
@@ -55,6 +77,22 @@ var portPatterns = []string{
 	"repro/internal/apps",
 }
 
+// purityPatterns are the packages with Run/RunIR entry points whose
+// results feed the run cache: the ports plus the compiled evaluator.
+var purityPatterns = []string{
+	"repro/internal/kernels",
+	"repro/internal/apps",
+	"repro/internal/compile",
+}
+
+// durabilityPatterns are the packages that persist campaign state and
+// must survive a crash at any instruction boundary.
+var durabilityPatterns = []string{
+	"repro/internal/store",
+	"repro/internal/harness",
+	"repro/internal/engine",
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -63,7 +101,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("mixplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit the report as SARIF 2.1.0 on stdout")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "mixplint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -92,14 +135,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		data, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintf(stderr, "mixplint: %v\n", err)
 			return 2
 		}
 		fmt.Fprintln(stdout, string(data))
-	} else {
+	case *sarifOut:
+		data, err := rep.SARIF(analyzerDocs())
+		if err != nil {
+			fmt.Fprintf(stderr, "mixplint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	default:
 		for _, f := range rep.Findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
@@ -110,6 +161,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// analyzerDocs maps registered analyzer names to their one-line docs
+// for SARIF rule descriptions.
+func analyzerDocs() map[string]string {
+	docs := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	return docs
 }
 
 // normalizePattern maps ./-relative patterns onto module import paths:
@@ -128,8 +189,11 @@ func normalizePattern(modPath, p string) string {
 	}
 }
 
-// scopeFor restricts analyzers to the requested patterns, and
-// typedepcheck further to the port packages.
+// scopeFor restricts analyzers to the requested patterns, and the
+// specialized analyzers further to the packages they are about:
+// typedepcheck and puritycheck to the entry-point packages, fsyncpath
+// to the persistence packages. keycheck is annotation-driven and cheap,
+// so it stays module-wide.
 func scopeFor(patterns []string) analysis.Scope {
 	return func(a *analysis.Analyzer, pkgPath string) bool {
 		ok := false
@@ -142,14 +206,22 @@ func scopeFor(patterns []string) analysis.Scope {
 		if !ok {
 			return false
 		}
-		if a.Name == "typedepcheck" {
-			for _, p := range portPatterns {
-				if analysis.MatchPattern(p, pkgPath) {
-					return true
-				}
-			}
-			return false
+		var restrict []string
+		switch a.Name {
+		case "typedepcheck":
+			restrict = portPatterns
+		case "puritycheck":
+			restrict = purityPatterns
+		case "fsyncpath":
+			restrict = durabilityPatterns
+		default:
+			return true
 		}
-		return true
+		for _, p := range restrict {
+			if analysis.MatchPattern(p, pkgPath) {
+				return true
+			}
+		}
+		return false
 	}
 }

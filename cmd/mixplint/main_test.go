@@ -26,16 +26,22 @@ func TestNormalizePattern(t *testing.T) {
 
 func TestScopeRestrictsTypedepcheck(t *testing.T) {
 	scope := scopeFor([]string{"repro/..."})
-	var tdc, clock *analysis.Analyzer
+	var tdc, clock, purity, fsync, key *analysis.Analyzer
 	for _, a := range analyzers {
 		switch a.Name {
 		case "typedepcheck":
 			tdc = a
 		case "simclock":
 			clock = a
+		case "puritycheck":
+			purity = a
+		case "fsyncpath":
+			fsync = a
+		case "keycheck":
+			key = a
 		}
 	}
-	if tdc == nil || clock == nil {
+	if tdc == nil || clock == nil || purity == nil || fsync == nil || key == nil {
 		t.Fatal("expected analyzers not registered")
 	}
 	if !scope(tdc, "repro/internal/kernels") || !scope(tdc, "repro/internal/apps") {
@@ -46,6 +52,21 @@ func TestScopeRestrictsTypedepcheck(t *testing.T) {
 	}
 	if !scope(clock, "repro/internal/harness") {
 		t.Error("determinism analyzers must cover the whole module")
+	}
+	if !scope(purity, "repro/internal/kernels") || !scope(purity, "repro/internal/compile") {
+		t.Error("puritycheck must cover the Run/RunIR entry-point packages")
+	}
+	if scope(purity, "repro/internal/report") {
+		t.Error("puritycheck must not run outside the entry-point packages")
+	}
+	if !scope(fsync, "repro/internal/store") || !scope(fsync, "repro/internal/engine") {
+		t.Error("fsyncpath must cover the persistence packages")
+	}
+	if scope(fsync, "repro/internal/kernels") {
+		t.Error("fsyncpath must not run outside the persistence packages")
+	}
+	if !scope(key, "repro/internal/bench") || !scope(key, "repro/internal/runcache") {
+		t.Error("keycheck is annotation-driven and must stay module-wide")
 	}
 	narrow := scopeFor([]string{"repro/internal/engine"})
 	if narrow(clock, "repro/internal/harness") {

@@ -5,6 +5,7 @@ package astq
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // PkgFunc resolves a call of the form pkg.Func where pkg is the package
@@ -63,4 +64,153 @@ type FuncNode struct {
 	Type *ast.FuncType
 	Body *ast.BlockStmt
 	Decl *ast.FuncDecl
+}
+
+// WallClock lists the time package functions that observe or depend on
+// the wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date, ParseDuration) are deterministic given their
+// inputs and stay legal. Shared by simclock (module-wide ban) and
+// puritycheck (Run-reachable taint).
+var WallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// GlobalRandAllowed lists the math/rand package-level functions that do
+// not touch the global, time-seeded source: constructors and pure
+// helpers. Everything else exported at package level draws from (or
+// reseeds) shared state. Shared by seededrand and puritycheck.
+var GlobalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// CalleePkgFunc resolves a call to a package-level function of any
+// package, returning the package path and function name. Methods,
+// builtins, and locally-shadowed identifiers do not match.
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// CalleeName extracts the method or function name of a call, without
+// resolving it: the syntactic tail of the callee expression.
+func CalleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	case *ast.Ident:
+		return fun.Name, true
+	}
+	return "", false
+}
+
+// IsMap reports whether e has a map type.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// CallGraph is the same-package static call graph of a set of files:
+// which declared functions reference which. A reference is any use of a
+// package-local function identifier — a direct call, a method call on a
+// local type, or the function passed as a value — so Reachable
+// over-approximates rather than missing indirect calls.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	edges map[*types.Func][]*types.Func
+}
+
+// NewCallGraph builds the call graph of the package's files.
+func NewCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	g := &CallGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		edges: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			// Only edges to functions declared in these files; foreign
+			// callees are outside the graph.
+			if _, declared := g.decls[callee]; declared {
+				g.edges[fn] = append(g.edges[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Decl returns the declaration of a graphed function, or nil.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// Funcs returns every declared function in the graph, in source order
+// so callers iterate deterministically.
+func (g *CallGraph) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Reachable returns the set of declared functions reachable from the
+// roots, roots included.
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] || g.decls[fn] == nil {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.edges[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
 }

@@ -63,6 +63,7 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer, scope Scope) (*Report, error
 		}
 		dirs, bad := ParseDirectives(pkg.Fset, pkg.Files)
 		diags = append(diags, bad...)
+		diags = append(diags, checkDirectiveTargets(dirs, analyzers)...)
 		for _, d := range diags {
 			f := m.resolve(pkg, d)
 			if just, ok := suppressedBy(dirs, pkg.Fset, d); ok {
@@ -78,6 +79,35 @@ func RunAnalyzers(m *Module, analyzers []*Analyzer, scope Scope) (*Report, error
 	sortFindings(rep.Findings)
 	sortFindings(rep.Suppressed)
 	return rep, nil
+}
+
+// checkDirectiveTargets reports ignore/package directives naming an
+// analyzer that is not registered: such a directive suppresses nothing
+// today and would silently start suppressing if the name were ever
+// taken, so it is a finding, not a no-op.
+func checkDirectiveTargets(dirs []Directive, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for i := range dirs {
+		d := &dirs[i]
+		if d.Kind != "ignore" && d.Kind != "package" {
+			continue
+		}
+		known := false
+		for _, a := range analyzers {
+			if a.Name == d.Analyzer {
+				known = true
+				break
+			}
+		}
+		if !known {
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("mixplint:%s names unknown analyzer %q; it suppresses nothing", d.Kind, d.Analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // runOne applies a single analyzer to a single package.

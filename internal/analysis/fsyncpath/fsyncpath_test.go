@@ -1,0 +1,11 @@
+package fsyncpath
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFsyncpath(t *testing.T) {
+	analysistest.Run(t, Analyzer, "fsync")
+}

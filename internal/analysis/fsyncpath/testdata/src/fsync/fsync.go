@@ -1,0 +1,99 @@
+// Package fsync is the fsyncpath fixture: creates and renames without
+// the full fsync discipline are flagged; the store's tmp-sync-rename-
+// dirsync idiom passes clean.
+package fsync
+
+import (
+	"os"
+
+	"repro/internal/store"
+)
+
+// badRename renames without any directory fsync afterwards (R1).
+func badRename(path string) {
+	os.Rename(path, path+".corrupt") // want `os.Rename is not followed by a directory fsync`
+}
+
+// badCreate creates a file and never fsyncs its directory entry (R2).
+func badCreate(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want `file create is not followed by a directory fsync`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// badPublish renames a .tmp file into place without fsyncing its
+// contents first (R3); the directory fsync alone does not make the
+// payload durable.
+func badPublish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	if err := os.Rename(tmp, path); err != nil { // want `os.Rename publishes a .tmp file without a preceding file fsync`
+		return err
+	}
+	return store.SyncParentDir(path)
+}
+
+// goodPublish is the full PR 7 idiom: create tmp, write, file fsync,
+// rename, parent-directory fsync.
+func goodPublish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return store.SyncParentDir(path)
+}
+
+// goodAppend reopens an existing file for appending: no create flag, no
+// rename, nothing to check.
+func goodAppend(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// quarantine shows the rename-only shape: moving an existing file still
+// needs the directory barrier (this is the engine archive-quarantine
+// bug shape), but not a preceding file fsync — the contents are not
+// new.
+func quarantine(dir, path string) {
+	os.Rename(path, path+".corrupt") // want `os.Rename is not followed by a directory fsync`
+}
+
+// goodQuarantine is the fixed shape.
+func goodQuarantine(dir, path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		store.SyncDir(dir)
+	}
+}

@@ -1,0 +1,61 @@
+package keycheck
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestKeycheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "key")
+}
+
+// TestExemptionAudit asserts the exemption-audit diagnostics directly:
+// they anchor on the directive comments, where fixture want comments
+// cannot sit.
+func TestExemptionAudit(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "keybad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.LoadDir(dir, "testdata/keybad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysistest.RunPackage(Analyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"mixplint:keyexempt Model.Rate is stale",
+		"mixplint:keyexempt names unknown field Model.Gone",
+		"mixplint:key directive is not attached to a function declaration",
+		"mixplint:keyexempt without a mixplint:key audit in this file",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q; got %+v", want, diags)
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("want %d diagnostics, got %d: %+v", len(wants), len(diags), diags)
+	}
+}

@@ -1,0 +1,50 @@
+// Package key is the keycheck fixture: an annotated fingerprint writer
+// missing a field is flagged; full coverage — including nested structs
+// reached through a helper, composite-literal writers, and a justified
+// exemption — passes clean.
+package key
+
+type EnergyModel struct {
+	FlopJoules [3]float64
+	ByteJoules float64
+	IdleWatts  float64
+}
+
+type Machine struct {
+	Name   string
+	Rate   float64
+	Energy EnergyModel
+	Label  string
+}
+
+//mixplint:keyexempt Machine.Label -- display label, never read by the cost model
+
+// fingerprint covers Rate and the nested energy model (via mixEnergy)
+// but forgets Name; Label is legitimately exempted above.
+//
+//mixplint:key Machine -- every result-affecting machine field must be fingerprinted
+func fingerprint(m Machine) uint64 { // want `field Machine.Name is not written by fingerprint`
+	h := uint64(m.Rate)
+	return h ^ mixEnergy(m.Energy)
+}
+
+// mixEnergy is reachable from fingerprint, so its field references
+// satisfy the nested EnergyModel obligations.
+func mixEnergy(e EnergyModel) uint64 {
+	h := uint64(e.ByteJoules + e.IdleWatts)
+	for _, f := range e.FlopJoules {
+		h = h*31 + uint64(f)
+	}
+	return h
+}
+
+type Span struct {
+	Lo int
+	Hi int
+}
+
+// decodeSpan proves composite-literal keys count as writes: both fields
+// are covered, no findings.
+//
+//mixplint:key Span -- round-trip codec must cover both bounds
+func decodeSpan(w []int) Span { return Span{Lo: w[0], Hi: w[1]} }

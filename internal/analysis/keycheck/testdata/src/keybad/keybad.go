@@ -1,0 +1,23 @@
+// Package keybad exercises the exemption-audit reports, asserted
+// directly in keycheck_test.go (the diagnostics land on the directive
+// comments themselves, where a // want comment cannot sit).
+package keybad
+
+type Model struct {
+	Rate  float64
+	Label string
+}
+
+//mixplint:keyexempt Model.Rate -- stale: the writer does mix Rate
+
+//mixplint:keyexempt Model.Gone -- the struct changed under this exemption
+
+//mixplint:key Model -- fingerprint must cover the model
+func fingerprint(m Model) uint64 {
+	_ = m.Label
+	return uint64(m.Rate)
+}
+
+//mixplint:key Model -- not attached: no function follows
+
+var unattached = 0

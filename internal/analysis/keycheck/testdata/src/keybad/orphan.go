@@ -1,0 +1,5 @@
+package keybad
+
+//mixplint:keyexempt Model.Label -- orphaned: this file carries no mixplint:key audit
+
+var orphanAnchor = 0

@@ -78,7 +78,7 @@ func checkFunc(pass *analysis.Pass, fn astq.FuncNode) {
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
-		if !ok || !isMapType(pass.TypesInfo, rng.X) {
+		if !ok || !astq.IsMap(pass.TypesInfo, rng.X) {
 			return true
 		}
 		checkMapRange(pass, rng, sorted)
@@ -93,7 +93,7 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[types.Obj
 		case *ast.SendStmt:
 			pass.Reportf(n.Pos(), "channel send inside map iteration publishes nondeterministic order; collect and sort first")
 		case *ast.CallExpr:
-			if name, ok := calleeName(n); ok && emitNames[name] {
+			if name, ok := astq.CalleeName(n); ok && emitNames[name] {
 				pass.Reportf(n.Pos(), "%s call inside map iteration emits in nondeterministic order; collect into a slice and sort before emitting", name)
 			}
 		case *ast.AssignStmt:
@@ -137,26 +137,6 @@ func isSortCall(info *types.Info, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
-}
-
-// calleeName extracts the method or function name of a call.
-func calleeName(call *ast.CallExpr) (string, bool) {
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		return fun.Sel.Name, true
-	case *ast.Ident:
-		return fun.Name, true
-	}
-	return "", false
-}
-
-func isMapType(info *types.Info, e ast.Expr) bool {
-	tv, ok := info.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	_, isMap := tv.Type.Underlying().(*types.Map)
-	return isMap
 }
 
 func identObj(info *types.Info, e ast.Expr) types.Object {

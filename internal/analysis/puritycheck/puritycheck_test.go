@@ -1,0 +1,11 @@
+package puritycheck
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPuritycheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, "purity")
+}

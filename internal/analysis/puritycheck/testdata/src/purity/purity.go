@@ -1,0 +1,60 @@
+// Package purity is the puritycheck fixture: Run bodies (and their
+// same-package helpers) that reach outside the purity key are flagged;
+// the seeded, table-driven port shape passes clean.
+package purity
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/mp"
+)
+
+// calls is cross-run mutable state: written by a Run-reachable path.
+var calls int
+
+// lastEnv is mutable package state read by a Run-reachable path.
+var lastEnv string
+
+func recordEnv() { lastEnv = os.Getenv("HOME") } // not Run-reachable itself; makes lastEnv mutable
+
+// weights is an immutable package-level table: reads are legal.
+var weights = [4]float64{0.1, 0.2, 0.3, 0.4}
+
+type impurePort struct{ vA mp.VarID }
+
+func (p *impurePort) Run(t *mp.Tape, seed int64) []float64 {
+	calls++                      // want `write to package-level calls`
+	start := time.Now()          // want `time.Now reads the wall clock`
+	_ = os.Getenv("MIXP_SCALE")  // want `os.Getenv reads process or host state`
+	jitter := rand.Float64()     // want `rand.Float64 draws from the global math/rand source`
+	name := lastEnv              // want `read of mutable package-level lastEnv`
+	_ = os.Args                  // want `read of foreign package-level os.Args`
+	_, _, _, _ = start, jitter, name, seed
+	return impureHelper(map[string]float64{"a": 1})
+}
+
+// impureHelper is reachable from Run, so its violations count too.
+func impureHelper(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration in a Run-reachable path`
+		out = append(out, v)
+	}
+	return out
+}
+
+type purePort struct{ vA mp.VarID }
+
+func (p *purePort) Run(t *mp.Tape, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are how seeds enter: legal
+	a := t.NewArray(p.vA, 4)
+	for i := 0; i < 4; i++ {
+		a.Set(i, weights[i]*rng.Float64()) // immutable table read: legal
+	}
+	return a.Snapshot()
+}
+
+// notARun has a banned call but no seed parameter, so it is not a root
+// and not reachable from one: no finding.
+func notARun() time.Time { return time.Now() }

@@ -1,0 +1,152 @@
+package analysis
+
+import "encoding/json"
+
+// SARIF 2.1.0 export, the GitHub code-scanning ingestion format:
+// `mixplint -sarif` output uploads through codeql-action/upload-sarif
+// and surfaces findings as pull-request annotations. One run, one tool
+// (mixplint), one rule per analyzer plus the "directive" pseudo-rule
+// for malformed mixplint comments. Suppressed findings are included
+// with an inSource suppression carrying the mandatory justification —
+// code scanning then shows them as dismissed instead of open — and
+// results keep the report's deterministic file/line/col/analyzer
+// order.
+
+const (
+	sarifSchema  = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool       sarifTool     `json:"tool"`
+	Results    []sarifResult `json:"results"`
+	ColumnKind string        `json:"columnKind"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// directiveDoc is the rule description for the "directive" pseudo-rule.
+const directiveDoc = "malformed or unknown //mixplint: directive"
+
+// SARIF renders the report as a SARIF 2.1.0 log. docs maps analyzer
+// names to their one-line rule descriptions (the Analyzer.Doc strings);
+// names missing from the map get an empty description rather than an
+// invalid rule.
+func (r *Report) SARIF(docs map[string]string) ([]byte, error) {
+	ruleIndex := make(map[string]int)
+	var rules []sarifRule
+	addRule := func(name, doc string) {
+		if _, ok := ruleIndex[name]; ok {
+			return
+		}
+		ruleIndex[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, name := range r.Analyzers {
+		addRule(name, docs[name])
+	}
+	addRule("directive", directiveDoc)
+
+	results := make([]sarifResult, 0, len(r.Findings)+len(r.Suppressed))
+	add := func(f Finding, suppressed bool) {
+		// A finding the driver could not position still needs a valid
+		// region: SARIF requires startLine >= 1.
+		line, col := f.Line, f.Col
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		addRule(f.Analyzer, docs[f.Analyzer])
+		res := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "SRCROOT"},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		}
+		if suppressed {
+			res.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Justification}}
+		}
+		results = append(results, res)
+	}
+	for _, f := range r.Findings {
+		add(f, false)
+	}
+	for _, f := range r.Suppressed {
+		add(f, true)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:       sarifTool{Driver: sarifDriver{Name: "mixplint", Rules: rules}},
+			Results:    results,
+			ColumnKind: "utf16CodeUnits",
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// schemaValidate checks doc against a JSON-Schema subset: type,
+// required, properties, additionalProperties:false, items, enum,
+// minimum, and $ref into #/definitions. That covers every constraint
+// in testdata/sarif-2.1.0-trimmed-schema.json, which restates the
+// official SARIF 2.1.0 schema's rules for the objects mixplint emits.
+func schemaValidate(path string, schema, doc any, defs map[string]any) []string {
+	s, ok := schema.(map[string]any)
+	if !ok {
+		return []string{fmt.Sprintf("%s: schema node is not an object", path)}
+	}
+	if ref, ok := s["$ref"].(string); ok {
+		name := strings.TrimPrefix(ref, "#/definitions/")
+		def, ok := defs[name]
+		if !ok {
+			return []string{fmt.Sprintf("%s: unresolved $ref %q", path, ref)}
+		}
+		return schemaValidate(path, def, doc, defs)
+	}
+	var errs []string
+	if enum, ok := s["enum"].([]any); ok {
+		found := false
+		for _, v := range enum {
+			if v == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Sprintf("%s: %v is not in enum %v", path, doc, enum))
+		}
+	}
+	switch s["type"] {
+	case "object":
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			return append(errs, fmt.Sprintf("%s: want object, got %T", path, doc))
+		}
+		props, _ := s["properties"].(map[string]any)
+		if req, ok := s["required"].([]any); ok {
+			for _, r := range req {
+				if _, ok := obj[r.(string)]; !ok {
+					errs = append(errs, fmt.Sprintf("%s: missing required property %q", path, r))
+				}
+			}
+		}
+		for k, v := range obj {
+			sub, ok := props[k]
+			if !ok {
+				if ap, has := s["additionalProperties"]; has && ap == false {
+					errs = append(errs, fmt.Sprintf("%s: unknown property %q", path, k))
+				}
+				continue
+			}
+			errs = append(errs, schemaValidate(path+"."+k, sub, v, defs)...)
+		}
+	case "array":
+		arr, ok := doc.([]any)
+		if !ok {
+			return append(errs, fmt.Sprintf("%s: want array, got %T", path, doc))
+		}
+		if items, ok := s["items"]; ok {
+			for i, v := range arr {
+				errs = append(errs, schemaValidate(fmt.Sprintf("%s[%d]", path, i), items, v, defs)...)
+			}
+		}
+	case "string":
+		if _, ok := doc.(string); !ok {
+			errs = append(errs, fmt.Sprintf("%s: want string, got %T", path, doc))
+		}
+	case "integer":
+		f, ok := doc.(float64)
+		if !ok || f != float64(int64(f)) {
+			errs = append(errs, fmt.Sprintf("%s: want integer, got %v (%T)", path, doc, doc))
+			break
+		}
+		if min, ok := s["minimum"].(float64); ok && f < min {
+			errs = append(errs, fmt.Sprintf("%s: %v below minimum %v", path, f, min))
+		}
+	}
+	return errs
+}
+
+func validateSARIF(t *testing.T, data []byte) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "sarif-2.1.0-trimmed-schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	defs, _ := schema["definitions"].(map[string]any)
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v", err)
+	}
+	return schemaValidate("$", schema, doc, defs)
+}
+
+func sarifSampleReport() *Report {
+	return &Report{
+		Module:    "repro",
+		Packages:  3,
+		Analyzers: []string{"simclock", "puritycheck"},
+		Findings: []Finding{
+			{File: "internal/kernels/k.go", Line: 12, Col: 7, Analyzer: "simclock", Message: "time.Now called"},
+			{File: "internal/apps/a.go", Line: 0, Col: 0, Analyzer: "directive", Message: "mixplint:ignore without justification"},
+		},
+		Suppressed: []Finding{
+			{File: "internal/compile/c.go", Line: 40, Col: 2, Analyzer: "puritycheck", Suppressed: true,
+				Message: "map iteration in a Run-reachable path", Justification: "keys sorted on the previous line"},
+		},
+		PerAnalyzer: map[string]int{"simclock": 1, "directive": 1},
+	}
+}
+
+func TestSARIFValidatesAgainstSchema(t *testing.T) {
+	rep := sarifSampleReport()
+	data, err := rep.SARIF(map[string]string{
+		"simclock":    "no wall-clock reads inside simulated regions",
+		"puritycheck": "Run bodies must be pure functions of the purity key",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := validateSARIF(t, data); len(errs) != 0 {
+		t.Fatalf("SARIF output violates schema:\n%s\n\noutput:\n%s", strings.Join(errs, "\n"), data)
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || log.Schema != sarifSchema {
+		t.Fatalf("version/schema = %q/%q", log.Version, log.Schema)
+	}
+	run := log.Runs[0]
+	if got := len(run.Results); got != 3 {
+		t.Fatalf("want 3 results, got %d", got)
+	}
+	// The unpositioned directive finding must still satisfy startLine >= 1.
+	if l := run.Results[1].Locations[0].PhysicalLocation.Region.StartLine; l != 1 {
+		t.Errorf("clamped startLine = %d, want 1", l)
+	}
+	// Suppressed findings carry the inSource suppression with its justification.
+	sup := run.Results[2].Suppressions
+	if len(sup) != 1 || sup[0].Kind != "inSource" || sup[0].Justification == "" {
+		t.Errorf("suppressions = %+v", sup)
+	}
+	// Every result's ruleIndex points at its own rule.
+	for i, res := range run.Results {
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("result %d: ruleIndex %d resolves to %q, want %q",
+				i, res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+	}
+}
+
+// TestSARIFSchemaValidatorRejects proves the validator is not vacuous:
+// a mutated log must fail.
+func TestSARIFSchemaValidatorRejects(t *testing.T) {
+	data, err := sarifSampleReport().SARIF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []struct{ old, new string }{
+		{`"version": "2.1.0"`, `"version": "2.0.0"`},
+		{`"startLine": 12`, `"startLine": 0`},
+		{`"kind": "inSource"`, `"kind": "guesswork"`},
+		{`"uri": "internal/kernels/k.go"`, `"uri": "internal/kernels/k.go", "sneaky": true`},
+	} {
+		mutated := strings.Replace(string(data), mut.old, mut.new, 1)
+		if mutated == string(data) {
+			t.Fatalf("mutation %q not applied; exporter output changed shape", mut.old)
+		}
+		if errs := validateSARIF(t, []byte(mutated)); len(errs) == 0 {
+			t.Errorf("validator accepted mutation %q -> %q", mut.old, mut.new)
+		}
+	}
+}

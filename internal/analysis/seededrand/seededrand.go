@@ -14,14 +14,11 @@ import (
 	"repro/internal/analysis/astq"
 )
 
-// allowed lists the package-level functions that do not touch the
-// global source: constructors and pure helpers. Everything else
-// exported at package level draws from (or reseeds) shared state.
-var allowed = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-}
+// allowed is the shared table (astq.GlobalRandAllowed) of package-level
+// functions that do not touch the global source: constructors and pure
+// helpers. Everything else exported at package level draws from (or
+// reseeds) shared state.
+var allowed = astq.GlobalRandAllowed
 
 var Analyzer = &analysis.Analyzer{
 	Name: "seededrand",

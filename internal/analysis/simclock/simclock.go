@@ -14,21 +14,11 @@ import (
 	"repro/internal/analysis/astq"
 )
 
-// banned lists the time package functions that observe or depend on the
-// wall clock. Pure constructors and conversions (time.Duration,
-// time.Unix, time.Date, ParseDuration) stay legal: they are
-// deterministic given their inputs.
-var banned = map[string]bool{
-	"Now":       true,
-	"Since":     true,
-	"Until":     true,
-	"Sleep":     true,
-	"After":     true,
-	"AfterFunc": true,
-	"Tick":      true,
-	"NewTicker": true,
-	"NewTimer":  true,
-}
+// banned is the shared wall-clock table (astq.WallClock): the time
+// package functions that observe or depend on the wall clock. Pure
+// constructors and conversions (time.Duration, time.Unix, time.Date,
+// ParseDuration) stay legal: they are deterministic given their inputs.
+var banned = astq.WallClock
 
 var Analyzer = &analysis.Analyzer{
 	Name: "simclock",

@@ -11,6 +11,8 @@ import (
 //	//mixplint:ignore <analyzer> -- <justification>
 //	//mixplint:package <analyzer> -- <justification>
 //	//mixplint:alias -- <justification>
+//	//mixplint:key <Struct|pkgpath.Struct>... -- <justification>
+//	//mixplint:keyexempt <Struct.Field> -- <justification>
 //
 // "ignore" suppresses findings of one analyzer on the directive's own
 // line or the line directly below it (so it works both as a trailing
@@ -18,7 +20,11 @@ import (
 // suppresses an analyzer for the whole package containing the file.
 // "alias" is not a suppression: typedepcheck reads it as an axiom that
 // the Connect call on that line encodes a dependence visible only in
-// the original C source (see that analyzer's doc).
+// the original C source (see that analyzer's doc). "key" and
+// "keyexempt" are likewise annotations, read by keycheck: "key" in a
+// function's doc comment declares it the fingerprint/codec writer for
+// the named struct types, and "keyexempt" exempts one field from the
+// every-field-fingerprinted rule (see that analyzer's doc).
 //
 // The justification after " -- " is mandatory for every kind; a
 // directive without one is itself reported as a finding, so the
@@ -26,8 +32,9 @@ import (
 
 // A Directive is one parsed mixplint comment.
 type Directive struct {
-	Kind          string // "ignore", "package", or "alias"
-	Analyzer      string // target analyzer for ignore/package
+	Kind          string   // "ignore", "package", "alias", "key", or "keyexempt"
+	Analyzer      string   // target analyzer for ignore/package
+	Args          []string // struct/field references for key/keyexempt
 	Justification string
 	Pos           token.Pos
 	Line          int // source line of the comment itself
@@ -85,8 +92,18 @@ func parseDirective(text string) (Directive, string) {
 		if len(fields) != 1 {
 			return Directive{}, "mixplint:alias takes no arguments before the justification"
 		}
+	case "key":
+		if len(fields) < 2 {
+			return Directive{}, "mixplint:key needs at least one struct type"
+		}
+		d.Args = fields[1:]
+	case "keyexempt":
+		if len(fields) != 2 || !strings.Contains(fields[1], ".") {
+			return Directive{}, "mixplint:keyexempt needs exactly one Struct.Field reference"
+		}
+		d.Args = fields[1:]
 	default:
-		return Directive{}, "unknown mixplint directive " + d.Kind + " (want ignore, package, or alias)"
+		return Directive{}, "unknown mixplint directive " + d.Kind + " (want ignore, package, alias, key, or keyexempt)"
 	}
 	if !found || just == "" {
 		return Directive{}, "mixplint:" + d.Kind + ` requires a justification after " -- "`

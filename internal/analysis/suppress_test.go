@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// findingsBy splits a report's unsuppressed findings by analyzer name.
+func findingsBy(rep *Report, analyzer string) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Analyzer == analyzer {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// A malformed directive trailing a code line suppresses nothing: the
+// code line's own finding stands alongside the directive finding.
+func TestMalformedTrailingDirectiveOnCodeLine(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+var banned = 1 //mixplint:ignore flagident
+`)
+	if n := len(findingsBy(rep, "flagident")); n != 1 {
+		t.Errorf("want the flagident finding to stand, got %d", n)
+	}
+	dir := findingsBy(rep, "directive")
+	if len(dir) != 1 || !strings.Contains(dir[0].Message, "justification") {
+		t.Errorf("want one justification finding, got %+v", dir)
+	}
+	if len(rep.Suppressed) != 0 {
+		t.Errorf("malformed directive must not suppress: %+v", rep.Suppressed)
+	}
+}
+
+// Stacked ignore directives each cover their own line and the one
+// below; the lower one reaches the code, and the upper one idles
+// without becoming an error.
+func TestStackedIgnoreDirectives(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:ignore flagident -- stacked upper
+//mixplint:ignore flagident -- stacked lower
+var banned = 1
+`)
+	if len(rep.Findings) != 0 {
+		t.Errorf("lower stacked directive should suppress: %+v", rep.Findings)
+	}
+	if len(rep.Suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding, got %+v", rep.Suppressed)
+	}
+}
+
+// An ignore directive separated from the code by a blank line is out of
+// range: the finding surfaces.
+func TestIgnoreDirectiveOutOfRange(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:ignore flagident -- too far away
+
+var banned = 1
+`)
+	if len(findingsBy(rep, "flagident")) != 1 || len(rep.Suppressed) != 0 {
+		t.Errorf("directive two lines up must not suppress: findings=%+v suppressed=%+v",
+			rep.Findings, rep.Suppressed)
+	}
+}
+
+// A package directive works from anywhere in the file — here the last
+// line of a file whose package clause has no doc comment.
+func TestPackageDirectiveWithoutPackageDocComment(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+var banned = 1
+
+//mixplint:package flagident -- fixture-wide: the name is the point of the test
+`)
+	if len(rep.Findings) != 0 {
+		t.Errorf("package directive should suppress package-wide: %+v", rep.Findings)
+	}
+	if len(rep.Suppressed) != 1 {
+		t.Errorf("want 1 suppressed finding, got %+v", rep.Suppressed)
+	}
+}
+
+// An ignore or package directive naming an analyzer that is not
+// registered suppresses nothing and is itself reported, so a typo
+// cannot silently disarm a suppression.
+func TestUnknownAnalyzerDirectiveReported(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:ignore flagidnet -- typo in the analyzer name
+var banned = 1
+
+//mixplint:package nosuch -- no analyzer has this name
+`)
+	if n := len(findingsBy(rep, "flagident")); n != 1 {
+		t.Errorf("misdirected ignore must not suppress, got %d flagident findings", n)
+	}
+	dir := findingsBy(rep, "directive")
+	if len(dir) != 2 {
+		t.Fatalf("want 2 unknown-analyzer findings, got %+v", dir)
+	}
+	for _, f := range dir {
+		if !strings.Contains(f.Message, "unknown analyzer") || !strings.Contains(f.Message, "suppresses nothing") {
+			t.Errorf("unexpected message: %s", f.Message)
+		}
+	}
+}
+
+// key/keyexempt annotations share the directive grammar: missing
+// operands are malformed-directive findings.
+func TestKeyDirectiveParseErrors(t *testing.T) {
+	rep := runDriver(t, `package fixture
+
+//mixplint:key -- no struct named
+
+//mixplint:keyexempt NoDotHere -- not a Struct.Field reference
+
+var x = 1
+`)
+	dir := findingsBy(rep, "directive")
+	if len(dir) != 2 {
+		t.Fatalf("want 2 parse findings, got %+v", dir)
+	}
+	if !strings.Contains(dir[0].Message, "at least one struct type") {
+		t.Errorf("key message: %s", dir[0].Message)
+	}
+	if !strings.Contains(dir[1].Message, "Struct.Field") {
+		t.Errorf("keyexempt message: %s", dir[1].Message)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+
+	"repro/internal/mp"
 )
 
 func (in *interp) evalCall(call *ast.CallExpr, e *env) (value, error) {
@@ -52,6 +54,9 @@ func (in *interp) evalCall(call *ast.CallExpr, e *env) (value, error) {
 			}
 			decl := in.funcDecl(fn)
 			if decl == nil {
+				if v, handled, err := in.evalForeignMethod(fn, recv, call, e); handled {
+					return v, err
+				}
 				return nil, fmt.Errorf("method %s has no source in this package (at %d)", fn.Name(), call.Pos())
 			}
 			args, err := in.evalArgs(call, e)
@@ -171,13 +176,60 @@ func (in *interp) evalBuiltin(name string, call *ast.CallExpr, e *env) (value, e
 	return nil, fmt.Errorf("unsupported builtin %s at %d", name, call.Pos())
 }
 
-// evalForeignCall handles the few cross-package functions constructors
-// use: typedep.NewGraph and fmt.Sprintf/Errorf.
+// evalForeignCall handles the cross-package functions constructors use:
+// typedep.NewGraph, fmt.Sprintf/Errorf, and the ladder-era mp
+// constructors (Custom formats and precision ladders), which run for
+// real so the abstract values match the runtime exactly.
 func (in *interp) evalForeignCall(fn *types.Func, call *ast.CallExpr, e *env) (value, error) {
 	key := fn.Pkg().Path() + "." + fn.Name()
 	switch key {
 	case "repro/internal/typedep.NewGraph":
 		return newGraphVal(), nil
+	case "repro/internal/mp.DefaultLadder":
+		return ladderVal(mp.DefaultLadder()), nil
+	case "repro/internal/mp.Custom", "repro/internal/mp.MustCustom":
+		args, err := in.evalArgs(call, e)
+		if err != nil {
+			return nil, err
+		}
+		eBits, ok1 := args[0].(int64)
+		mBits, ok2 := args[1].(int64)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("non-constant mp.%s arguments at %d", fn.Name(), call.Pos())
+		}
+		p, perr := mp.Custom(int(eBits), int(mBits))
+		if fn.Name() == "MustCustom" {
+			if perr != nil {
+				return nil, fmt.Errorf("constructor reaches panic: %v at %d", perr, call.Pos())
+			}
+			return int64(p), nil
+		}
+		return tupleVal{elems: []value{int64(p), errVal(perr)}}, nil
+	case "repro/internal/mp.ParsePrec":
+		args, err := in.evalArgs(call, e)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("non-constant mp.ParsePrec argument at %d", call.Pos())
+		}
+		p, perr := mp.ParsePrec(s)
+		return tupleVal{elems: []value{int64(p), errVal(perr)}}, nil
+	case "repro/internal/mp.ParseLadder":
+		args, err := in.evalArgs(call, e)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("non-constant mp.ParseLadder argument at %d", call.Pos())
+		}
+		l, lerr := mp.ParseLadder(s)
+		if lerr != nil {
+			return tupleVal{elems: []value{nil, errVal(lerr)}}, nil
+		}
+		return tupleVal{elems: []value{ladderVal(l), nil}}, nil
 	case "fmt.Sprintf", "fmt.Errorf":
 		args, err := in.evalArgs(call, e)
 		if err != nil {
@@ -201,6 +253,113 @@ func (in *interp) evalForeignCall(fn *types.Func, call *ast.CallExpr, e *env) (v
 		return fmt.Sprintf(format, rest...), nil
 	}
 	return nil, fmt.Errorf("call to unmodelled function %s at %d", key, call.Pos())
+}
+
+// evalForeignMethod models the mp.Prec and mp.Ladder methods ladder-era
+// constructors call. The abstract receiver (a Prec is an int64, a
+// Ladder a slice of them) converts to the real mp type and the real
+// method runs, so the interpreter can never drift from the runtime's
+// format arithmetic. handled is false for receivers the interpreter
+// does not model.
+func (in *interp) evalForeignMethod(fn *types.Func, recv value, call *ast.CallExpr, e *env) (value, bool, error) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/mp" {
+		return nil, false, nil
+	}
+	rt := fn.Type().(*types.Signature).Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return nil, false, nil
+	}
+	switch named.Obj().Name() {
+	case "Prec":
+		n, ok := recv.(int64)
+		if !ok {
+			return nil, true, fmt.Errorf("non-constant Prec receiver for %s at %d", fn.Name(), call.Pos())
+		}
+		p := mp.Prec(n)
+		switch fn.Name() {
+		case "String":
+			return p.String(), true, nil
+		case "Name":
+			return p.Name(), true, nil
+		case "IsCustom":
+			return p.IsCustom(), true, nil
+		case "ExpBits":
+			return int64(p.ExpBits()), true, nil
+		case "MantBits":
+			return int64(p.MantBits()), true, nil
+		case "Size":
+			return int64(p.Size()), true, nil
+		}
+		return nil, true, fmt.Errorf("unmodelled mp.Prec method %s at %d", fn.Name(), call.Pos())
+	case "Ladder":
+		l, ok := asLadder(recv)
+		if !ok {
+			return nil, true, fmt.Errorf("non-constant Ladder receiver for %s at %d", fn.Name(), call.Pos())
+		}
+		switch fn.Name() {
+		case "Validate":
+			return errVal(l.Validate()), true, nil
+		case "IsDefault":
+			return l.IsDefault(), true, nil
+		case "String":
+			return l.String(), true, nil
+		case "Equal":
+			args, err := in.evalArgs(call, e)
+			if err != nil {
+				return nil, true, err
+			}
+			o, ok := asLadder(args[0])
+			if !ok {
+				return nil, true, fmt.Errorf("non-constant Ladder argument to Equal at %d", call.Pos())
+			}
+			return l.Equal(o), true, nil
+		}
+		return nil, true, fmt.Errorf("unmodelled mp.Ladder method %s at %d", fn.Name(), call.Pos())
+	}
+	return nil, false, nil
+}
+
+// asLadder converts an abstract ladder (a slice of Prec ints, or nil)
+// to the real mp.Ladder.
+func asLadder(v value) (mp.Ladder, bool) {
+	if v == nil {
+		return nil, true
+	}
+	sv, ok := v.(*sliceVal)
+	if !ok {
+		return nil, false
+	}
+	l := make(mp.Ladder, len(sv.elems))
+	for i, e := range sv.elems {
+		n, ok := e.(int64)
+		if !ok {
+			return nil, false
+		}
+		l[i] = mp.Prec(n)
+	}
+	return l, true
+}
+
+// ladderVal is the inverse of asLadder.
+func ladderVal(l mp.Ladder) *sliceVal {
+	sv := &sliceVal{elems: make([]value, len(l))}
+	for i, p := range l {
+		sv.elems[i] = int64(p)
+	}
+	return sv
+}
+
+// errVal maps a real error onto the interpreter's representation: nil
+// stays nil, anything else is its message string (matching fmt.Errorf).
+func errVal(err error) value {
+	if err == nil {
+		return nil
+	}
+	return err.Error()
 }
 
 // evalGraphMethod implements the typedep.Graph intrinsics.

@@ -1048,6 +1048,16 @@ func constValue(v constant.Value) (value, error) {
 }
 
 func binaryOp(op token.Token, l, r value) (value, error) {
+	// nil comparisons: ladder-era constructors branch on the errors the
+	// modelled mp constructors return (`if err != nil`).
+	if l == nil || r == nil {
+		switch op {
+		case token.EQL:
+			return l == nil && r == nil, nil
+		case token.NEQ:
+			return !(l == nil && r == nil), nil
+		}
+	}
 	if li, ok := l.(int64); ok {
 		if ri, ok := r.(int64); ok {
 			switch op {

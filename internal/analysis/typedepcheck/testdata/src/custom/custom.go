@@ -1,0 +1,45 @@
+// Package custom is a typedepcheck fixture for custom(e,m) formats:
+// the constructor derives variable names from mp.Custom/MustCustom
+// formats and branches on their accessors, so the interpreter must run
+// the real format arithmetic (flag bit, exponent and mantissa widths)
+// to recover the declared inventory.
+package custom
+
+import (
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+type customPort struct {
+	name  string
+	graph *typedep.Graph
+
+	vX, vY mp.VarID
+}
+
+func NewCustomPort() *customPort {
+	half, err := mp.Custom(5, 10)
+	if err != nil {
+		panic(err)
+	}
+	tf32 := mp.MustCustom(8, 10)
+	if !half.IsCustom() || half.ExpBits() != 5 || half.MantBits() != 10 {
+		panic("wrong custom format")
+	}
+	g := typedep.NewGraph()
+	c := &customPort{name: "custom-" + half.Name() + "-" + tf32.Name(), graph: g}
+	c.vX = g.Add("x_"+half.Name(), "loop", typedep.ArrayVar)
+	c.vY = g.Add("y_"+tf32.Name(), "loop", typedep.ArrayVar)
+	g.ConnectAll(c.vX, c.vY)
+	return c
+}
+
+func (c *customPort) Run(t *mp.Tape, seed int64) []float64 {
+	x := t.NewArray(c.vX, 4)
+	y := t.NewArray(c.vY, 4)
+	x.Fill(2.0)
+	for i := 0; i < 4; i++ {
+		y.Set(i, x.Get(i)+1) // P2: x and y meet in one store
+	}
+	return y.Snapshot()
+}

@@ -1,0 +1,58 @@
+// Package ladder is a typedepcheck fixture for the ladder era: the
+// port's constructor parses a campaign ladder, validates it, and routes
+// graph declaration through a ladder-parameterized helper. The
+// interpreter must model mp.ParseLadder/DefaultLadder and the Ladder
+// methods (Validate, IsDefault, Equal, String), including the err != nil
+// branch on the parse result, to recover the declared inventory.
+package ladder
+
+import (
+	"repro/internal/mp"
+	"repro/internal/typedep"
+)
+
+type ladderPort struct {
+	name  string
+	graph *typedep.Graph
+
+	vA, vB, vS mp.VarID
+}
+
+// NewLadderPort builds the port for the paper's three-rung extension
+// ladder. Only this nullary constructor calls typedep.NewGraph; the
+// helper takes the ladder as a parameter.
+func NewLadderPort() *ladderPort {
+	l, err := mp.ParseLadder("f64,f32,bf16")
+	if err != nil {
+		panic(err)
+	}
+	g := typedep.NewGraph()
+	return newLadderPort(g, l)
+}
+
+func newLadderPort(g *typedep.Graph, ladder mp.Ladder) *ladderPort {
+	if ladder.Validate() != nil {
+		panic("invalid ladder")
+	}
+	suffix := "-" + ladder.String()
+	if ladder.Equal(mp.DefaultLadder()) || ladder.IsDefault() {
+		suffix = "-default"
+	}
+	p := &ladderPort{name: "ladder" + suffix, graph: g}
+	p.vA = g.Add("a_"+ladder[0].Name(), "loop", typedep.ArrayVar)
+	p.vB = g.Add("b", "loop", typedep.ArrayVar)
+	p.vS = g.Add("s", "loop", typedep.Scalar)
+	g.ConnectAll(p.vA, p.vB, p.vS)
+	return p
+}
+
+func (p *ladderPort) Run(t *mp.Tape, seed int64) []float64 {
+	a := t.NewArray(p.vA, 8)
+	b := t.NewArray(p.vB, 8)
+	s := t.Value(p.vS, 0.5)
+	a.Fill(s) // P3: binds s to a
+	for i := 0; i < 8; i++ {
+		b.Set(i, a.Get(i)) // P2: a and b meet in one store
+	}
+	return b.Snapshot()
+}

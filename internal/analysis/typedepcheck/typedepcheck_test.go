@@ -12,6 +12,20 @@ func TestGood(t *testing.T) {
 	analysistest.Run(t, Analyzer, "good")
 }
 
+// TestLadder: a ladder-era port — the constructor parses and validates
+// an mp.Ladder and declares the graph through a ladder-parameterized
+// helper — interprets cleanly.
+func TestLadder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "ladder")
+}
+
+// TestCustom: a port deriving its variable names from custom(e,m)
+// formats (mp.Custom/MustCustom and the Prec accessors) interprets
+// cleanly.
+func TestCustom(t *testing.T) {
+	analysistest.Run(t, Analyzer, "custom")
+}
+
 // TestBadMissing: Run dataflow that connects arrays the declared graph
 // keeps apart is reported as a missing edge, including flow through a
 // local temporary.

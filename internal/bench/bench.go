@@ -497,6 +497,9 @@ func (r *Runner) memoised(ctx context.Context, b Benchmark, sem runcache.Semanti
 // the cache key, so runners with different models sharing one cache can
 // never serve each other's results. Mutating Machine or Runs mid-run is
 // safe: the next execution simply keys differently.
+//
+//mixplint:key repro/internal/perfmodel.Machine -- every result-affecting Machine field must reach the cache key, or two machines collide on one stored record
+//mixplint:keyexempt CacheLevel.Name -- display label; Time and Energy never read it, so it cannot change a result
 func (r *Runner) modelFingerprint() uint64 {
 	h := runcache.FNVOffset64
 	mix := func(v uint64) {

@@ -34,6 +34,8 @@ const nilSlice = 0xffffffff
 // EncodeResult appends the versioned binary encoding of r to dst. The
 // encoding is little-endian and bit-exact: float64s are stored as raw
 // bits, so NaNs and infinities round-trip.
+//
+//mixplint:key Result -- a Result field missing from the codec is silently dropped by the durable tier and replays wrong; bump resultCodecVersion when extending
 func EncodeResult(dst []byte, r Result) []byte {
 	dst = append(dst, resultCodecVersion)
 	dst = appendFloatSlice(dst, r.Output.Values)

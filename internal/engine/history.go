@@ -151,7 +151,12 @@ func (e *Engine) loadHistory() {
 		if err != nil {
 			e.histLoadErrs++
 			e.histLastErr = err.Error()
-			os.Rename(path, path+".corrupt")
+			// Quarantine the corrupt archive and make the rename durable:
+			// without the dir fsync a crash could resurrect it and fail
+			// every subsequent load the same way.
+			if os.Rename(path, path+".corrupt") == nil {
+				store.SyncDir(dir)
+			}
 			continue
 		}
 		c := restoreCampaign(a)

@@ -103,6 +103,8 @@ func (k Key) hash() uint64 {
 // components, then the config digits. Bench names never contain NUL, so
 // the encoding is injective, and every component is little-endian so the
 // bytes are stable across architectures.
+//
+//mixplint:key Key -- the content address must cover every purity-key component, or distinct runs collide in the durable tier
 func (k Key) AppendBinary(dst []byte) []byte {
 	dst = append(dst, k.Bench...)
 	dst = append(dst, 0)
